@@ -1,0 +1,248 @@
+// Package ada is the public API of the ADA reproduction: an
+// application-conscious data acquirer for visual molecular dynamics.
+//
+// ADA is a light-weight file-system middleware that pre-processes molecular
+// dynamics trajectory data on the storage side: it decompresses the
+// trajectory once at ingest, categorizes atoms with the structure file
+// (protein / water / lipid / ion / ligand), labels contiguous index ranges
+// per category (Algorithm 1 of the paper), and dispatches each tagged
+// subset to the backend its tag maps to — the active protein data to fast
+// SSD-backed storage, the inactive MISC data to cheap HDD-backed storage.
+// A visualization front end then loads exactly the subset it needs
+// (`mol addfile bar.xtc tag p`), already decompressed and filtered.
+//
+// The simplest end-to-end flow:
+//
+//	store, _ := ada.NewContainerStore(
+//		ada.Backend{Name: "ssd", FS: ada.NewMemFS(), Mount: "/mnt1"},
+//		ada.Backend{Name: "hdd", FS: ada.NewMemFS(), Mount: "/mnt2"},
+//	)
+//	acq := ada.New(store, nil, ada.Options{})
+//	pdbBytes, xtcBytes, _ := ada.GenerateTrajectory(ada.ScaledSystem(100), 10)
+//	report, _ := acq.Ingest("/traj.xtc", pdbBytes, bytes.NewReader(xtcBytes))
+//	sub, _ := acq.OpenSubset("/traj.xtc", ada.TagProtein)
+//
+// Everything the paper's evaluation needs is also exported: the three
+// platform models (NewSSDServer, NewSmallCluster, NewFatNode), the VMD-like
+// session with its four load paths and OOM accounting, and the TCP
+// storage-node server/client for cross-process deployments.
+package ada
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gpcr"
+	"repro/internal/mdsim"
+	"repro/internal/pdb"
+	"repro/internal/plfs"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/vmd"
+	"repro/internal/xtc"
+)
+
+// Core middleware types.
+type (
+	// Acquirer is the ADA middleware instance (data pre-processor +
+	// I/O determinator).
+	Acquirer = core.ADA
+	// Options configures an Acquirer.
+	Options = core.Options
+	// Granularity selects coarse (p/m) or fine (per-category) tagging.
+	Granularity = core.Granularity
+	// Placement maps tags to backend names.
+	Placement = core.Placement
+	// IngestReport summarizes one ingest pass.
+	IngestReport = core.IngestReport
+	// Manifest records an ingested dataset's subsets and placement.
+	Manifest = core.Manifest
+	// LabelSet is the labeler's output (Algorithm 1).
+	LabelSet = core.LabelSet
+	// SubsetReader streams one tagged subset's frames.
+	SubsetReader = core.SubsetReader
+	// StorageCost models the storage node's pre-processing CPU rates.
+	StorageCost = core.StorageCost
+)
+
+// Storage types.
+type (
+	// FS is the POSIX-like file-system interface all backends implement.
+	FS = vfs.FS
+	// File is an open file handle.
+	File = vfs.File
+	// Backend is one mount of the PLFS-style container store.
+	Backend = plfs.Backend
+	// ContainerStore is the multi-backend container layer ADA dispatches
+	// through.
+	ContainerStore = plfs.FS
+)
+
+// Workload and front-end types.
+type (
+	// SystemConfig describes a synthetic GPCR system's composition.
+	SystemConfig = gpcr.Config
+	// System is a built synthetic system.
+	System = gpcr.System
+	// Frame is one trajectory snapshot.
+	Frame = xtc.Frame
+	// Session is a VMD-like process with memory accounting.
+	Session = vmd.Session
+	// ComputeCost models the compute node's CPU rates.
+	ComputeCost = vmd.ComputeCost
+	// Platform is one of the paper's three evaluation environments.
+	Platform = cluster.Platform
+	// Dataset is a workload staged on a platform.
+	Dataset = cluster.Dataset
+	// Env is the virtual clock + profile experiments charge into.
+	Env = sim.Env
+)
+
+// Tags and granularities.
+const (
+	// TagProtein is the active-data tag ("p").
+	TagProtein = core.TagProtein
+	// TagMisc is the inactive-data tag ("m").
+	TagMisc = core.TagMisc
+	// Coarse groups data into p and m, as the paper's prototype does.
+	Coarse = core.Coarse
+	// Fine groups data per residue category (Section 4.1's extension).
+	Fine = core.Fine
+)
+
+// ErrOutOfMemory reports an OOM-killed load (re-exported from the session).
+var ErrOutOfMemory = vmd.ErrOutOfMemory
+
+// New returns an ADA middleware instance over a container store. env may be
+// nil to disable virtual-time accounting.
+func New(store *ContainerStore, env *Env, opts Options) *Acquirer {
+	return core.New(store, env, opts)
+}
+
+// NewContainerStore builds the PLFS-style container layer over backends.
+func NewContainerStore(backends ...Backend) (*ContainerStore, error) {
+	return plfs.New(backends...)
+}
+
+// NewMemFS returns an in-memory backend file system.
+func NewMemFS() *vfs.MemFS { return vfs.NewMemFS() }
+
+// NewEnv returns a fresh virtual-time environment.
+func NewEnv() *Env { return sim.NewEnv() }
+
+// NewSession returns a VMD-like session. memCapacity of 0 means unlimited;
+// a zero ComputeCost selects the calibrated defaults.
+func NewSession(env *Env, memCapacity int64, cost ComputeCost) *Session {
+	return vmd.NewSession(env, memCapacity, cost)
+}
+
+// DefaultSystem returns the paper-scale synthetic CB1-like system
+// (~43,500 atoms, ~42.5% protein).
+func DefaultSystem() SystemConfig { return gpcr.Default() }
+
+// ScaledSystem returns DefaultSystem shrunk by factor for fast runs.
+func ScaledSystem(factor int) SystemConfig { return gpcr.Scaled(factor) }
+
+// The three evaluation platforms (Sections 4.1-4.3).
+var (
+	NewSSDServer    = cluster.NewSSDServer
+	NewSmallCluster = cluster.NewSmallCluster
+	NewFatNode      = cluster.NewFatNode
+)
+
+// GenerateTrajectory builds the system, writes its structure file, and
+// simulates a compressed trajectory of the given length. It is the
+// convenience entry point for examples and tools; use the internal
+// generator packages directly for streaming generation of large files.
+func GenerateTrajectory(cfg SystemConfig, frames int) (pdbBytes, xtcBytes []byte, err error) {
+	sys, err := cfg.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	var pb bytes.Buffer
+	if err := pdb.Write(&pb, sys.Structure); err != nil {
+		return nil, nil, err
+	}
+	cats := make([]pdb.Category, sys.Structure.NAtoms())
+	for i := range cats {
+		cats[i] = sys.Structure.Atoms[i].Category
+	}
+	s, err := mdsim.New(sys.Coords, cats, sys.Box, mdsim.DefaultParams())
+	if err != nil {
+		return nil, nil, err
+	}
+	var tb bytes.Buffer
+	w := xtc.NewWriter(&tb)
+	if err := s.WriteTrajectory(w, frames); err != nil {
+		return nil, nil, err
+	}
+	return pb.Bytes(), tb.Bytes(), nil
+}
+
+// ServeStorageNode exposes a backend file system on a TCP listener (the
+// cmd/adanode entry point); it blocks until the listener closes.
+func ServeStorageNode(ln net.Listener, fsys FS, logger *log.Logger) error {
+	return rpc.NewServer(fsys, logger).Serve(ln)
+}
+
+// DialStorageNode connects to a remote storage node; the returned client
+// implements FS and can be used as a container-store backend.
+func DialStorageNode(addr string) (*rpc.Client, error) { return rpc.Dial(addr) }
+
+// Extension types (see DESIGN.md "extensions"):
+type (
+	// Schema is the config-file-driven categorizer (the paper's stated
+	// future work).
+	Schema = core.Schema
+	// SchemaRule is one first-match-wins categorization rule.
+	SchemaRule = core.Rule
+	// TrajectoryReader abstracts ingest input formats (XTC, DCD, TRR).
+	TrajectoryReader = core.TrajectoryReader
+	// FrameSource provides random frame access for playback.
+	FrameSource = vmd.FrameSource
+	// FrameCache is the LRU playback cache with memory accounting.
+	FrameCache = vmd.FrameCache
+	// PlayStats summarizes a playback run (hit rate, stalls).
+	PlayStats = vmd.PlayStats
+)
+
+// ParseSchema reads a user-defined categorization schema from its JSON
+// configuration form.
+func ParseSchema(data []byte) (*Schema, error) { return core.ParseSchema(data) }
+
+// Trajectory-format adapters for Acquirer.IngestTrajectory.
+var (
+	// NewXTCTrajectory wraps a compressed XTC stream.
+	NewXTCTrajectory = core.NewXTCTrajectory
+	// NewDCDTrajectory wraps a NAMD/CHARMM DCD stream.
+	NewDCDTrajectory = core.NewDCDTrajectory
+	// NewTRRTrajectory wraps a GROMACS TRR stream.
+	NewTRRTrajectory = core.NewTRRTrajectory
+)
+
+// Playback access patterns (Section 2.1's replay behaviors).
+var (
+	// SequentialPattern plays 0..frames-1 once.
+	SequentialPattern = vmd.Sequential
+	// BackAndForthPattern sweeps the trajectory forward and backward.
+	BackAndForthPattern = vmd.BackAndForth
+	// RandomAccessPattern plays uniformly random frames.
+	RandomAccessPattern = vmd.RandomAccess
+)
+
+// Select evaluates a VMD-style atom-selection expression ("protein and
+// chain A") against a structure, returning the matching atom index ranges.
+var Select = vmd.Select
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
+
+// String renders a short library banner.
+func String() string {
+	return fmt.Sprintf("ada %s — application-conscious data acquirer (ICPP'21 reproduction)", Version)
+}

@@ -1,0 +1,413 @@
+// Root benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation, plus ablation benches for the design choices
+// DESIGN.md calls out. Figures run the analytic engine over the measured
+// data model (real codec sizes); Fig 8 and the ablations run the live
+// pipeline. Virtual-time results are reported as custom metrics
+// (vsec = virtual seconds on the experiment clock) alongside the real
+// ns/op of executing the pipeline itself.
+package ada_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/blockfs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/gpcr"
+	"repro/internal/plfs"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+	"repro/internal/xtc"
+)
+
+var (
+	modelOnce sync.Once
+	model     *bench.DataModel
+	modelErr  error
+)
+
+// fullConfig measures the full-size (43.5k-atom) data model once per
+// process with the real codec.
+func fullConfig(b *testing.B) *bench.Config {
+	b.Helper()
+	modelOnce.Do(func() {
+		model, modelErr = bench.Measure(gpcr.Default(), 6)
+	})
+	if modelErr != nil {
+		b.Fatal(modelErr)
+	}
+	return &bench.Config{Model: model, Scale: 20, MeasuredFrames: 80}
+}
+
+// benchExperiment runs one table/figure end to end per iteration.
+func benchExperiment(b *testing.B, id string) {
+	cfg := fullConfig(b)
+	e, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		tbl, err = e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(tbl.Rows) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig7a(b *testing.B)  { benchExperiment(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B)  { benchExperiment(b, "fig7b") }
+func BenchmarkFig7c(b *testing.B)  { benchExperiment(b, "fig7c") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkFig9a(b *testing.B)  { benchExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { benchExperiment(b, "fig9b") }
+func BenchmarkFig9c(b *testing.B)  { benchExperiment(b, "fig9c") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkFig10a(b *testing.B) { benchExperiment(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B) { benchExperiment(b, "fig10b") }
+func BenchmarkFig10c(b *testing.B) { benchExperiment(b, "fig10c") }
+func BenchmarkFig10d(b *testing.B) { benchExperiment(b, "fig10d") }
+
+// Extension experiments (not paper figures; see DESIGN.md).
+func BenchmarkExtPlayback(b *testing.B) { benchExperiment(b, "ext-playback") }
+func BenchmarkExtAmortize(b *testing.B) { benchExperiment(b, "ext-amortize") }
+
+// BenchmarkTurnaroundScenarios reports the headline Fig 7b comparison as
+// virtual seconds per scenario at 5,006 frames on the SSD-server model.
+func BenchmarkTurnaroundScenarios(b *testing.B) {
+	cfg := fullConfig(b)
+	for _, sc := range bench.Scenarios {
+		b.Run(string(sc), func(b *testing.B) {
+			p, err := cluster.NewSSDServer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var pt bench.Point
+			for i := 0; i < b.N; i++ {
+				pt = bench.RunAnalytic(p, cfg.Model, sc, 5006)
+			}
+			b.ReportMetric(pt.Turnaround, "vsec")
+			b.ReportMetric(float64(pt.MemoryPeak)/1e6, "vMB")
+		})
+	}
+}
+
+// --- Real-codec benchmarks ---------------------------------------------
+
+// stageFrame builds one full-size frame and its encoding.
+func stageFrame(b *testing.B) (*xtc.Frame, []byte) {
+	b.Helper()
+	sys, err := gpcr.Default().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := sys.InitialFrame()
+	w := xdr.NewWriter(1 << 21)
+	if err := f.AppendEncoded(w); err != nil {
+		b.Fatal(err)
+	}
+	return f, w.Bytes()
+}
+
+// BenchmarkXTCEncode measures the real compressor on the full 43.5k-atom
+// system (MB/s of raw coordinate data).
+func BenchmarkXTCEncode(b *testing.B) {
+	f, _ := stageFrame(b)
+	w := xdr.NewWriter(1 << 21)
+	b.ReportAllocs()
+	b.SetBytes(int64(f.NAtoms() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		if err := f.AppendEncoded(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXTCDecode measures the real decompressor — the rate that
+// dominates the paper's turnaround times.
+func BenchmarkXTCDecode(b *testing.B) {
+	f, raw := stageFrame(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(f.NAtoms() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xtc.DecodeFrame(xdr.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXTCPrecision sweeps the quantization precision: higher precision
+// costs more bits per atom and more codec time. Reported bpa = encoded bits
+// per atom.
+func BenchmarkXTCPrecision(b *testing.B) {
+	sys, err := gpcr.Scaled(4).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := sys.InitialFrame()
+	for _, prec := range []float32{100, 1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("prec-%g", prec), func(b *testing.B) {
+			f := base.Clone()
+			f.Precision = prec
+			w := xdr.NewWriter(1 << 21)
+			b.SetBytes(int64(f.NAtoms() * 12))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Reset()
+				if err := f.AppendEncoded(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(w.Len()*8)/float64(f.NAtoms()), "bpa")
+		})
+	}
+}
+
+// --- Ablation benches ----------------------------------------------------
+
+// ablationDataset builds a small dataset once.
+var (
+	ablOnce sync.Once
+	ablPDB  []byte
+	ablXTC  []byte
+)
+
+func ablationDataset(b *testing.B) ([]byte, []byte) {
+	b.Helper()
+	ablOnce.Do(func() {
+		var err error
+		ablPDB, ablXTC, err = generate(gpcr.Scaled(20), 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	return ablPDB, ablXTC
+}
+
+func generate(cfg gpcr.Config, frames int) ([]byte, []byte, error) {
+	p, err := cluster.NewSSDServer()
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := p.Stage("g", cfg, frames)
+	if err != nil {
+		return nil, nil, err
+	}
+	traj, err := vfs.ReadFile(p.Traditional, ds.CompressedPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds.PDB, traj, nil
+}
+
+// BenchmarkAblationOffload compares where the pre-processing CPU burns:
+// storage-side (ADA ingest once, cheap tagged reads) vs compute-side
+// (decompress + scan on every load). Reported vsec is the compute node's
+// CPU time per load.
+func BenchmarkAblationOffload(b *testing.B) {
+	b.Run("compute-side", func(b *testing.B) {
+		var cpu float64
+		for i := 0; i < b.N; i++ {
+			p, err := cluster.NewSSDServer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds, err := p.Stage("g", gpcr.Scaled(20), 40)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mp, err := bench.RunMeasured(p, ds, bench.CBase)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cpu = mp.Profile.TotalPrefix("compute.cpu.decompress") +
+				mp.Profile.TotalPrefix("compute.cpu.scan")
+		}
+		b.ReportMetric(cpu, "vsec")
+	})
+	b.Run("storage-side", func(b *testing.B) {
+		var cpu float64
+		for i := 0; i < b.N; i++ {
+			p, err := cluster.NewSSDServer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds, err := p.Stage("g", gpcr.Scaled(20), 40)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mp, err := bench.RunMeasured(p, ds, bench.ADAProtein)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cpu = mp.Profile.TotalPrefix("compute.cpu.decompress") +
+				mp.Profile.TotalPrefix("compute.cpu.scan")
+		}
+		b.ReportMetric(cpu, "vsec")
+	})
+}
+
+// BenchmarkAblationTags compares ingest cost and subset sizes at the two
+// categorizer granularities.
+func BenchmarkAblationTags(b *testing.B) {
+	pdbBytes, traj := ablationDataset(b)
+	for _, g := range []core.Granularity{core.Coarse, core.Fine} {
+		b.Run(g.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var subsets int
+			for i := 0; i < b.N; i++ {
+				store, err := plfs.New(
+					plfs.Backend{Name: "ssd", FS: vfs.NewMemFS(), Mount: "/m1"},
+					plfs.Backend{Name: "hdd", FS: vfs.NewMemFS(), Mount: "/m2"},
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a := core.New(store, nil, core.Options{Granularity: g})
+				rep, err := a.Ingest("/g", pdbBytes, bytes.NewReader(traj))
+				if err != nil {
+					b.Fatal(err)
+				}
+				subsets = len(rep.Subsets)
+			}
+			b.ReportMetric(float64(subsets), "subsets")
+		})
+	}
+}
+
+// BenchmarkAblationPlacement compares the virtual read time of the protein
+// subset when it lands on SSD vs HDD — the hybrid placement decision.
+func BenchmarkAblationPlacement(b *testing.B) {
+	pdbBytes, traj := ablationDataset(b)
+	cases := []struct {
+		name string
+		dev  device.Device
+	}{
+		{"protein-on-ssd", device.NVMe256GB()},
+		{"protein-on-hdd", device.WDBlue1TB()},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var vsec float64
+			for i := 0; i < b.N; i++ {
+				env := sim.NewEnv()
+				fast := blockfs.New("be", c.dev, env)
+				store, err := plfs.New(plfs.Backend{Name: "be", FS: fast, Mount: "/m"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				a := core.New(store, env, core.Options{})
+				if _, err := a.Ingest("/g", pdbBytes, bytes.NewReader(traj)); err != nil {
+					b.Fatal(err)
+				}
+				start := env.Clock.Now()
+				sr, err := a.OpenSubset("/g", core.TagProtein)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, err := sr.ReadFrame(); err != nil {
+						break
+					}
+				}
+				sr.Close()
+				vsec = env.Clock.Now() - start
+			}
+			b.ReportMetric(vsec, "vsec")
+		})
+	}
+}
+
+// BenchmarkAblationParallelIngest compares the serial ingest loop against
+// the pipelined one (decoder + per-subset writers on separate goroutines):
+// real ns/op for the host, vsec for the modeled multi-core storage node.
+func BenchmarkAblationParallelIngest(b *testing.B) {
+	pdbBytes, traj := ablationDataset(b)
+	mkADA := func(env *sim.Env) *core.ADA {
+		store, err := plfs.New(
+			plfs.Backend{Name: "ssd", FS: vfs.NewMemFS(), Mount: "/m1"},
+			plfs.Backend{Name: "hdd", FS: vfs.NewMemFS(), Mount: "/m2"},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return core.New(store, env, core.Options{Granularity: core.Fine})
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		var vsec float64
+		for i := 0; i < b.N; i++ {
+			env := sim.NewEnv()
+			if _, err := mkADA(env).Ingest("/g", pdbBytes, bytes.NewReader(traj)); err != nil {
+				b.Fatal(err)
+			}
+			vsec = env.Clock.Now()
+		}
+		b.ReportMetric(vsec, "vsec")
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		b.ReportAllocs()
+		var vsec float64
+		for i := 0; i < b.N; i++ {
+			env := sim.NewEnv()
+			if _, err := mkADA(env).IngestParallel("/g", pdbBytes, bytes.NewReader(traj), 4); err != nil {
+				b.Fatal(err)
+			}
+			vsec = env.Clock.Now()
+		}
+		b.ReportMetric(vsec, "vsec")
+	})
+}
+
+// BenchmarkAblationStoreCompressed compares ADA's decompress-on-ingest
+// design against the alternative of storing the compressed original and
+// paying decompression on every read (approximated by the C path, which is
+// exactly that read-and-decompress work).
+func BenchmarkAblationStoreCompressed(b *testing.B) {
+	modes := []struct {
+		name string
+		sc   bench.Scenario
+	}{
+		{"store-decompressed", bench.ADAProtein},
+		{"store-compressed", bench.CBase},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var vsec float64
+			for i := 0; i < b.N; i++ {
+				p, err := cluster.NewSSDServer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ds, err := p.Stage("g", gpcr.Scaled(20), 40)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mp, err := bench.RunMeasured(p, ds, m.sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vsec = mp.Turnaround
+			}
+			b.ReportMetric(vsec, "vsec")
+		})
+	}
+}

@@ -1,0 +1,75 @@
+// Command adabench regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	adabench                  # run every experiment
+//	adabench -exp fig7b       # run one experiment
+//	adabench -list            # list experiment IDs
+//	adabench -scale 20        # shrink the live-pipeline experiments
+//	adabench -sample 16       # sample frames for data-model calibration
+//
+// Small experiments run the live pipeline (real codec, real middleware,
+// virtual clock); the paper-scale series are produced by the analytic
+// engine calibrated from a real measured sample (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/gpcr"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	scale := flag.Int("scale", 10, "system shrink factor for live-pipeline experiments")
+	sample := flag.Int("sample", 8, "real sample frames used to calibrate the data model")
+	frames := flag.Int("frames", 120, "trajectory length for live-pipeline experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "calibrating data model from a real sample (full-size system)...")
+	dm, err := bench.Measure(gpcr.Default(), *sample)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := &bench.Config{Model: dm, Scale: *scale, MeasuredFrames: *frames}
+	fmt.Fprintf(os.Stderr,
+		"model: %d atoms (%d protein), %.0f B/frame compressed, %.0f B/frame raw (%.2fx), protein fraction %.1f%%\n\n",
+		dm.NAtoms, dm.ProteinAtoms, dm.CompressedPerFrame, dm.RawPerFrame,
+		dm.CompressionRatio(), 100*dm.ProteinFraction())
+
+	run := func(e bench.Experiment) {
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Println(tbl.Format())
+	}
+	if *exp != "" {
+		e, err := bench.Lookup(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		run(e)
+		return
+	}
+	for _, e := range bench.Experiments {
+		run(e)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,331 @@
+// Command adactl drives an on-disk ADA store: ingest a (.pdb, .xtc) pair,
+// inspect containers, and extract tagged subsets.
+//
+// The store is a host directory holding two backend trees (ssd/ and hdd/),
+// standing in for the two file systems ADA dispatches between.
+//
+// Usage:
+//
+//	adactl -store /tmp/store ingest -pdb g.pdb -xtc g.xtc -name traj
+//	adactl -store /tmp/store manifest -name traj
+//	adactl -store /tmp/store labels -name traj
+//	adactl -store /tmp/store extract -name traj -tag p -out protein.xtc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/osfs"
+	"repro/internal/plfs"
+	"repro/internal/xtc"
+)
+
+func main() {
+	store := flag.String("store", "ada-store", "store directory (holds ssd/ and hdd/ backend trees)")
+	fine := flag.Bool("fine", false, "use fine-grained per-category tags")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+
+	a, err := openStore(*store, *fine)
+	if err != nil {
+		fatal(err)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "ingest":
+		err = cmdIngest(a, args)
+	case "list":
+		err = cmdList(a)
+	case "remove":
+		err = cmdRemove(a, args)
+	case "analyze":
+		err = cmdAnalyze(a, args)
+	case "manifest":
+		err = cmdManifest(a, args)
+	case "labels":
+		err = cmdLabels(a, args)
+	case "extract":
+		err = cmdExtract(a, args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: adactl [-store DIR] [-fine] COMMAND [args]
+
+commands:
+  ingest   -pdb FILE -xtc FILE -name NAME   pre-process and store a dataset
+                                            (.dcd input supported; -schema FILE
+                                             selects a custom categorizer)
+  list                                       list ingested datasets
+  remove   -name NAME                        delete a dataset
+  analyze  -name NAME [-tag TAG]             per-frame RGyr/RMSD/MSD of a subset
+  manifest -name NAME                        show a dataset's subsets
+  labels   -name NAME                        show the label ranges
+  extract  -name NAME -tag TAG -out FILE     write one subset as raw frames`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adactl:", err)
+	os.Exit(1)
+}
+
+func openStore(dir string, fine bool) (*core.ADA, error) {
+	ssd, err := osfs.New(filepath.Join(dir, "ssd"))
+	if err != nil {
+		return nil, err
+	}
+	hdd, err := osfs.New(filepath.Join(dir, "hdd"))
+	if err != nil {
+		return nil, err
+	}
+	containers, err := plfs.New(
+		plfs.Backend{Name: "ssd", FS: ssd, Mount: "/"},
+		plfs.Backend{Name: "hdd", FS: hdd, Mount: "/"},
+	)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{}
+	if fine {
+		opts.Granularity = core.Fine
+	}
+	return core.New(containers, nil, opts), nil
+}
+
+func cmdIngest(a *core.ADA, args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	pdbPath := fs.String("pdb", "", "structure file")
+	xtcPath := fs.String("xtc", "", "compressed trajectory")
+	name := fs.String("name", "", "dataset name")
+	schemaPath := fs.String("schema", "", "user-defined categorization schema (JSON)")
+	fs.Parse(args)
+	if *pdbPath == "" || *xtcPath == "" || *name == "" {
+		return fmt.Errorf("ingest needs -pdb, -xtc and -name")
+	}
+	if *schemaPath != "" {
+		data, err := os.ReadFile(*schemaPath)
+		if err != nil {
+			return err
+		}
+		schema, err := core.ParseSchema(data)
+		if err != nil {
+			return err
+		}
+		a = a.WithSchema(schema)
+	}
+	pdbBytes, err := os.ReadFile(*pdbPath)
+	if err != nil {
+		return err
+	}
+	xf, err := os.Open(*xtcPath)
+	if err != nil {
+		return err
+	}
+	defer xf.Close()
+	var tr core.TrajectoryReader
+	switch strings.ToLower(filepath.Ext(*xtcPath)) {
+	case ".dcd":
+		if tr, err = core.NewDCDTrajectory(xf); err != nil {
+			return err
+		}
+	case ".trr":
+		tr = core.NewTRRTrajectory(xf)
+	default:
+		tr = core.NewXTCTrajectory(xf)
+	}
+	rep, err := a.IngestTrajectory("/"+*name, pdbBytes, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested %s: %d frames, %d atoms\n", *name, rep.Frames, rep.NAtoms)
+	fmt.Printf("  compressed in : %d bytes\n", rep.Compressed)
+	fmt.Printf("  raw           : %d bytes\n", rep.Raw)
+	for tag, n := range rep.Subsets {
+		fmt.Printf("  subset %-8s: %d bytes\n", tag, n)
+	}
+	return nil
+}
+
+func cmdList(a *core.ADA) error {
+	names, err := a.Datasets()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		m, err := a.Manifest(n)
+		if err != nil {
+			fmt.Printf("%-30s (unreadable: %v)\n", n, err)
+			continue
+		}
+		fmt.Printf("%-30s %8d frames  %8d atoms  %d tags\n",
+			n, m.Frames, m.NAtoms, len(m.Subsets))
+	}
+	return nil
+}
+
+func cmdRemove(a *core.ADA, args []string) error {
+	fs := flag.NewFlagSet("remove", flag.ExitOnError)
+	name := fs.String("name", "", "dataset name")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("remove needs -name")
+	}
+	if err := a.Remove("/" + *name); err != nil {
+		return err
+	}
+	fmt.Printf("removed %s\n", *name)
+	return nil
+}
+
+func cmdAnalyze(a *core.ADA, args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	name := fs.String("name", "", "dataset name")
+	tag := fs.String("tag", core.TagProtein, "subset tag")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("analyze needs -name")
+	}
+	// Prefer in-situ statistics computed at ingest (IngestWithStats); fall
+	// back to recomputing from the stored subset frames.
+	if st, err := a.Stats("/"+*name, *tag); err == nil {
+		fmt.Printf("subset %q: %d frames (in-situ stats from ingest)\n", *tag, st.Frames)
+		fmt.Printf("%6s %10s %10s %10s\n", "frame", "rgyr(nm)", "rmsd(nm)", "msd(nm2)")
+		for i := 0; i < st.Frames; i++ {
+			fmt.Printf("%6d %10.4f %10.4f %10.4f\n", i, st.RGyr[i], st.RMSD[i], st.MSD[i])
+		}
+		fmt.Printf("mean rgyr %.4f nm\n", st.MeanRG)
+		return nil
+	}
+	sr, err := a.OpenSubset("/"+*name, *tag)
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	var ts analysis.TrajectoryStats
+	for {
+		f, err := sr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := ts.Add(f); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("subset %q: %d frames, %d atoms\n", *tag, ts.Frames, sr.Ranges.Count())
+	fmt.Printf("%6s %10s %10s %10s\n", "frame", "rgyr(nm)", "rmsd(nm)", "msd(nm2)")
+	for i := 0; i < ts.Frames; i++ {
+		fmt.Printf("%6d %10.4f %10.4f %10.4f\n", i, ts.RGyr[i], ts.RMSD[i], ts.MSD[i])
+	}
+	fmt.Printf("mean rgyr %.4f nm, mean aligned rmsd %.4f nm\n",
+		analysis.Mean(ts.RGyr), analysis.Mean(ts.RMSD))
+	return nil
+}
+
+func cmdManifest(a *core.ADA, args []string) error {
+	fs := flag.NewFlagSet("manifest", flag.ExitOnError)
+	name := fs.String("name", "", "dataset name")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("manifest needs -name")
+	}
+	m, err := a.Manifest("/" + *name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: %d frames, %d atoms, granularity %s\n",
+		m.Logical, m.Frames, m.NAtoms, m.Granularity)
+	for _, tag := range m.Tags() {
+		s := m.Subsets[tag]
+		fmt.Printf("  tag %-8s -> backend %-4s  %10d bytes  %7d atoms  ranges %s\n",
+			tag, s.Backend, s.Bytes, s.NAtoms, s.Ranges)
+	}
+	return nil
+}
+
+func cmdLabels(a *core.ADA, args []string) error {
+	fs := flag.NewFlagSet("labels", flag.ExitOnError)
+	name := fs.String("name", "", "dataset name")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("labels needs -name")
+	}
+	data, err := a.Labels("/" + *name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d atoms\n", data.NAtoms)
+	for c := 0; c < len(data.ByCategory); c++ {
+		l := data.ByCategory[c]
+		if l.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s %8d atoms in %d ranges: %s\n",
+			categoryName(c), l.Count(), l.NumRanges(), l)
+	}
+	return nil
+}
+
+func categoryName(c int) string {
+	names := []string{"protein", "water", "lipid", "ion", "ligand", "other"}
+	if c < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("cat%d", c)
+}
+
+func cmdExtract(a *core.ADA, args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	name := fs.String("name", "", "dataset name")
+	tag := fs.String("tag", core.TagProtein, "subset tag")
+	out := fs.String("out", "", "output file (raw frames)")
+	fs.Parse(args)
+	if *name == "" || *out == "" {
+		return fmt.Errorf("extract needs -name and -out")
+	}
+	sr, err := a.OpenSubset("/"+*name, *tag)
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	w := xtc.NewRawWriter(of)
+	frames := 0
+	for {
+		f, err := sr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := w.WriteFrame(f); err != nil {
+			return err
+		}
+		frames++
+	}
+	fmt.Printf("extracted %d frames (%d atoms each, tag %s) to %s\n",
+		frames, sr.Ranges.Count(), *tag, *out)
+	return nil
+}

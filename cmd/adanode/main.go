@@ -1,0 +1,53 @@
+// Command adanode runs one storage node: it exposes a host directory over
+// the TCP storage protocol so a remote ADA instance can use it as a
+// container-store backend.
+//
+// Usage:
+//
+//	adanode -listen :7020 -dir /data/ssd-node
+//
+// On the client side, connect the node as a backend:
+//
+//	fs, _ := ada.DialStorageNode("node1:7020")
+//	store, _ := ada.NewContainerStore(ada.Backend{Name: "ssd", FS: fs, Mount: "/"})
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/osfs"
+	"repro/internal/rpc"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7020", "TCP listen address")
+	dir := flag.String("dir", "adanode-data", "directory to serve")
+	quiet := flag.Bool("quiet", false, "disable request logging")
+	flag.Parse()
+
+	fsys, err := osfs.New(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "adanode: ", log.LstdFlags)
+	}
+	fmt.Printf("adanode serving %s on %s\n", fsys.Root(), ln.Addr())
+	if err := rpc.NewServer(fsys, logger).Serve(ln); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adanode:", err)
+	os.Exit(1)
+}

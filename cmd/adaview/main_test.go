@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xtc"
+)
+
+func testFrame() *xtc.Frame {
+	// A diagonal line of atoms plus a dense cluster in one corner.
+	f := &xtc.Frame{}
+	for i := 0; i < 20; i++ {
+		v := float32(i) / 4
+		f.Coords = append(f.Coords, xtc.Vec3{v, v, 0})
+	}
+	for i := 0; i < 30; i++ {
+		f.Coords = append(f.Coords, xtc.Vec3{0.1, 0.1, 0})
+	}
+	return f
+}
+
+func TestRenderShape(t *testing.T) {
+	out := Render(testFrame(), "z", 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	body := lines[:len(lines)-1] // last line is the caption
+	for i, l := range body {
+		if len(l) != 40 {
+			t.Errorf("line %d width = %d", i, len(l))
+		}
+	}
+	if !strings.Contains(out, "peak") {
+		t.Error("caption missing")
+	}
+	// The dense cluster must be the darkest shade, and some cells empty.
+	if !strings.Contains(out, "@") {
+		t.Error("densest cell not at peak shade")
+	}
+	if !strings.Contains(out, " ") {
+		t.Error("no empty cells")
+	}
+}
+
+func TestRenderAxes(t *testing.T) {
+	f := testFrame()
+	for _, axis := range []string{"x", "y", "z"} {
+		out := Render(f, axis, 30)
+		if len(out) == 0 {
+			t.Errorf("axis %s: empty render", axis)
+		}
+	}
+}
+
+func TestRenderEdgeCases(t *testing.T) {
+	if got := Render(&xtc.Frame{}, "z", 40); !strings.Contains(got, "empty") {
+		t.Errorf("empty frame render = %q", got)
+	}
+	// Single atom: degenerate bounding box must not divide by zero.
+	one := &xtc.Frame{Coords: []xtc.Vec3{{1, 1, 1}}}
+	if got := Render(one, "z", 2); got == "" {
+		t.Error("single-atom render empty")
+	}
+	// Collinear atoms along the horizontal axis (zero vertical span).
+	flat := &xtc.Frame{Coords: []xtc.Vec3{{0, 1, 0}, {1, 1, 0}, {2, 1, 0}}}
+	if got := Render(flat, "z", 20); got == "" {
+		t.Error("flat render empty")
+	}
+}

@@ -1,0 +1,75 @@
+// custom-schema demonstrates the paper's stated future direction: a
+// dynamic categorizing-and-labeling interface where the user describes the
+// structure of the raw data in a configuration file instead of relying on
+// the built-in protein/MISC split. Here a binding-site study keeps the
+// aromatic pocket residues and the ligand on fast storage as their own
+// tags, and everything else on bulk storage.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	ada "repro"
+	"repro/internal/core"
+)
+
+const schemaJSON = `{
+  "name": "cb1-binding-site",
+  "rules": [
+    {"tag": "pocket",  "residues": ["TRP", "PHE"]},
+    {"tag": "ligand",  "hetatm": true, "categories": ["ligand"]},
+    {"tag": "protein", "categories": ["protein"]},
+    {"tag": "solvent", "categories": ["water", "ion"]}
+  ],
+  "default_tag": "membrane",
+  "placement": {
+    "pocket": "ssd", "ligand": "ssd", "protein": "ssd",
+    "solvent": "hdd", "membrane": "hdd"
+  }
+}`
+
+func main() {
+	schema, err := core.ParseSchema([]byte(schemaJSON))
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := ada.NewContainerStore(
+		ada.Backend{Name: "ssd", FS: ada.NewMemFS(), Mount: "/mnt1"},
+		ada.Backend{Name: "hdd", FS: ada.NewMemFS(), Mount: "/mnt2"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acq := ada.New(store, nil, ada.Options{Schema: schema})
+
+	pdbBytes, xtcBytes, err := ada.GenerateTrajectory(ada.ScaledSystem(30), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := acq.Ingest("/study.xtc", pdbBytes, bytes.NewReader(xtcBytes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := acq.Manifest("/study.xtc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schema %q categorized %d atoms into %d tags:\n",
+		schema.Name, rep.NAtoms, len(m.Subsets))
+	for _, tag := range m.Tags() {
+		s := m.Subsets[tag]
+		fmt.Printf("  %-8s %6d atoms %9d bytes  on %-4s\n", tag, s.NAtoms, s.Bytes, s.Backend)
+	}
+
+	// The study only ever touches the pocket: a few percent of the data.
+	sub, err := acq.OpenSubset("/study.xtc", "pocket")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	fmt.Printf("\npocket subset: %d atoms in ranges %s — %.1f%% of the raw bytes\n",
+		sub.Info.NAtoms, sub.Info.Ranges,
+		100*float64(sub.Info.Bytes)/float64(rep.Raw))
+}

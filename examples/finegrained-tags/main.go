@@ -1,0 +1,77 @@
+// finegrained-tags demonstrates the Section 4.1 extension: with
+// fine-grained categorization, a biologist can pull any single component of
+// the system — `mol addfile bar.xtc tag water` — and ADA serves exactly
+// that subset from wherever its tag was placed.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	ada "repro"
+)
+
+func main() {
+	store, err := ada.NewContainerStore(
+		ada.Backend{Name: "ssd", FS: ada.NewMemFS(), Mount: "/mnt1"},
+		ada.Backend{Name: "hdd", FS: ada.NewMemFS(), Mount: "/mnt2"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Fine granularity: one tag per residue category.
+	acq := ada.New(store, nil, ada.Options{Granularity: ada.Fine})
+
+	pdbBytes, xtcBytes, err := ada.GenerateTrajectory(ada.ScaledSystem(30), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := acq.Ingest("/bar.xtc", pdbBytes, bytes.NewReader(xtcBytes)); err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := acq.Manifest("/bar.xtc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d atoms categorized into %d tags\n",
+		m.Logical, m.NAtoms, len(m.Subsets))
+	for _, tag := range m.Tags() {
+		s := m.Subsets[tag]
+		fmt.Printf("  %-8s %7d atoms  %9d bytes  on %-4s (%s)\n",
+			tag, s.NAtoms, s.Bytes, s.Backend, s.Ranges)
+	}
+
+	// View only the solvent: the lipid bilayer and the protein never move.
+	fmt.Println("\n$ mol addfile /mnt/bar.xtc tag water")
+	sub, err := acq.OpenSubset("/bar.xtc", "water")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	frames, minZ, maxZ := 0, float32(1e9), float32(-1e9)
+	for {
+		f, err := sub.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		frames++
+		for _, c := range f.Coords {
+			if c[2] < minZ {
+				minZ = c[2]
+			}
+			if c[2] > maxZ {
+				maxZ = c[2]
+			}
+		}
+	}
+	fmt.Printf("streamed %d frames of %d water atoms; z spans %.2f..%.2f nm\n",
+		frames, sub.Info.NAtoms, minZ, maxZ)
+	fmt.Println("(note the membrane slab gap around the box middle — the water")
+	fmt.Println(" grid excludes the bilayer region, visible without loading lipids)")
+}

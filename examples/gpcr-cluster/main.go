@@ -1,0 +1,57 @@
+// gpcr-cluster reproduces the Section 4.2 workflow on the nine-node hybrid
+// cluster model: stage a GPCR dataset, then run the four evaluation
+// scenarios (C-PVFS, D-PVFS, D-ADA(all), D-ADA(protein)) through the live
+// pipeline and compare their retrieval times, turnaround times, and memory
+// footprints.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ada "repro"
+	"repro/internal/bench"
+	"repro/internal/gpcr"
+)
+
+func main() {
+	platform, err := ada.NewSmallCluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("platform:", platform)
+	for _, kv := range platform.Params {
+		fmt.Printf("  %-24s %s\n", kv[0], kv[1])
+	}
+
+	// Stage a 1/10-scale system with 400 frames: small enough to run the
+	// real codec end to end, big enough that transfer dominates seeks.
+	ds, err := platform.Stage("gpcr", gpcr.Scaled(10), 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstaged %d frames of %d atoms (%d protein): %d B compressed, %d B raw\n\n",
+		ds.Frames, ds.NAtoms, ds.ProteinAtoms, ds.Compressed, ds.Raw)
+
+	fmt.Printf("%-14s %12s %12s %12s %10s\n",
+		"scenario", "retrieval", "turnaround", "memory", "loaded")
+	var dBase, adaProt float64
+	for _, sc := range bench.Scenarios {
+		pt, err := bench.RunMeasured(platform, ds, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %10.4fs %10.4fs %10.2fMB %8.2fMB\n",
+			sc.Label(platform.TraditionalName),
+			pt.RetrievalSec, pt.Turnaround,
+			float64(pt.MemoryPeak)/1e6, float64(pt.LoadedBytes)/1e6)
+		switch sc {
+		case bench.DBase:
+			dBase = pt.Turnaround
+		case bench.ADAProtein:
+			adaProt = pt.Turnaround
+		}
+	}
+	fmt.Printf("\nD-PVFS / D-ADA(protein) turnaround: %.1fx (paper: ~9x at 6,256 full-scale frames)\n",
+		dBase/adaProt)
+}

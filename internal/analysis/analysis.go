@@ -1,0 +1,159 @@
+// Package analysis provides the trajectory analysis kernels a VMD user
+// runs on the active data once it reaches the compute node: center of
+// mass, radius of gyration, root-mean-square deviation, and mean squared
+// displacement. These are the "sophisticated operations" the paper argues
+// compute-node CPUs should spend their time on instead of decompression.
+//
+// All kernels treat atoms as unit-mass points (the repository's synthetic
+// systems carry no masses), and operate on the repository's common frame
+// type in nanometers.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xtc"
+)
+
+// CenterOfMass returns the unweighted centroid of the coordinates.
+func CenterOfMass(coords []xtc.Vec3) xtc.Vec3 {
+	if len(coords) == 0 {
+		return xtc.Vec3{}
+	}
+	var sum [3]float64
+	for _, c := range coords {
+		for d := 0; d < 3; d++ {
+			sum[d] += float64(c[d])
+		}
+	}
+	n := float64(len(coords))
+	return xtc.Vec3{float32(sum[0] / n), float32(sum[1] / n), float32(sum[2] / n)}
+}
+
+// RadiusOfGyration returns sqrt(mean squared distance from the centroid),
+// the compactness measure biologists watch for unfolding events.
+func RadiusOfGyration(coords []xtc.Vec3) float64 {
+	if len(coords) == 0 {
+		return 0
+	}
+	com := CenterOfMass(coords)
+	var sum float64
+	for _, c := range coords {
+		for d := 0; d < 3; d++ {
+			dd := float64(c[d] - com[d])
+			sum += dd * dd
+		}
+	}
+	return math.Sqrt(sum / float64(len(coords)))
+}
+
+// RMSD returns the root-mean-square deviation between two conformations of
+// the same atom set, without superposition (coordinates are compared in
+// the fixed simulation frame).
+func RMSD(a, b []xtc.Vec3) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("analysis: RMSD over %d vs %d atoms", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range a {
+		for d := 0; d < 3; d++ {
+			dd := float64(a[i][d] - b[i][d])
+			sum += dd * dd
+		}
+	}
+	return math.Sqrt(sum / float64(len(a))), nil
+}
+
+// AlignedRMSD returns the RMSD after removing the translational offset
+// between the two conformations (centroids superposed; no rotation fit).
+func AlignedRMSD(a, b []xtc.Vec3) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("analysis: AlignedRMSD over %d vs %d atoms", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	ca, cb := CenterOfMass(a), CenterOfMass(b)
+	var sum float64
+	for i := range a {
+		for d := 0; d < 3; d++ {
+			dd := float64((a[i][d] - ca[d]) - (b[i][d] - cb[d]))
+			sum += dd * dd
+		}
+	}
+	return math.Sqrt(sum / float64(len(a))), nil
+}
+
+// BoundingBox returns the axis-aligned min and max corners.
+func BoundingBox(coords []xtc.Vec3) (lo, hi xtc.Vec3) {
+	if len(coords) == 0 {
+		return
+	}
+	lo, hi = coords[0], coords[0]
+	for _, c := range coords[1:] {
+		for d := 0; d < 3; d++ {
+			if c[d] < lo[d] {
+				lo[d] = c[d]
+			}
+			if c[d] > hi[d] {
+				hi[d] = c[d]
+			}
+		}
+	}
+	return lo, hi
+}
+
+// TrajectoryStats accumulates per-frame series over a trajectory.
+type TrajectoryStats struct {
+	Frames int
+	RGyr   []float64 // radius of gyration per frame
+	RMSD   []float64 // RMSD vs the first frame (translation-aligned)
+	MSD    []float64 // mean squared displacement vs the first frame
+	first  []xtc.Vec3
+}
+
+// Add folds one frame into the series.
+func (ts *TrajectoryStats) Add(f *xtc.Frame) error {
+	if ts.first == nil {
+		ts.first = append([]xtc.Vec3(nil), f.Coords...)
+	}
+	if len(f.Coords) != len(ts.first) {
+		return fmt.Errorf("analysis: frame %d has %d atoms, first had %d",
+			ts.Frames, len(f.Coords), len(ts.first))
+	}
+	ts.RGyr = append(ts.RGyr, RadiusOfGyration(f.Coords))
+	r, err := AlignedRMSD(ts.first, f.Coords)
+	if err != nil {
+		return err
+	}
+	ts.RMSD = append(ts.RMSD, r)
+	var msd float64
+	for i := range f.Coords {
+		for d := 0; d < 3; d++ {
+			dd := float64(f.Coords[i][d] - ts.first[i][d])
+			msd += dd * dd
+		}
+	}
+	if n := len(f.Coords); n > 0 {
+		msd /= float64(n)
+	}
+	ts.MSD = append(ts.MSD, msd)
+	ts.Frames++
+	return nil
+}
+
+// Mean returns the arithmetic mean of a series.
+func Mean(series []float64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range series {
+		sum += v
+	}
+	return sum / float64(len(series))
+}

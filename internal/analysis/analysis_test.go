@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xtc"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCenterOfMass(t *testing.T) {
+	coords := []xtc.Vec3{{0, 0, 0}, {2, 0, 0}, {0, 2, 0}, {2, 2, 0}}
+	com := CenterOfMass(coords)
+	if com != (xtc.Vec3{1, 1, 0}) {
+		t.Errorf("COM = %v", com)
+	}
+	if CenterOfMass(nil) != (xtc.Vec3{}) {
+		t.Error("empty COM should be zero")
+	}
+}
+
+func TestRadiusOfGyration(t *testing.T) {
+	// Two points 2 apart: each 1 from the centroid -> rgyr = 1.
+	coords := []xtc.Vec3{{-1, 0, 0}, {1, 0, 0}}
+	if got := RadiusOfGyration(coords); !almostEq(got, 1, 1e-9) {
+		t.Errorf("RGyr = %v", got)
+	}
+	if RadiusOfGyration(nil) != 0 {
+		t.Error("empty RGyr should be 0")
+	}
+	// Scaling coordinates scales rgyr linearly.
+	doubled := []xtc.Vec3{{-2, 0, 0}, {2, 0, 0}}
+	if got := RadiusOfGyration(doubled); !almostEq(got, 2, 1e-9) {
+		t.Errorf("scaled RGyr = %v", got)
+	}
+}
+
+func TestRMSD(t *testing.T) {
+	a := []xtc.Vec3{{0, 0, 0}, {1, 1, 1}}
+	b := []xtc.Vec3{{1, 0, 0}, {2, 1, 1}} // uniform +1 in x
+	got, err := RMSD(a, b)
+	if err != nil || !almostEq(got, 1, 1e-9) {
+		t.Errorf("RMSD = %v, %v", got, err)
+	}
+	// Translation-aligned RMSD of a pure translation is zero.
+	ar, err := AlignedRMSD(a, b)
+	if err != nil || !almostEq(ar, 0, 1e-6) {
+		t.Errorf("AlignedRMSD = %v, %v", ar, err)
+	}
+	if _, err := RMSD(a, b[:1]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := AlignedRMSD(a, b[:1]); err == nil {
+		t.Error("aligned length mismatch should fail")
+	}
+	z, err := RMSD(nil, nil)
+	if err != nil || z != 0 {
+		t.Errorf("empty RMSD = %v, %v", z, err)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	coords := []xtc.Vec3{{1, 5, -2}, {-3, 2, 7}, {0, 0, 0}}
+	lo, hi := BoundingBox(coords)
+	if lo != (xtc.Vec3{-3, 0, -2}) || hi != (xtc.Vec3{1, 5, 7}) {
+		t.Errorf("bbox = %v..%v", lo, hi)
+	}
+}
+
+func TestTrajectoryStats(t *testing.T) {
+	var ts TrajectoryStats
+	base := []xtc.Vec3{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}
+	f0 := &xtc.Frame{Coords: base}
+	if err := ts.Add(f0); err != nil {
+		t.Fatal(err)
+	}
+	// Second frame: everything shifted by (1,0,0): MSD=1, aligned RMSD=0.
+	shifted := make([]xtc.Vec3, len(base))
+	for i, c := range base {
+		shifted[i] = xtc.Vec3{c[0] + 1, c[1], c[2]}
+	}
+	if err := ts.Add(&xtc.Frame{Coords: shifted}); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Frames != 2 {
+		t.Errorf("frames = %d", ts.Frames)
+	}
+	if !almostEq(ts.MSD[0], 0, 1e-9) || !almostEq(ts.MSD[1], 1, 1e-6) {
+		t.Errorf("MSD = %v", ts.MSD)
+	}
+	if !almostEq(ts.RMSD[1], 0, 1e-6) {
+		t.Errorf("aligned RMSD of translation = %v", ts.RMSD[1])
+	}
+	if !almostEq(ts.RGyr[0], ts.RGyr[1], 1e-6) {
+		t.Errorf("rgyr changed under translation: %v", ts.RGyr)
+	}
+	// Mismatched frame.
+	if err := ts.Add(&xtc.Frame{Coords: base[:2]}); err == nil {
+		t.Error("atom-count change should fail")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); !almostEq(got, 2, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+// Invariants under rigid translation, checked property-style.
+func TestQuickTranslationInvariance(t *testing.T) {
+	f := func(seed int64, n uint8, dx, dy, dz int16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		natoms := int(n)%50 + 2
+		a := make([]xtc.Vec3, natoms)
+		b := make([]xtc.Vec3, natoms)
+		shift := xtc.Vec3{float32(dx) / 100, float32(dy) / 100, float32(dz) / 100}
+		for i := range a {
+			for d := 0; d < 3; d++ {
+				a[i][d] = float32(rng.Float64()*10 - 5)
+				b[i][d] = a[i][d] + shift[d]
+			}
+		}
+		rg1, rg2 := RadiusOfGyration(a), RadiusOfGyration(b)
+		ar, err := AlignedRMSD(a, b)
+		if err != nil {
+			return false
+		}
+		return almostEq(rg1, rg2, 1e-3) && almostEq(ar, 0, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

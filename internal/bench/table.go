@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one reproduced table or figure, rendered as rows of text.
+type Table struct {
+	ID      string // "table1", "fig7b", ...
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // expectations from the paper, caveats, calibration
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Formatting helpers shared by the experiment runners.
+
+// fmtMB renders bytes as megabytes.
+func fmtMB(n int64) string { return fmt.Sprintf("%.0f", float64(n)/1e6) }
+
+// fmtGB renders bytes as gigabytes with one decimal.
+func fmtGB(n int64) string { return fmt.Sprintf("%.1f", float64(n)/1e9) }
+
+// fmtSec renders seconds adaptively.
+func fmtSec(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}
+
+// fmtMin renders seconds as minutes.
+func fmtMin(s float64) string { return fmt.Sprintf("%.1f", s/60) }
+
+// killedCell marks an OOM-killed point the way Fig 10 does.
+func killedCell(v string) string { return v + "*" }

@@ -1,0 +1,484 @@
+// Package blockfs implements a local file system over a simulated block
+// device — the stand-in for the ext4 and XFS file systems in the paper's
+// evaluation. File data lives in fixed-size blocks handed out by a real
+// extent allocator, and every read and write charges modeled device time
+// (seek + bandwidth) to the experiment's virtual clock.
+package blockfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// BlockSize is the allocation unit.
+const BlockSize = 64 * 1024
+
+// ErrNoSpace is returned when the device is full.
+var ErrNoSpace = errors.New("blockfs: no space left on device")
+
+// extent is a run of consecutive blocks [Start, Start+Count).
+type extent struct {
+	Start, Count int64
+}
+
+// allocator hands out block extents first-fit from a sorted free list.
+type allocator struct {
+	free   []extent // sorted by Start, non-adjacent
+	blocks int64    // total blocks on the device
+}
+
+func newAllocator(blocks int64) *allocator {
+	return &allocator{free: []extent{{0, blocks}}, blocks: blocks}
+}
+
+// alloc returns up to want blocks as a single extent (first fit, possibly
+// shorter than want). It returns a zero extent when the device is full.
+func (a *allocator) alloc(want int64) extent {
+	for i := range a.free {
+		e := &a.free[i]
+		if e.Count == 0 {
+			continue
+		}
+		got := want
+		if got > e.Count {
+			got = e.Count
+		}
+		out := extent{e.Start, got}
+		e.Start += got
+		e.Count -= got
+		if e.Count == 0 {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		}
+		return out
+	}
+	return extent{}
+}
+
+// release returns an extent to the free list, coalescing neighbors.
+func (a *allocator) release(e extent) {
+	if e.Count == 0 {
+		return
+	}
+	i := sort.Search(len(a.free), func(k int) bool { return a.free[k].Start >= e.Start })
+	a.free = append(a.free[:i], append([]extent{e}, a.free[i:]...)...)
+	// Coalesce around i.
+	merged := a.free[:0]
+	for _, f := range a.free {
+		if n := len(merged); n > 0 && merged[n-1].Start+merged[n-1].Count == f.Start {
+			merged[n-1].Count += f.Count
+		} else {
+			merged = append(merged, f)
+		}
+	}
+	a.free = merged
+}
+
+// freeBlocks returns the number of unallocated blocks.
+func (a *allocator) freeBlocks() int64 {
+	var n int64
+	for _, e := range a.free {
+		n += e.Count
+	}
+	return n
+}
+
+// Stats reports cumulative I/O activity on the file system.
+type Stats struct {
+	BytesRead    int64
+	BytesWritten int64
+	ReadOps      int64
+	WriteOps     int64
+}
+
+// FS is a device-timed local file system.
+type FS struct {
+	mu     sync.Mutex
+	label  string
+	dev    device.Device
+	env    *sim.Env
+	alloc  *allocator
+	blocks map[int64][]byte // lazily materialized block payloads
+	nodes  map[string]*inode
+	stats  Stats
+}
+
+type inode struct {
+	isDir   bool
+	size    int64
+	extents []extent
+}
+
+var _ vfs.FS = (*FS)(nil)
+
+// New returns a file system labelled label (used in profile bucket names)
+// over the given device model, charging time to env. A nil env disables
+// time accounting (useful in unit tests of pure FS behavior).
+func New(label string, dev device.Device, env *sim.Env) *FS {
+	blocks := dev.Capacity / BlockSize
+	if blocks <= 0 {
+		panic(fmt.Sprintf("blockfs: device %q capacity %d too small", dev.Name, dev.Capacity))
+	}
+	return &FS{
+		label:  label,
+		dev:    dev,
+		env:    env,
+		alloc:  newAllocator(blocks),
+		blocks: map[int64][]byte{},
+		nodes:  map[string]*inode{"/": {isDir: true}},
+	}
+}
+
+// Label returns the file system's display label.
+func (s *FS) Label() string { return s.label }
+
+// Device returns the underlying device model.
+func (s *FS) Device() device.Device { return s.dev }
+
+// StatsSnapshot returns cumulative I/O counters.
+func (s *FS) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// FreeBytes returns the remaining capacity.
+func (s *FS) FreeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alloc.freeBlocks() * BlockSize
+}
+
+func (s *FS) chargeRead(n int64, ops int) {
+	s.stats.BytesRead += n
+	s.stats.ReadOps += int64(ops)
+	if s.env != nil {
+		s.env.Charge("io.read."+s.label, s.dev.ReadTime(n, ops))
+	}
+}
+
+func (s *FS) chargeWrite(n int64, ops int) {
+	s.stats.BytesWritten += n
+	s.stats.WriteOps += int64(ops)
+	if s.env != nil {
+		s.env.Charge("io.write."+s.label, s.dev.WriteTime(n, ops))
+	}
+}
+
+// Create implements vfs.FS.
+func (s *FS) Create(name string) (vfs.File, error) {
+	name = vfs.Clean(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := path.Dir(name)
+	dn, ok := s.nodes[dir]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", vfs.ErrNotExist, dir)
+	}
+	if !dn.isDir {
+		return nil, fmt.Errorf("%w: %s", vfs.ErrNotDir, dir)
+	}
+	if n, ok := s.nodes[name]; ok {
+		if n.isDir {
+			return nil, fmt.Errorf("%w: %s", vfs.ErrIsDir, name)
+		}
+		s.truncateLocked(n)
+	}
+	n := &inode{}
+	s.nodes[name] = n
+	return &file{fs: s, name: name, node: n, writable: true, lastReadEnd: -1, lastWriteEnd: -1}, nil
+}
+
+func (s *FS) truncateLocked(n *inode) {
+	for _, e := range n.extents {
+		s.alloc.release(e)
+		for b := e.Start; b < e.Start+e.Count; b++ {
+			delete(s.blocks, b)
+		}
+	}
+	n.extents = nil
+	n.size = 0
+}
+
+// Open implements vfs.FS.
+func (s *FS) Open(name string) (vfs.File, error) {
+	name = vfs.Clean(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", vfs.ErrNotExist, name)
+	}
+	if n.isDir {
+		return nil, fmt.Errorf("%w: %s", vfs.ErrIsDir, name)
+	}
+	return &file{fs: s, name: name, node: n, lastReadEnd: -1, lastWriteEnd: -1}, nil
+}
+
+// Stat implements vfs.FS.
+func (s *FS) Stat(name string) (vfs.FileInfo, error) {
+	name = vfs.Clean(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[name]
+	if !ok {
+		return vfs.FileInfo{}, fmt.Errorf("%w: %s", vfs.ErrNotExist, name)
+	}
+	return vfs.FileInfo{Name: path.Base(name), Size: n.size, IsDir: n.isDir}, nil
+}
+
+// ReadDir implements vfs.FS.
+func (s *FS) ReadDir(name string) ([]vfs.FileInfo, error) {
+	name = vfs.Clean(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", vfs.ErrNotExist, name)
+	}
+	if !n.isDir {
+		return nil, fmt.Errorf("%w: %s", vfs.ErrNotDir, name)
+	}
+	prefix := name
+	if prefix != "/" {
+		prefix += "/"
+	}
+	var out []vfs.FileInfo
+	for p, node := range s.nodes {
+		if p == name || !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := p[len(prefix):]
+		if strings.Contains(rest, "/") {
+			continue
+		}
+		out = append(out, vfs.FileInfo{Name: rest, Size: node.size, IsDir: node.isDir})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// MkdirAll implements vfs.FS.
+func (s *FS) MkdirAll(name string) error {
+	name = vfs.Clean(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	segs := strings.Split(strings.TrimPrefix(name, "/"), "/")
+	cur := ""
+	for _, seg := range segs {
+		if seg == "" {
+			continue
+		}
+		cur += "/" + seg
+		if n, ok := s.nodes[cur]; ok {
+			if !n.isDir {
+				return fmt.Errorf("%w: %s", vfs.ErrNotDir, cur)
+			}
+			continue
+		}
+		s.nodes[cur] = &inode{isDir: true}
+	}
+	return nil
+}
+
+// Remove implements vfs.FS.
+func (s *FS) Remove(name string) error {
+	name = vfs.Clean(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, name)
+	}
+	if n.isDir {
+		prefix := name + "/"
+		for p := range s.nodes {
+			if strings.HasPrefix(p, prefix) {
+				return fmt.Errorf("blockfs: directory %s not empty", name)
+			}
+		}
+	} else {
+		s.truncateLocked(n)
+	}
+	delete(s.nodes, name)
+	return nil
+}
+
+// file is an open handle.
+type file struct {
+	fs       *FS
+	name     string
+	node     *inode
+	off      int64
+	writable bool
+	closed   bool
+	// lastReadEnd/lastWriteEnd track sequential access: a read or write
+	// continuing exactly where the previous one ended does not pay another
+	// positioning charge (the device head / NAND pipeline is already there).
+	lastReadEnd  int64
+	lastWriteEnd int64
+}
+
+// seqOps returns the op count to charge for an access at off: zero when it
+// continues exactly where the previous access ended, one otherwise.
+func seqOps(off, lastEnd int64) int {
+	if off == lastEnd {
+		return 0
+	}
+	return 1
+}
+
+func (f *file) Name() string { return f.name }
+
+func (f *file) Size() int64 {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return f.node.size
+}
+
+// blockAt maps a byte offset to (device block, offset within block), or
+// ok=false when the offset is beyond the allocated extents.
+func (f *file) blockAt(off int64) (blk int64, inBlk int64, ok bool) {
+	idx := off / BlockSize
+	for _, e := range f.node.extents {
+		if idx < e.Count {
+			return e.Start + idx, off % BlockSize, true
+		}
+		idx -= e.Count
+	}
+	return 0, 0, false
+}
+
+func (f *file) readAtLocked(p []byte, off int64) (int, error) {
+	if off >= f.node.size {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(p) && off < f.node.size {
+		blk, in, ok := f.blockAt(off)
+		if !ok {
+			return n, fmt.Errorf("blockfs: %s: offset %d beyond extents", f.name, off)
+		}
+		limit := BlockSize - in
+		if rem := f.node.size - off; rem < limit {
+			limit = rem
+		}
+		if rem := int64(len(p) - n); rem < limit {
+			limit = rem
+		}
+		payload := f.fs.blocks[blk]
+		for i := int64(0); i < limit; i++ {
+			if payload == nil {
+				p[n+int(i)] = 0
+			} else {
+				p[n+int(i)] = payload[in+i]
+			}
+		}
+		n += int(limit)
+		off += limit
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *file) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	start := f.off
+	n, err := f.readAtLocked(p, f.off)
+	f.off += int64(n)
+	if n > 0 {
+		f.fs.chargeRead(int64(n), seqOps(start, f.lastReadEnd))
+		f.lastReadEnd = start + int64(n)
+	}
+	return n, err
+}
+
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("blockfs: negative offset %d", off)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	n, err := f.readAtLocked(p, off)
+	if n > 0 {
+		f.fs.chargeRead(int64(n), seqOps(off, f.lastReadEnd))
+		f.lastReadEnd = off + int64(n)
+	}
+	return n, err
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	if !f.writable {
+		return 0, fmt.Errorf("blockfs: %s opened read-only", f.name)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	end := f.off + int64(len(p))
+	// Grow extents to cover [0, end).
+	have := int64(0)
+	for _, e := range f.node.extents {
+		have += e.Count * BlockSize
+	}
+	for have < end {
+		need := (end - have + BlockSize - 1) / BlockSize
+		e := f.fs.alloc.alloc(need)
+		if e.Count == 0 {
+			return 0, fmt.Errorf("%w (%s: need %d blocks)", ErrNoSpace, f.fs.label, need)
+		}
+		f.node.extents = append(f.node.extents, e)
+		have += e.Count * BlockSize
+	}
+	// Copy payload block by block.
+	n := 0
+	off := f.off
+	for n < len(p) {
+		blk, in, ok := f.blockAt(off)
+		if !ok {
+			return n, fmt.Errorf("blockfs: %s: lost extent at offset %d", f.name, off)
+		}
+		payload := f.fs.blocks[blk]
+		if payload == nil {
+			payload = make([]byte, BlockSize)
+			f.fs.blocks[blk] = payload
+		}
+		c := copy(payload[in:], p[n:])
+		n += c
+		off += int64(c)
+	}
+	start := f.off
+	f.off = end
+	if end > f.node.size {
+		f.node.size = end
+	}
+	f.fs.chargeWrite(int64(len(p)), seqOps(start, f.lastWriteEnd))
+	f.lastWriteEnd = end
+	return len(p), nil
+}
+
+func (f *file) Close() error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}

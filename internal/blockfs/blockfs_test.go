@@ -1,0 +1,243 @@
+package blockfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func smallDev() device.Device {
+	return device.Device{
+		Name:     "test-dev",
+		ReadBW:   100 * device.MB,
+		WriteBW:  50 * device.MB,
+		SeekSec:  0.001,
+		Capacity: 64 * device.MB,
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New("t", smallDev(), nil)
+	data := bytes.Repeat([]byte("blockfs!"), 40000) // 320 KB, spans blocks
+	if err := vfs.WriteFile(fs, "/traj.xtc", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(fs, "/traj.xtc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(data))
+	}
+	info, err := fs.Stat("/traj.xtc")
+	if err != nil || info.Size != int64(len(data)) {
+		t.Errorf("Stat = %+v, %v", info, err)
+	}
+}
+
+func TestTimeCharging(t *testing.T) {
+	env := sim.NewEnv()
+	fs := New("ssd", smallDev(), env)
+	data := make([]byte, 10*device.MB)
+	if err := vfs.WriteFile(fs, "/f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Write: 1 seek + 10MB / 50MBps = 0.201s
+	wantW := 0.001 + 10.0/50
+	if got := env.Profile.Get("io.write.ssd"); math.Abs(got-wantW) > 1e-9 {
+		t.Errorf("write charge = %v, want %v", got, wantW)
+	}
+	if _, err := vfs.ReadFile(fs, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	// Read happens in one io.ReadFull call: 1 seek + 10MB / 100MBps.
+	wantR := 0.001 + 10.0/100
+	if got := env.Profile.Get("io.read.ssd"); math.Abs(got-wantR) > 1e-9 {
+		t.Errorf("read charge = %v, want %v", got, wantR)
+	}
+	if math.Abs(env.Clock.Now()-(wantW+wantR)) > 1e-9 {
+		t.Errorf("clock = %v", env.Clock.Now())
+	}
+	st := fs.StatsSnapshot()
+	if st.BytesWritten != int64(len(data)) || st.BytesRead != int64(len(data)) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	dev := smallDev()
+	dev.Capacity = 3 * BlockSize
+	fs := New("tiny", dev, nil)
+	f, err := fs.Create("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, 2*BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 2*BlockSize)); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestSpaceReclaimedOnRemove(t *testing.T) {
+	dev := smallDev()
+	dev.Capacity = 4 * BlockSize
+	fs := New("tiny", dev, nil)
+	for i := 0; i < 5; i++ {
+		if err := vfs.WriteFile(fs, "/f", make([]byte, 3*BlockSize)); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if err := fs.Remove("/f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if free := fs.FreeBytes(); free != 4*BlockSize {
+		t.Errorf("FreeBytes = %d, want %d", free, 4*BlockSize)
+	}
+}
+
+func TestCreateTruncatesAndReclaims(t *testing.T) {
+	dev := smallDev()
+	dev.Capacity = 4 * BlockSize
+	fs := New("tiny", dev, nil)
+	for i := 0; i < 5; i++ {
+		if err := vfs.WriteFile(fs, "/f", make([]byte, 3*BlockSize)); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	got, err := vfs.ReadFile(fs, "/f")
+	if err != nil || len(got) != 3*BlockSize {
+		t.Errorf("read %d bytes, %v", len(got), err)
+	}
+}
+
+func TestAllocatorCoalescing(t *testing.T) {
+	a := newAllocator(100)
+	e1 := a.alloc(30)
+	e2 := a.alloc(30)
+	e3 := a.alloc(40)
+	if a.freeBlocks() != 0 {
+		t.Fatalf("free = %d", a.freeBlocks())
+	}
+	// Release middle, then neighbors; must coalesce back to one extent.
+	a.release(e2)
+	a.release(e1)
+	a.release(e3)
+	if len(a.free) != 1 || a.free[0] != (extent{0, 100}) {
+		t.Errorf("free list = %+v", a.free)
+	}
+}
+
+func TestAllocatorFirstFitFragmentation(t *testing.T) {
+	a := newAllocator(10)
+	e1 := a.alloc(4)
+	_ = a.alloc(2)
+	a.release(e1) // hole [0,4)
+	got := a.alloc(6)
+	// First fit grabs the hole even though it is short.
+	if got != (extent{0, 4}) {
+		t.Errorf("alloc = %+v, want the leading hole", got)
+	}
+}
+
+func TestDirectoryOps(t *testing.T) {
+	fs := New("t", smallDev(), nil)
+	if err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/a/b/c/x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir("/a/b")
+	if err != nil || len(entries) != 1 || entries[0].Name != "c" || !entries[0].IsDir {
+		t.Errorf("entries = %+v, %v", entries, err)
+	}
+	if err := fs.Remove("/a/b"); err == nil {
+		t.Error("removing non-empty dir should fail")
+	}
+	if _, err := fs.Create("/missing/file"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("create without parent: %v", err)
+	}
+}
+
+func TestReadAtAcrossExtents(t *testing.T) {
+	fs := New("t", smallDev(), nil)
+	data := make([]byte, 3*BlockSize+17)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := vfs.WriteFile(fs, "/f", data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 100)
+	off := int64(BlockSize - 50) // straddles a block boundary
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if buf[i] != data[off+int64(i)] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	if _, err := f.ReadAt(buf, int64(len(data)+5)); err != io.EOF {
+		t.Errorf("past-end ReadAt: %v", err)
+	}
+}
+
+func TestQuickAgainstMemFS(t *testing.T) {
+	// blockfs must behave identically to the in-memory reference FS for
+	// random write/read workloads.
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bfs := New("q", smallDev(), nil)
+		mfs := vfs.NewMemFS()
+		names := []string{"/a", "/b", "/c"}
+		for op := 0; op < int(nOps)%24+1; op++ {
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(3) {
+			case 0: // write
+				data := make([]byte, rng.Intn(3*BlockSize))
+				rng.Read(data)
+				e1 := vfs.WriteFile(bfs, name, data)
+				e2 := vfs.WriteFile(mfs, name, data)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			case 1: // read + compare
+				b1, e1 := vfs.ReadFile(bfs, name)
+				b2, e2 := vfs.ReadFile(mfs, name)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+				if e1 == nil && !bytes.Equal(b1, b2) {
+					return false
+				}
+			case 2: // remove
+				e1 := bfs.Remove(name)
+				e2 := mfs.Remove(name)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"strings"
+
+	"repro/internal/pdb"
+	"repro/internal/plfs"
+	"repro/internal/rangelist"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/xtc"
+)
+
+// Container dropping names.
+const (
+	droppingPDB      = "structure.pdb"
+	droppingLabels   = "labels.json"
+	droppingManifest = "manifest.json"
+	subsetPrefix     = "subset."
+	indexPrefix      = "index."
+)
+
+// ErrUnknownTag is returned for a tag the dataset was not ingested with.
+var ErrUnknownTag = errors.New("core: unknown tag")
+
+// Placement maps tags to backend names. Tags without an entry fall back to
+// the default backend (the last configured one, by convention the cheaper
+// bulk store).
+type Placement map[string]string
+
+// DefaultPlacement is the paper's policy: the active "p"/"protein" subsets
+// on the first backend (SSD-backed), everything else on the last (HDD).
+func DefaultPlacement(backends []string) Placement {
+	if len(backends) == 0 {
+		return Placement{}
+	}
+	fast, slow := backends[0], backends[len(backends)-1]
+	return Placement{
+		TagProtein: fast,
+		"protein":  fast,
+		"ligand":   fast,
+		TagMisc:    slow,
+		"water":    slow,
+		"lipid":    slow,
+		"ion":      slow,
+		"other":    slow,
+	}
+}
+
+// Options configures an ADA instance.
+type Options struct {
+	Granularity Granularity
+	Placement   Placement // nil = DefaultPlacement over the container backends
+	Cost        StorageCost
+	// Schema, when set, replaces the built-in categorizer with the
+	// user-described one (the paper's "dynamic data categorizing and
+	// labeling interface"). Schema placement entries override Placement.
+	Schema *Schema
+}
+
+// ADA is one middleware instance bound to a PLFS-style container store.
+type ADA struct {
+	containers *plfs.FS
+	env        *sim.Env
+	opts       Options
+	defaultBE  string
+}
+
+// New returns an ADA instance. env may be nil to disable time accounting.
+func New(containers *plfs.FS, env *sim.Env, opts Options) *ADA {
+	backends := containers.Backends()
+	if opts.Placement == nil {
+		opts.Placement = DefaultPlacement(backends)
+	}
+	if opts.Cost == (StorageCost{}) {
+		opts.Cost = DefaultStorageCost()
+	}
+	return &ADA{
+		containers: containers,
+		env:        env,
+		opts:       opts,
+		defaultBE:  backends[len(backends)-1],
+	}
+}
+
+// Granularity returns the configured categorizer granularity.
+func (a *ADA) Granularity() Granularity { return a.opts.Granularity }
+
+// WithSchema returns a copy of the instance using the given user-defined
+// categorization schema for subsequent ingests.
+func (a *ADA) WithSchema(s *Schema) *ADA {
+	b := *a
+	b.opts.Schema = s
+	return &b
+}
+
+// IsTargetFile reports whether ADA traps the file: the prototype targets
+// VMD's trajectory and structure files; everything else passes through
+// untouched (Section 3.4).
+func (a *ADA) IsTargetFile(name string) bool {
+	switch strings.ToLower(path.Ext(name)) {
+	case ".xtc", ".pdb":
+		return true
+	}
+	return false
+}
+
+func (a *ADA) chargeCPU(bucket string, sec float64) {
+	if a.env != nil && sec > 0 {
+		a.env.Charge("storage.cpu."+bucket, sec)
+	}
+}
+
+func (a *ADA) backendFor(tag string) string {
+	if a.opts.Schema != nil {
+		if be, ok := a.opts.Schema.Placement[tag]; ok {
+			return be
+		}
+	}
+	if be, ok := a.opts.Placement[tag]; ok {
+		return be
+	}
+	return a.defaultBE
+}
+
+// IngestReport summarizes one ingest.
+type IngestReport struct {
+	Logical    string
+	Frames     int
+	NAtoms     int
+	Compressed int64            // bytes of compressed input consumed
+	Raw        int64            // bytes after decompression
+	Subsets    map[string]int64 // tag -> stored subset bytes
+	Elapsed    float64          // virtual seconds spent in ingest
+}
+
+// Ingest runs the full ADA write path for one dataset: parse the structure
+// file, build labels (Algorithm 1), decompress the trajectory frame by
+// frame, split every frame into tagged subsets, and dispatch each subset to
+// the backend its tag maps to. The structure file, label file, per-subset
+// frame indexes, and manifest are stored in the same container.
+func (a *ADA) Ingest(logical string, pdbData []byte, traj io.Reader) (*IngestReport, error) {
+	var start float64
+	if a.env != nil {
+		start = a.env.Clock.Now()
+	}
+	st, err := a.prepareIngest(logical, pdbData)
+	if err != nil {
+		return nil, err
+	}
+
+	// Decompress + categorize, one frame at a time (the storage node never
+	// holds more than a frame, which is what keeps ADA light-weight).
+	in := &countingReader{r: traj}
+	reader := xtc.NewReader(in)
+	for {
+		before := in.n
+		frame, err := reader.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			st.closeAll()
+			return nil, fmt.Errorf("core: ingest %s frame %d: %w", logical, st.report.Frames, err)
+		}
+		frameCompressed := in.n - before
+		a.chargeCPU("decompress", a.opts.Cost.decompressTime(frameCompressed))
+		a.chargeCPU("categorize", a.opts.Cost.categorizeTime(xtc.RawFrameSize(frame.NAtoms())))
+		if err := st.writeFrame(frame, frameCompressed); err != nil {
+			st.closeAll()
+			return nil, err
+		}
+	}
+	st.closeAll()
+	return st.finish(start)
+}
+
+// subsetWriter owns one tagged dropping during an ingest.
+type subsetWriter struct {
+	tag     string
+	backend string
+	file    vfs.File
+	w       *xtc.Writer
+	indices []int
+	natoms  int
+	ib      xtc.IndexBuilder
+}
+
+// writeFrame splits one full frame into this subset and appends it.
+func (sw *subsetWriter) writeFrame(frame *xtc.Frame) error {
+	sub, err := frame.Subset(sw.indices)
+	if err != nil {
+		return err
+	}
+	before := sw.w.BytesWritten()
+	if err := sw.w.WriteFrame(sub); err != nil {
+		return fmt.Errorf("core: subset %s: %w", sw.tag, err)
+	}
+	sw.ib.Add(sw.w.BytesWritten()-before, sub.NAtoms())
+	return nil
+}
+
+// ingestState carries one ingest's shared context between the prepare,
+// frame-loop, and finish phases (serial and parallel paths share it).
+type ingestState struct {
+	a               *ADA
+	logical         string
+	pdbData         []byte
+	structure       *pdb.Structure
+	labels          *LabelSet
+	tagRanges       map[string]*rangelist.List
+	granularityName string
+	writers         []*subsetWriter
+	report          *IngestReport
+}
+
+// prepareIngest runs the structure analysis and creates the container and
+// subset droppings.
+func (a *ADA) prepareIngest(logical string, pdbData []byte) (*ingestState, error) {
+	// Data pre-processor, step 1: analyze the structure file.
+	a.chargeCPU("pdbparse", a.opts.Cost.parseTime(int64(len(pdbData))))
+	structure, err := pdb.Parse(strings.NewReader(string(pdbData)))
+	if err != nil {
+		return nil, fmt.Errorf("core: ingest %s: %w", logical, err)
+	}
+	if structure.NAtoms() == 0 {
+		return nil, fmt.Errorf("core: ingest %s: structure file has no atoms", logical)
+	}
+	st := &ingestState{
+		a:         a,
+		logical:   logical,
+		pdbData:   pdbData,
+		structure: structure,
+		labels:    BuildLabels(structure),
+		report: &IngestReport{
+			Logical: logical,
+			NAtoms:  structure.NAtoms(),
+			Subsets: map[string]int64{},
+		},
+	}
+	st.granularityName = a.opts.Granularity.String()
+	if a.opts.Schema != nil {
+		st.tagRanges = a.opts.Schema.TagRanges(structure)
+		st.granularityName = "schema:" + a.opts.Schema.Name
+	} else {
+		st.tagRanges = st.labels.TagRanges(a.opts.Granularity)
+	}
+
+	// I/O determinator: create the container and the subset droppings.
+	if err := a.containers.CreateContainer(logical); err != nil {
+		return nil, err
+	}
+	for _, tag := range sortedTags(st.tagRanges) {
+		ranges := st.tagRanges[tag]
+		be := a.backendFor(tag)
+		f, err := a.containers.CreateDropping(logical, subsetPrefix+tag, be)
+		if err != nil {
+			st.closeAll()
+			return nil, fmt.Errorf("core: ingest %s: %w", logical, err)
+		}
+		st.writers = append(st.writers, &subsetWriter{
+			tag:     tag,
+			backend: be,
+			file:    f,
+			w:       xtc.NewRawWriter(f),
+			indices: ranges.Indices(),
+			natoms:  ranges.Count(),
+		})
+	}
+	return st, nil
+}
+
+func (st *ingestState) closeAll() {
+	for _, sw := range st.writers {
+		sw.file.Close()
+	}
+}
+
+// writeFrame validates one decoded frame, accounts it, and appends it to
+// every subset.
+func (st *ingestState) writeFrame(frame *xtc.Frame, compressedBytes int64) error {
+	if frame.NAtoms() != st.structure.NAtoms() {
+		return fmt.Errorf("core: ingest %s frame %d has %d atoms, structure has %d",
+			st.logical, st.report.Frames, frame.NAtoms(), st.structure.NAtoms())
+	}
+	st.report.Compressed += compressedBytes
+	st.report.Raw += xtc.RawFrameSize(frame.NAtoms())
+	for _, sw := range st.writers {
+		if err := sw.writeFrame(frame); err != nil {
+			return fmt.Errorf("core: ingest %s: %w", st.logical, err)
+		}
+	}
+	st.report.Frames++
+	return nil
+}
+
+// finish persists indexes, structure, labels, and manifest, and stamps the
+// report.
+func (st *ingestState) finish(start float64) (*IngestReport, error) {
+	a := st.a
+	// Persist each subset's frame index next to its dropping, enabling
+	// random-access playback without a scan.
+	for _, sw := range st.writers {
+		if err := a.writeDropping(st.logical, indexPrefix+sw.tag, sw.backend,
+			sw.ib.Index().Marshal()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Persist structure, labels, manifest.
+	if err := a.writeDropping(st.logical, droppingPDB, a.backendFor(TagProtein), st.pdbData); err != nil {
+		return nil, err
+	}
+	labelBytes, err := st.labels.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.writeDropping(st.logical, droppingLabels, a.backendFor(TagProtein), labelBytes); err != nil {
+		return nil, err
+	}
+
+	manifest := &Manifest{
+		Logical:     st.logical,
+		Granularity: st.granularityName,
+		NAtoms:      st.structure.NAtoms(),
+		Frames:      st.report.Frames,
+		Compressed:  st.report.Compressed,
+		Raw:         st.report.Raw,
+		Subsets:     map[string]Subset{},
+		Placement:   map[string]string{},
+	}
+	for _, sw := range st.writers {
+		st.report.Subsets[sw.tag] = sw.w.BytesWritten()
+		manifest.Subsets[sw.tag] = Subset{
+			Tag:     sw.tag,
+			NAtoms:  sw.natoms,
+			Bytes:   sw.w.BytesWritten(),
+			Backend: sw.backend,
+			Ranges:  st.tagRanges[sw.tag].String(),
+		}
+		manifest.Placement[sw.tag] = sw.backend
+	}
+	manifestBytes, err := manifest.marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.writeDropping(st.logical, droppingManifest, a.backendFor(TagProtein), manifestBytes); err != nil {
+		return nil, err
+	}
+	if a.env != nil {
+		st.report.Elapsed = a.env.Clock.Now() - start
+	}
+	return st.report, nil
+}
+
+func (a *ADA) writeDropping(logical, name, backend string, data []byte) error {
+	f, err := a.containers.CreateDropping(logical, name, backend)
+	if err != nil {
+		return fmt.Errorf("core: write %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("core: write %s: %w", name, err)
+	}
+	return f.Close()
+}
+
+func sortedTags(m map[string]*rangelist.List) []string {
+	tags := make([]string, 0, len(m))
+	for t := range m {
+		tags = append(tags, t)
+	}
+	// Small fixed set; insertion sort keeps this dependency-free.
+	for i := 1; i < len(tags); i++ {
+		for j := i; j > 0 && tags[j] < tags[j-1]; j-- {
+			tags[j], tags[j-1] = tags[j-1], tags[j]
+		}
+	}
+	return tags
+}
+
+// Datasets lists every ingested dataset's logical name.
+func (a *ADA) Datasets() ([]string, error) {
+	return a.containers.ListContainers()
+}
+
+// Remove deletes an ingested dataset: every subset dropping, index,
+// structure, label file, and manifest.
+func (a *ADA) Remove(logical string) error {
+	return a.containers.RemoveContainer(logical)
+}
+
+// Manifest loads a dataset's manifest (the indexer's query path: tags are
+// resolved to dataset paths through it).
+func (a *ADA) Manifest(logical string) (*Manifest, error) {
+	data, err := a.readDropping(logical, droppingManifest)
+	if err != nil {
+		return nil, err
+	}
+	return unmarshalManifest(data)
+}
+
+// Labels loads a dataset's label set.
+func (a *ADA) Labels(logical string) (*LabelSet, error) {
+	data, err := a.readDropping(logical, droppingLabels)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalLabels(data)
+}
+
+// StructureBytes returns the stored .pdb file.
+func (a *ADA) StructureBytes(logical string) ([]byte, error) {
+	return a.readDropping(logical, droppingPDB)
+}
+
+func (a *ADA) readDropping(logical, name string) ([]byte, error) {
+	f, err := a.containers.OpenDropping(logical, name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := io.ReadFull(f, buf); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("core: read %s/%s: %w", logical, name, err)
+	}
+	return buf, nil
+}
+
+// countingReader counts bytes consumed from the wrapped reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

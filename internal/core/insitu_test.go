@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+)
+
+func TestIngestWithStats(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 5)
+	env := sim.NewEnv()
+	a, _, _ := newADA(t, env, Options{})
+	rep, err := a.IngestWithStats("/ds", pdbBytes, NewXTCTrajectory(bytes.NewReader(traj)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 5 {
+		t.Fatalf("frames = %d", rep.Frames)
+	}
+	// The in-situ pass is charged to the storage node.
+	if env.Profile.Get("storage.cpu.insitu") <= 0 {
+		t.Error("in-situ analysis not charged")
+	}
+
+	for _, tag := range []string{TagProtein, TagMisc} {
+		s, err := a.Stats("/ds", tag)
+		if err != nil {
+			t.Fatalf("stats %s: %v", tag, err)
+		}
+		if s.Frames != 5 || len(s.RGyr) != 5 || len(s.RMSD) != 5 || len(s.MSD) != 5 {
+			t.Errorf("%s stats = %+v", tag, s)
+		}
+		if s.RMSD[0] != 0 || s.MSD[0] != 0 {
+			t.Errorf("%s frame-0 deviations nonzero: %+v", tag, s)
+		}
+		if s.MeanRG <= 0 {
+			t.Errorf("%s mean rgyr = %v", tag, s.MeanRG)
+		}
+	}
+
+	// Stored stats agree with recomputing from the stored subset frames.
+	sr, err := a.OpenSubset("/ds", TagProtein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	var ts analysis.TrajectoryStats
+	for {
+		f, err := sr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ts.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stored, err := a.Stats("/ds", TagProtein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(stored.RGyr[i]-ts.RGyr[i]) > 1e-9 {
+			t.Fatalf("frame %d rgyr: stored %v vs recomputed %v", i, stored.RGyr[i], ts.RGyr[i])
+		}
+	}
+
+	// Subsets remain readable exactly as with plain Ingest.
+	var frames int
+	sr2, err := a.OpenSubsetAt("/ds", TagMisc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr2.Close()
+	frames = sr2.Frames()
+	if frames != 5 {
+		t.Errorf("misc subset frames = %d", frames)
+	}
+}
+
+func TestStatsMissing(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 300, 1)
+	a, _, _ := newADA(t, nil, Options{})
+	if _, err := a.Ingest("/plain", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Stats("/plain", TagProtein); err == nil {
+		t.Error("plain ingest should have no stats dropping")
+	}
+}
+
+func TestIngestWithStatsErrorPropagates(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 300, 2)
+	a, _, _ := newADA(t, nil, Options{})
+	if _, err := a.IngestWithStats("/x", pdbBytes,
+		NewXTCTrajectory(bytes.NewReader(traj[:len(traj)-5]))); err == nil {
+		t.Error("truncated stream should fail")
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pdb"
+)
+
+// mkStructure builds a structure whose atom categories follow the given
+// sequence of (category, count) blocks.
+func mkStructure(blocks ...interface{}) *pdb.Structure {
+	s := &pdb.Structure{}
+	for i := 0; i < len(blocks); i += 2 {
+		cat := blocks[i].(pdb.Category)
+		n := blocks[i+1].(int)
+		for j := 0; j < n; j++ {
+			s.Atoms = append(s.Atoms, pdb.Atom{Name: "X", ResName: "XXX", Category: cat})
+		}
+	}
+	return s
+}
+
+func TestBuildLabelsBlocks(t *testing.T) {
+	s := mkStructure(pdb.Protein, 10, pdb.Water, 5, pdb.Protein, 3, pdb.Ion, 2)
+	ls := BuildLabels(s)
+	if ls.NAtoms != 20 {
+		t.Fatalf("NAtoms = %d", ls.NAtoms)
+	}
+	if got := ls.CategoryRanges(pdb.Protein).String(); got != "0-10,15-18" {
+		t.Errorf("protein ranges = %s", got)
+	}
+	if got := ls.CategoryRanges(pdb.Water).String(); got != "10-15" {
+		t.Errorf("water ranges = %s", got)
+	}
+	if got := ls.CategoryRanges(pdb.Ion).String(); got != "18-20" {
+		t.Errorf("ion ranges = %s", got)
+	}
+	if got := ls.CategoryRanges(pdb.Lipid).Count(); got != 0 {
+		t.Errorf("lipid count = %d", got)
+	}
+}
+
+func TestBuildLabelsEmpty(t *testing.T) {
+	ls := BuildLabels(&pdb.Structure{})
+	if ls.NAtoms != 0 {
+		t.Errorf("NAtoms = %d", ls.NAtoms)
+	}
+	for c := range ls.ByCategory {
+		if ls.ByCategory[c].Count() != 0 {
+			t.Errorf("category %d not empty", c)
+		}
+	}
+}
+
+func TestBuildLabelsSingleCategory(t *testing.T) {
+	ls := BuildLabels(mkStructure(pdb.Water, 7))
+	if got := ls.CategoryRanges(pdb.Water).String(); got != "0-7" {
+		t.Errorf("water = %s", got)
+	}
+}
+
+func TestTagRangesCoarse(t *testing.T) {
+	s := mkStructure(pdb.Protein, 4, pdb.Water, 3, pdb.Protein, 2, pdb.Ligand, 1)
+	tr := BuildLabels(s).TagRanges(Coarse)
+	if len(tr) != 2 {
+		t.Fatalf("tags = %v", tr)
+	}
+	if got := tr[TagProtein].String(); got != "0-4,7-9" {
+		t.Errorf("p = %s", got)
+	}
+	// MISC = complement: water block + ligand.
+	if got := tr[TagMisc].String(); got != "4-7,9-10" {
+		t.Errorf("m = %s", got)
+	}
+}
+
+func TestTagRangesCoarseNoProtein(t *testing.T) {
+	tr := BuildLabels(mkStructure(pdb.Water, 5)).TagRanges(Coarse)
+	if _, ok := tr[TagProtein]; ok {
+		t.Error("no protein tag expected")
+	}
+	if got := tr[TagMisc].Count(); got != 5 {
+		t.Errorf("m count = %d", got)
+	}
+}
+
+func TestTagRangesFine(t *testing.T) {
+	s := mkStructure(pdb.Protein, 2, pdb.Water, 2, pdb.Lipid, 2, pdb.Ion, 2, pdb.Ligand, 2)
+	tr := BuildLabels(s).TagRanges(Fine)
+	want := map[string]int{"protein": 2, "water": 2, "lipid": 2, "ion": 2, "ligand": 2}
+	if len(tr) != len(want) {
+		t.Fatalf("tags = %v", tr)
+	}
+	for tag, n := range want {
+		if tr[tag] == nil || tr[tag].Count() != n {
+			t.Errorf("tag %s = %v", tag, tr[tag])
+		}
+	}
+}
+
+func TestTagsSorted(t *testing.T) {
+	s := mkStructure(pdb.Water, 1, pdb.Protein, 1, pdb.Ion, 1)
+	got := BuildLabels(s).Tags(Fine)
+	want := []string{"ion", "protein", "water"}
+	if len(got) != len(want) {
+		t.Fatalf("Tags = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Tags = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLabelsMarshalRoundTrip(t *testing.T) {
+	s := mkStructure(pdb.Protein, 100, pdb.Water, 50, pdb.Protein, 25, pdb.Lipid, 10)
+	ls := BuildLabels(s)
+	data, err := ls.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalLabels(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NAtoms != ls.NAtoms {
+		t.Errorf("NAtoms = %d", got.NAtoms)
+	}
+	for c := range ls.ByCategory {
+		if !got.ByCategory[c].Equal(ls.ByCategory[c]) {
+			t.Errorf("category %d: %s != %s", c, got.ByCategory[c], ls.ByCategory[c])
+		}
+	}
+}
+
+func TestUnmarshalLabelsErrors(t *testing.T) {
+	bad := []string{
+		"not json",
+		`{"natoms": 5, "ranges": {"bogus": "0-5"}}`,
+		`{"natoms": 5, "ranges": {"protein": "x-y"}}`,
+		`{"natoms": 99, "ranges": {"protein": "0-5"}}`, // coverage mismatch
+	}
+	for _, s := range bad {
+		if _, err := UnmarshalLabels([]byte(s)); err == nil {
+			t.Errorf("UnmarshalLabels(%q) should fail", s)
+		}
+	}
+}
+
+// TestQuickLabelsPartition checks the fundamental labeler invariant: at
+// either granularity, tags partition [0, natoms) exactly.
+func TestQuickLabelsPartition(t *testing.T) {
+	f := func(seed int64, nBlocks uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &pdb.Structure{}
+		for b := 0; b < int(nBlocks)%12+1; b++ {
+			cat := pdb.Category(rng.Intn(pdb.NumCategories))
+			for j := 0; j < rng.Intn(20)+1; j++ {
+				s.Atoms = append(s.Atoms, pdb.Atom{Category: cat})
+			}
+		}
+		ls := BuildLabels(s)
+		for _, g := range []Granularity{Coarse, Fine} {
+			covered := make([]int, s.NAtoms())
+			for _, l := range ls.TagRanges(g) {
+				l.Each(func(i int) bool {
+					covered[i]++
+					return true
+				})
+			}
+			for _, c := range covered {
+				if c != 1 {
+					return false
+				}
+			}
+		}
+		// Fine ranges must agree with per-atom categories.
+		for tag, l := range ls.TagRanges(Fine) {
+			ok := true
+			l.Each(func(i int) bool {
+				if s.Atoms[i].Category.String() != tag {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if Coarse.String() != "coarse" || Fine.String() != "fine" {
+		t.Errorf("strings = %s, %s", Coarse, Fine)
+	}
+}

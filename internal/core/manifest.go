@@ -1,0 +1,58 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Manifest records what ADA knows about an ingested dataset; it is stored
+// as a container dropping next to the label file so that any later ADA
+// instance (or the indexer on a query) can resolve tag reads without
+// re-analyzing anything.
+type Manifest struct {
+	Logical     string            `json:"logical"`
+	Granularity string            `json:"granularity"`
+	NAtoms      int               `json:"natoms"`
+	Frames      int               `json:"frames"`
+	Compressed  int64             `json:"compressed_bytes"` // ingested .xtc size
+	Raw         int64             `json:"raw_bytes"`        // decompressed size
+	Subsets     map[string]Subset `json:"subsets"`          // tag -> subset info
+	Placement   map[string]string `json:"placement"`        // tag -> backend
+}
+
+// Subset describes one tagged data subset.
+type Subset struct {
+	Tag     string `json:"tag"`
+	NAtoms  int    `json:"natoms"`
+	Bytes   int64  `json:"bytes"`
+	Backend string `json:"backend"`
+	Ranges  string `json:"ranges"` // atom index ranges within the full system
+}
+
+// Tags returns the manifest's tags sorted by name.
+func (m *Manifest) Tags() []string {
+	tags := make([]string, 0, len(m.Subsets))
+	for t := range m.Subsets {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// marshal serializes the manifest.
+func (m *Manifest) marshal() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// unmarshalManifest parses a stored manifest.
+func unmarshalManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("core: parse manifest: %w", err)
+	}
+	if m.Subsets == nil {
+		m.Subsets = map[string]Subset{}
+	}
+	return &m, nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/xtc"
+)
+
+// frameMsg carries one decoded frame through the ingest pipeline.
+type frameMsg struct {
+	frame      *xtc.Frame
+	compressed int64
+	seq        int
+}
+
+// IngestParallel is Ingest with the storage node's cores pipelined: one
+// goroutine decompresses frames while one goroutine per tagged subset
+// splits and writes its dropping. Output is byte-identical to Ingest —
+// each subset still receives every frame in order — but the virtual wall
+// time of the CPU stages is the slowest stage rather than their sum,
+// modeling a multi-core storage node. Device I/O time is still charged as
+// the writes happen (the backends are shared).
+//
+// queue is the per-stage channel depth (<=0 selects a small default).
+func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, queue int) (*IngestReport, error) {
+	if queue <= 0 {
+		queue = 4
+	}
+	var start float64
+	if a.env != nil {
+		start = a.env.Clock.Now()
+	}
+	st, err := a.prepareIngest(logical, pdbData)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-stage virtual CPU accumulators (applied as one concurrent charge
+	// at the end: the pipeline's wall time is its slowest stage).
+	var decompressSec float64
+	categorizeSec := make([]float64, len(st.writers))
+
+	type result struct {
+		stage string
+		err   error
+	}
+	errs := make(chan result, len(st.writers)+1)
+	chans := make([]chan frameMsg, len(st.writers))
+	for i := range chans {
+		chans[i] = make(chan frameMsg, queue)
+	}
+	// abort closes once on the first failure so producers stop feeding.
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	fail := func(stage string, err error) {
+		errs <- result{stage, err}
+		abortOnce.Do(func() { close(abort) })
+	}
+
+	var wg sync.WaitGroup
+	// One splitter/writer per subset: consumes frames in order.
+	for i, sw := range st.writers {
+		wg.Add(1)
+		go func(i int, sw *subsetWriter) {
+			defer wg.Done()
+			for msg := range chans[i] {
+				if err := sw.writeFrame(msg.frame); err != nil {
+					fail(sw.tag, fmt.Errorf("core: ingest %s: %w", logical, err))
+					// Keep draining so the producer never blocks.
+					for range chans[i] {
+					}
+					return
+				}
+				categorizeSec[i] += a.opts.Cost.categorizeTime(xtc.RawFrameSize(sw.natoms))
+			}
+		}(i, sw)
+	}
+
+	// Decoder: decompress frames and fan them out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			for _, ch := range chans {
+				close(ch)
+			}
+		}()
+		in := &countingReader{r: traj}
+		reader := xtc.NewReader(in)
+		seq := 0
+		for {
+			before := in.n
+			frame, err := reader.ReadFrame()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				fail("decode", fmt.Errorf("core: ingest %s frame %d: %w", logical, seq, err))
+				return
+			}
+			if frame.NAtoms() != st.structure.NAtoms() {
+				fail("decode", fmt.Errorf("core: ingest %s frame %d has %d atoms, structure has %d",
+					logical, seq, frame.NAtoms(), st.structure.NAtoms()))
+				return
+			}
+			compressed := in.n - before
+			decompressSec += a.opts.Cost.decompressTime(compressed)
+			st.report.Compressed += compressed
+			st.report.Raw += xtc.RawFrameSize(frame.NAtoms())
+			msg := frameMsg{frame: frame, compressed: compressed, seq: seq}
+			for _, ch := range chans {
+				select {
+				case ch <- msg:
+				case <-abort:
+					return
+				}
+			}
+			seq++
+			st.report.Frames = seq
+		}
+	}()
+
+	wg.Wait()
+	st.closeAll()
+	close(errs)
+	for r := range errs {
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+
+	// Wall time = slowest CPU stage; every stage's work appears in the
+	// profile.
+	if a.env != nil {
+		worst := decompressSec
+		a.env.ChargeConcurrent("storage.cpu.decompress", decompressSec)
+		for i := range categorizeSec {
+			a.env.ChargeConcurrent("storage.cpu.categorize", categorizeSec[i])
+			if categorizeSec[i] > worst {
+				worst = categorizeSec[i]
+			}
+		}
+		a.env.Clock.Advance(worst)
+	}
+	return st.finish(start)
+}

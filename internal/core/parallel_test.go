@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/plfs"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func TestIngestParallelMatchesSerial(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 100, 6)
+
+	serial, serialSSD, serialHDD := newADA(t, nil, Options{Granularity: Fine})
+	srep, err := serial.Ingest("/ds", pdbBytes, bytes.NewReader(traj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, parSSD, parHDD := newADA(t, nil, Options{Granularity: Fine})
+	prep, err := par.IngestParallel("/ds", pdbBytes, bytes.NewReader(traj), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if prep.Frames != srep.Frames || prep.Compressed != srep.Compressed ||
+		prep.Raw != srep.Raw {
+		t.Errorf("reports differ: serial %+v parallel %+v", srep, prep)
+	}
+	if len(prep.Subsets) != len(srep.Subsets) {
+		t.Fatalf("subset sets differ: %v vs %v", prep.Subsets, srep.Subsets)
+	}
+	for tag, n := range srep.Subsets {
+		if prep.Subsets[tag] != n {
+			t.Errorf("subset %s: %d vs %d bytes", tag, prep.Subsets[tag], n)
+		}
+	}
+	// Byte-identical droppings on both backends.
+	for _, pair := range []struct{ a, b *vfs.MemFS }{{serialSSD, parSSD}, {serialHDD, parHDD}} {
+		err := vfs.Walk(pair.a, "/", func(path string, info vfs.FileInfo) error {
+			want, err := vfs.ReadFile(pair.a, path)
+			if err != nil {
+				return err
+			}
+			got, err := vfs.ReadFile(pair.b, path)
+			if err != nil {
+				t.Errorf("%s missing in parallel output: %v", path, err)
+				return nil
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s differs between serial and parallel ingest", path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIngestParallelPipelinedTimeIsMaxOfStages(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 100, 6)
+
+	envS := sim.NewEnv()
+	serial, _, _ := newADA(t, envS, Options{})
+	if _, err := serial.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+	envP := sim.NewEnv()
+	par, _, _ := newADA(t, envP, Options{})
+	if _, err := par.IngestParallel("/ds", pdbBytes, bytes.NewReader(traj), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same total CPU work appears in both profiles (within subset-header
+	// rounding on the categorize side) ...
+	sd := envS.Profile.Get("storage.cpu.decompress")
+	pd := envP.Profile.Get("storage.cpu.decompress")
+	if sd != pd {
+		t.Errorf("decompress charge: serial %v vs parallel %v", sd, pd)
+	}
+	// ... but the parallel clock advanced by less than the serial one:
+	// the stages overlap.
+	if envP.Clock.Now() >= envS.Clock.Now() {
+		t.Errorf("parallel ingest clock %.6f not faster than serial %.6f",
+			envP.Clock.Now(), envS.Clock.Now())
+	}
+}
+
+func TestIngestParallelErrors(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 3)
+	a, _, _ := newADA(t, nil, Options{})
+	// Truncated stream.
+	if _, err := a.IngestParallel("/x", pdbBytes, bytes.NewReader(traj[:len(traj)-7]), 2); err == nil {
+		t.Error("truncated trajectory should fail")
+	}
+	// Mismatched structure.
+	otherPDB, _, _ := testDataset(t, 400, 1)
+	b, _, _ := newADA(t, nil, Options{})
+	if _, err := b.IngestParallel("/y", otherPDB, bytes.NewReader(traj), 2); err == nil {
+		t.Error("atom mismatch should fail")
+	}
+	// Garbage structure file.
+	c, _, _ := newADA(t, nil, Options{})
+	if _, err := c.IngestParallel("/z", []byte("junk"), bytes.NewReader(traj), 2); err == nil {
+		t.Error("bad pdb should fail")
+	}
+}
+
+func TestIngestParallelSubsetReadable(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 100, 4)
+	ssd := vfs.NewMemFS()
+	hdd := vfs.NewMemFS()
+	containers, err := plfs.New(
+		plfs.Backend{Name: "ssd", FS: ssd, Mount: "/m1"},
+		plfs.Backend{Name: "hdd", FS: hdd, Mount: "/m2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(containers, nil, Options{})
+	if _, err := a.IngestParallel("/ds", pdbBytes, bytes.NewReader(traj), 3); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := a.OpenSubsetAt("/ds", TagProtein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.Frames() != 4 {
+		t.Errorf("frames = %d", sr.Frames())
+	}
+	f, err := sr.ReadFrameAt(3)
+	if err != nil || f.NAtoms() != sr.Ranges.Count() {
+		t.Errorf("frame = %v, %v", f, err)
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pdb"
+	"repro/internal/plfs"
+	"repro/internal/vfs"
+)
+
+const sampleSchema = `{
+  "name": "binding-site-study",
+  "rules": [
+    {"tag": "site", "residues": ["TRP", "PHE"]},
+    {"tag": "backbone", "categories": ["protein"]},
+    {"tag": "solvent", "categories": ["water", "ion"]},
+    {"tag": "hetero", "hetatm": true}
+  ],
+  "default_tag": "rest",
+  "placement": {"site": "ssd", "backbone": "ssd", "solvent": "hdd"}
+}`
+
+func TestParseSchema(t *testing.T) {
+	s, err := ParseSchema([]byte(sampleSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "binding-site-study" || len(s.Rules) != 4 || s.DefaultTag != "rest" {
+		t.Errorf("schema = %+v", s)
+	}
+	// Round trip.
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSchema(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"name": "x", "rules": [], "default_tag": "d"}`,
+		`{"name": "x", "rules": [{"tag": "a", "residues": ["X"]}]}`,                           // no default
+		`{"name": "x", "rules": [{"residues": ["X"]}], "default_tag": "d"}`,                   // no tag
+		`{"name": "x", "rules": [{"tag": "a"}], "default_tag": "d"}`,                          // matches nothing
+		`{"name": "x", "rules": [{"tag": "a/b", "residues": ["X"]}], "default_tag": "d"}`,     // bad tag
+		`{"name": "x", "rules": [{"tag": "a", "categories": ["bogus"]}], "default_tag": "d"}`, // bad category
+		`{"name": "x", "rules": [{"tag": "a", "residues": ["X"]}], "default_tag": "d",
+		  "placement": {"zzz": "ssd"}}`, // unknown placement tag
+	}
+	for _, s := range bad {
+		if _, err := ParseSchema([]byte(s)); err == nil {
+			t.Errorf("ParseSchema(%q) should fail", s)
+		}
+	}
+}
+
+func TestTagFor(t *testing.T) {
+	s, err := ParseSchema([]byte(sampleSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		atom pdb.Atom
+		want string
+	}{
+		{pdb.Atom{ResName: "TRP", Category: pdb.Protein}, "site"},
+		{pdb.Atom{ResName: "trp", Category: pdb.Protein}, "site"}, // case-insensitive
+		{pdb.Atom{ResName: "ALA", Category: pdb.Protein}, "backbone"},
+		{pdb.Atom{ResName: "SOL", Category: pdb.Water}, "solvent"},
+		{pdb.Atom{ResName: "SOD", Category: pdb.Ion, HetAtm: true}, "solvent"},
+		{pdb.Atom{ResName: "LIG", Category: pdb.Ligand, HetAtm: true}, "hetero"},
+		{pdb.Atom{ResName: "POPC", Category: pdb.Lipid}, "rest"},
+	}
+	for _, c := range cases {
+		if got := s.TagFor(c.atom); got != c.want {
+			t.Errorf("TagFor(%s) = %q, want %q", c.atom.ResName, got, c.want)
+		}
+	}
+}
+
+func TestRuleConjunction(t *testing.T) {
+	het := true
+	r := Rule{Tag: "x", Residues: []string{"LIG"}, HetAtm: &het, Elements: []string{"C"}}
+	if !r.matches(pdb.Atom{ResName: "LIG", HetAtm: true, Element: "C"}) {
+		t.Error("full match failed")
+	}
+	if r.matches(pdb.Atom{ResName: "LIG", HetAtm: false, Element: "C"}) {
+		t.Error("hetatm condition ignored")
+	}
+	if r.matches(pdb.Atom{ResName: "LIG", HetAtm: true, Element: "N"}) {
+		t.Error("element condition ignored")
+	}
+	pr := Rule{Tag: "y", Prefixes: []string{"PO"}}
+	if !pr.matches(pdb.Atom{ResName: "POPC"}) || pr.matches(pdb.Atom{ResName: "SOL"}) {
+		t.Error("prefix matching wrong")
+	}
+}
+
+func TestSchemaTagRangesPartition(t *testing.T) {
+	s, err := ParseSchema([]byte(sampleSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	structure := mkStructure(pdb.Protein, 5, pdb.Water, 3, pdb.Protein, 2, pdb.Lipid, 4)
+	// Give two protein atoms a "site" residue.
+	structure.Atoms[1].ResName = "TRP"
+	structure.Atoms[2].ResName = "TRP"
+	tr := s.TagRanges(structure)
+	covered := make([]int, structure.NAtoms())
+	for _, l := range tr {
+		l.Each(func(i int) bool { covered[i]++; return true })
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("atom %d covered %d times", i, c)
+		}
+	}
+	if got := tr["site"].String(); got != "1-3" {
+		t.Errorf("site ranges = %s", got)
+	}
+	if got := tr["rest"].String(); got != "10-14" {
+		t.Errorf("rest ranges = %s", got)
+	}
+}
+
+func TestIngestWithSchema(t *testing.T) {
+	schema, err := ParseSchema([]byte(sampleSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdbBytes, traj, _ := testDataset(t, 200, 2)
+	ssd := vfs.NewMemFS()
+	hdd := vfs.NewMemFS()
+	containers, err := plfs.New(
+		plfs.Backend{Name: "ssd", FS: ssd, Mount: "/m1"},
+		plfs.Backend{Name: "hdd", FS: hdd, Mount: "/m2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(containers, nil, Options{Schema: schema})
+	rep, err := a.Ingest("/ds", pdbBytes, bytes.NewReader(traj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The synthetic system contains TRP and PHE residues, so "site" exists.
+	for _, tag := range []string{"site", "backbone", "solvent"} {
+		if rep.Subsets[tag] == 0 {
+			t.Errorf("subset %q missing or empty: %v", tag, rep.Subsets)
+		}
+	}
+	m, err := a.Manifest("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Granularity != "schema:binding-site-study" {
+		t.Errorf("granularity = %q", m.Granularity)
+	}
+	if m.Subsets["site"].Backend != "ssd" || m.Subsets["solvent"].Backend != "hdd" {
+		t.Errorf("placement = %+v", m.Placement)
+	}
+	// "rest" (lipids) has no placement entry: defaults to the last backend.
+	if m.Subsets["rest"].Backend != "hdd" {
+		t.Errorf("rest backend = %q", m.Subsets["rest"].Backend)
+	}
+	// Subsets are readable by their schema tags.
+	sr, err := a.OpenSubset("/ds", "site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	f, err := sr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NAtoms() != sr.Ranges.Count() || f.NAtoms() == 0 {
+		t.Errorf("site frame atoms = %d", f.NAtoms())
+	}
+	// Total subset atoms must partition the system.
+	total := 0
+	for _, s := range m.Subsets {
+		total += s.NAtoms
+	}
+	if total != m.NAtoms {
+		t.Errorf("subsets cover %d of %d atoms", total, m.NAtoms)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dcd"
+	"repro/internal/trr"
+	"repro/internal/xtc"
+)
+
+// TrajectoryReader abstracts the trajectory format an ingest consumes. Each
+// call returns the decoded frame and the encoded bytes it consumed;
+// Compressed reports whether decoding pays decompression CPU (XTC does,
+// DCD does not — its records are raw floats).
+type TrajectoryReader interface {
+	ReadFrame() (*xtc.Frame, int64, error)
+	Compressed() bool
+}
+
+// xtcTrajectory adapts an XTC stream.
+type xtcTrajectory struct {
+	in *countingReader
+	r  *xtc.Reader
+}
+
+// NewXTCTrajectory wraps a compressed (or raw) XTC stream for ingest.
+func NewXTCTrajectory(r io.Reader) TrajectoryReader {
+	in := &countingReader{r: r}
+	return &xtcTrajectory{in: in, r: xtc.NewReader(in)}
+}
+
+func (t *xtcTrajectory) ReadFrame() (*xtc.Frame, int64, error) {
+	before := t.in.n
+	f, err := t.r.ReadFrame()
+	return f, t.in.n - before, err
+}
+
+func (t *xtcTrajectory) Compressed() bool { return true }
+
+// dcdTrajectory adapts a DCD stream.
+type dcdTrajectory struct {
+	r    *dcd.Reader
+	last int64
+}
+
+// NewDCDTrajectory wraps a DCD stream for ingest.
+func NewDCDTrajectory(r io.Reader) (TrajectoryReader, error) {
+	d, err := dcd.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &dcdTrajectory{r: d, last: d.BytesConsumed()}, nil
+}
+
+func (t *dcdTrajectory) ReadFrame() (*xtc.Frame, int64, error) {
+	f, err := t.r.ReadFrame()
+	consumed := t.r.BytesConsumed() - t.last
+	t.last = t.r.BytesConsumed()
+	return f, consumed, err
+}
+
+func (t *dcdTrajectory) Compressed() bool { return false }
+
+// trrTrajectory adapts a GROMACS TRR stream (full precision, uncompressed;
+// velocities and forces are dropped — ADA serves the visualization path).
+type trrTrajectory struct {
+	r    *trr.Reader
+	last int64
+}
+
+// NewTRRTrajectory wraps a TRR stream for ingest.
+func NewTRRTrajectory(r io.Reader) TrajectoryReader {
+	return &trrTrajectory{r: trr.NewReader(r)}
+}
+
+func (t *trrTrajectory) ReadFrame() (*xtc.Frame, int64, error) {
+	f, err := t.r.ReadFrame()
+	consumed := t.r.BytesConsumed() - t.last
+	t.last = t.r.BytesConsumed()
+	if err != nil {
+		return nil, consumed, err
+	}
+	return f.ToXTC(), consumed, nil
+}
+
+func (t *trrTrajectory) Compressed() bool { return false }
+
+// IngestTrajectory is Ingest for any supported trajectory format.
+func (a *ADA) IngestTrajectory(logical string, pdbData []byte, tr TrajectoryReader) (*IngestReport, error) {
+	var start float64
+	if a.env != nil {
+		start = a.env.Clock.Now()
+	}
+	st, err := a.prepareIngest(logical, pdbData)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		frame, consumed, err := tr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			st.closeAll()
+			return nil, fmt.Errorf("core: ingest %s frame %d: %w", logical, st.report.Frames, err)
+		}
+		if tr.Compressed() {
+			a.chargeCPU("decompress", a.opts.Cost.decompressTime(consumed))
+		}
+		a.chargeCPU("categorize", a.opts.Cost.categorizeTime(xtc.RawFrameSize(frame.NAtoms())))
+		if err := st.writeFrame(frame, consumed); err != nil {
+			st.closeAll()
+			return nil, err
+		}
+	}
+	st.closeAll()
+	return st.finish(start)
+}

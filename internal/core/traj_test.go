@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/dcd"
+	"repro/internal/sim"
+	"repro/internal/trr"
+	"repro/internal/xtc"
+)
+
+// dcdDataset converts the XTC test dataset into a DCD stream.
+func dcdDataset(t *testing.T, traj []byte) []byte {
+	t.Helper()
+	frames, err := xtc.NewReader(bytes.NewReader(traj)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := dcd.NewWriter(&buf, dcd.Header{NFrames: len(frames), HasUnitCell: true, DeltaPS: 10})
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestIngestTrajectoryDCD(t *testing.T) {
+	pdbBytes, traj, sys := testDataset(t, 200, 3)
+	dcdBytes := dcdDataset(t, traj)
+
+	env := sim.NewEnv()
+	a, _, _ := newADA(t, env, Options{})
+	tr, err := NewDCDTrajectory(bytes.NewReader(dcdBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.IngestTrajectory("/ds.dcd", pdbBytes, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 3 || rep.NAtoms != sys.Structure.NAtoms() {
+		t.Errorf("report = %+v", rep)
+	}
+	// DCD is uncompressed: no decompression charged.
+	if env.Profile.Get("storage.cpu.decompress") != 0 {
+		t.Error("DCD ingest charged decompression")
+	}
+	if env.Profile.Get("storage.cpu.categorize") <= 0 {
+		t.Error("categorize not charged")
+	}
+
+	// Subsets are identical (within quantization) to the XTC ingest.
+	b, _, _ := newADA(t, nil, Options{})
+	if _, err := b.Ingest("/ds.xtc", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+	srA, err := a.OpenSubset("/ds.dcd", TagProtein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srA.Close()
+	srB, err := b.OpenSubset("/ds.xtc", TagProtein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srB.Close()
+	tol := 2*xtc.MaxError(xtc.DefaultPrecision) + 1e-4
+	for {
+		fa, errA := srA.ReadFrame()
+		fb, errB := srB.ReadFrame()
+		if errA == io.EOF || errB == io.EOF {
+			if errA != errB {
+				t.Fatalf("frame counts differ: %v vs %v", errA, errB)
+			}
+			break
+		}
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		for i := range fa.Coords {
+			for d := 0; d < 3; d++ {
+				if diff := math.Abs(float64(fa.Coords[i][d] - fb.Coords[i][d])); diff > tol {
+					t.Fatalf("atom %d dim %d: diff %g", i, d, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestIngestTrajectoryXTCAdapterMatchesIngest(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 2)
+	a, _, _ := newADA(t, nil, Options{})
+	repA, err := a.IngestTrajectory("/a", pdbBytes, NewXTCTrajectory(bytes.NewReader(traj)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _ := newADA(t, nil, Options{})
+	repB, err := b.Ingest("/b", pdbBytes, bytes.NewReader(traj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.Compressed != repB.Compressed || repA.Raw != repB.Raw || repA.Frames != repB.Frames {
+		t.Errorf("reports differ: %+v vs %+v", repA, repB)
+	}
+}
+
+func TestIngestTrajectoryTRR(t *testing.T) {
+	pdbBytes, traj, sys := testDataset(t, 200, 3)
+	frames, err := xtc.NewReader(bytes.NewReader(traj)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := trr.NewWriter(&buf)
+	for _, f := range frames {
+		if err := w.WriteFrame(trr.FromXTC(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	env := sim.NewEnv()
+	a, _, _ := newADA(t, env, Options{})
+	rep, err := a.IngestTrajectory("/ds.trr", pdbBytes, NewTRRTrajectory(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 3 || rep.NAtoms != sys.Structure.NAtoms() {
+		t.Errorf("report = %+v", rep)
+	}
+	if env.Profile.Get("storage.cpu.decompress") != 0 {
+		t.Error("TRR ingest charged decompression")
+	}
+	sr, err := a.OpenSubset("/ds.trr", TagProtein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	f, err := sr.ReadFrame()
+	if err != nil || f.NAtoms() != sr.Ranges.Count() {
+		t.Errorf("subset frame: %v, %v", f, err)
+	}
+	// TRR is lossless: the subset coordinates match the decoded originals
+	// exactly (they were stored raw, no re-quantization).
+	idx := sr.Ranges.Indices()
+	for j, atom := range idx {
+		if f.Coords[j] != frames[0].Coords[atom] {
+			t.Fatalf("atom %d differs", atom)
+		}
+	}
+}
+
+func TestNewDCDTrajectoryBadStream(t *testing.T) {
+	if _, err := NewDCDTrajectory(bytes.NewReader([]byte("not a dcd"))); err == nil {
+		t.Error("garbage stream should fail")
+	}
+}

@@ -1,0 +1,196 @@
+package dcd
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/xtc"
+)
+
+func makeFrames(n, natoms int, seed int64) []*xtc.Frame {
+	rng := rand.New(rand.NewSource(seed))
+	frames := make([]*xtc.Frame, n)
+	for k := range frames {
+		f := &xtc.Frame{Coords: make([]xtc.Vec3, natoms)}
+		f.Box[0], f.Box[4], f.Box[8] = 8, 8, 8
+		for i := range f.Coords {
+			for d := 0; d < 3; d++ {
+				f.Coords[i][d] = float32(rng.Float64() * 8)
+			}
+		}
+		frames[k] = f
+	}
+	return frames
+}
+
+func roundTrip(t *testing.T, frames []*xtc.Frame, hdr Header) ([]*xtc.Frame, Header) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, hdr)
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, r.Header()
+}
+
+func TestRoundTrip(t *testing.T) {
+	frames := makeFrames(5, 120, 1)
+	hdr := Header{
+		NFrames: 5, FirstStep: 100, StepInterval: 10, DeltaPS: 2,
+		Titles: []string{"SYNTHETIC CB1 RUN", "SECOND TITLE LINE"},
+	}
+	got, ghdr := roundTrip(t, frames, hdr)
+	if len(got) != 5 {
+		t.Fatalf("frames = %d", len(got))
+	}
+	if ghdr.NAtoms != 120 || ghdr.NFrames != 5 || ghdr.FirstStep != 100 || ghdr.StepInterval != 10 {
+		t.Errorf("header = %+v", ghdr)
+	}
+	if math.Abs(float64(ghdr.DeltaPS-2)) > 1e-4 {
+		t.Errorf("delta = %v ps", ghdr.DeltaPS)
+	}
+	if len(ghdr.Titles) != 2 || ghdr.Titles[0] != "SYNTHETIC CB1 RUN" {
+		t.Errorf("titles = %q", ghdr.Titles)
+	}
+	// Coordinates survive within float32 Å->nm conversion.
+	for k := range frames {
+		if got[k].Step != 100+int32(k)*10 {
+			t.Errorf("frame %d step = %d", k, got[k].Step)
+		}
+		for i := range frames[k].Coords {
+			for d := 0; d < 3; d++ {
+				diff := math.Abs(float64(got[k].Coords[i][d] - frames[k].Coords[i][d]))
+				if diff > 1e-5 {
+					t.Fatalf("frame %d atom %d dim %d: diff %g", k, i, d, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripWithUnitCell(t *testing.T) {
+	frames := makeFrames(3, 50, 2)
+	got, ghdr := roundTrip(t, frames, Header{NFrames: 3, HasUnitCell: true, DeltaPS: 1})
+	if !ghdr.HasUnitCell {
+		t.Fatal("unit cell flag lost")
+	}
+	for k := range got {
+		if math.Abs(float64(got[k].Box[0]-8)) > 1e-6 || math.Abs(float64(got[k].Box[8]-8)) > 1e-6 {
+			t.Errorf("frame %d box = %v %v %v", k, got[k].Box[0], got[k].Box[4], got[k].Box[8])
+		}
+	}
+}
+
+func TestFrameCountMismatch(t *testing.T) {
+	frames := makeFrames(2, 10, 3)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{NFrames: 5})
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err == nil {
+		t.Error("Close should report frame-count mismatch")
+	}
+}
+
+func TestAtomCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{NAtoms: 10, NFrames: 1})
+	f := makeFrames(1, 20, 4)[0]
+	if err := w.WriteFrame(f); err == nil {
+		t.Error("mismatched atoms should fail")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	frames := makeFrames(2, 30, 5)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{NFrames: 2})
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	raw := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(raw[:len(raw)-10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadFrame(); err != nil {
+		t.Fatalf("first frame should decode: %v", err)
+	}
+	if _, err := r.ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated second frame: %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	raw := []byte{84, 0, 0, 0, 'X', 'X', 'X', 'X'}
+	raw = append(raw, make([]byte, 80)...)
+	raw = append(raw, []byte{84, 0, 0, 0}...)
+	if _, err := NewReader(bytes.NewReader(raw)); !errors.Is(err, ErrFormat) {
+		t.Errorf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestRecordMarkerMismatch(t *testing.T) {
+	frames := makeFrames(1, 10, 6)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{NFrames: 1})
+	if err := w.WriteFrame(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xff // corrupt the trailing length marker
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadFrame(); !errors.Is(err, ErrFormat) {
+		t.Errorf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestBytesConsumed(t *testing.T) {
+	frames := makeFrames(3, 25, 7)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{NFrames: 3})
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	total := int64(buf.Len())
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if r.BytesConsumed() != total {
+		t.Errorf("BytesConsumed = %d, want %d", r.BytesConsumed(), total)
+	}
+}

@@ -1,0 +1,105 @@
+// Package device models the performance characteristics of storage devices:
+// rotating disks with seek latency, NVMe/SATA SSDs, and RAID compositions.
+// The models are the ones the paper's platforms are built from (Tables 4
+// and 5): WD 1 TB HDDs at 126 MB/s over SATA, Plextor 256 GB SSDs at
+// 3000/1000 MB/s over PCIe, and a ten-disk RAID-50 array.
+package device
+
+import "fmt"
+
+// MB is one megabyte in bytes (decimal, as vendors rate throughput).
+const MB = 1000 * 1000
+
+// GB is one gigabyte in bytes.
+const GB = 1000 * MB
+
+// Device describes a storage device's steady-state performance.
+type Device struct {
+	Name      string
+	ReadBW    float64 // bytes/second sustained read
+	WriteBW   float64 // bytes/second sustained write
+	SeekSec   float64 // per-operation positioning latency, seconds
+	Capacity  int64   // bytes
+	IdleWatts float64
+	BusyWatts float64
+}
+
+// ReadTime returns the modeled time to read n bytes in ops operations.
+func (d Device) ReadTime(n int64, ops int) float64 {
+	if n < 0 || ops < 0 {
+		panic(fmt.Sprintf("device: negative read charge n=%d ops=%d", n, ops))
+	}
+	return float64(ops)*d.SeekSec + float64(n)/d.ReadBW
+}
+
+// WriteTime returns the modeled time to write n bytes in ops operations.
+func (d Device) WriteTime(n int64, ops int) float64 {
+	if n < 0 || ops < 0 {
+		panic(fmt.Sprintf("device: negative write charge n=%d ops=%d", n, ops))
+	}
+	return float64(ops)*d.SeekSec + float64(n)/d.WriteBW
+}
+
+// WDBlue1TB is the cluster's Western Digital 1 TB SATA HDD (126 MB/s max).
+func WDBlue1TB() Device {
+	return Device{
+		Name:      "WD 1TB HDD",
+		ReadBW:    126 * MB,
+		WriteBW:   126 * MB,
+		SeekSec:   0.008, // ~8 ms average positioning
+		Capacity:  1000 * GB,
+		IdleWatts: 4,
+		BusyWatts: 7,
+	}
+}
+
+// Plextor256GB is the cluster's PCIe SSD (3000 MB/s peak read, 1000 write).
+func Plextor256GB() Device {
+	return Device{
+		Name:      "Plextor 256GB SSD",
+		ReadBW:    3000 * MB,
+		WriteBW:   1000 * MB,
+		SeekSec:   0.0001, // ~100 µs
+		Capacity:  256 * GB,
+		IdleWatts: 1,
+		BusyWatts: 6,
+	}
+}
+
+// NVMe256GB is the SSD server's NVMe drive (Section 4.1).
+func NVMe256GB() Device {
+	return Device{
+		Name:      "NVMe 256GB SSD",
+		ReadBW:    3000 * MB,
+		WriteBW:   1000 * MB,
+		SeekSec:   0.00008,
+		Capacity:  256 * GB,
+		IdleWatts: 1,
+		BusyWatts: 7,
+	}
+}
+
+// RAID returns a striped composition of n identical member devices with the
+// given count of parity disks excluded from useful bandwidth. level is a
+// display label ("RAID0", "RAID50", ...).
+func RAID(member Device, n, parity int, level string) Device {
+	if n <= parity {
+		panic(fmt.Sprintf("device: RAID with %d members and %d parity disks", n, parity))
+	}
+	data := float64(n - parity)
+	return Device{
+		Name:      fmt.Sprintf("%s (%d x %s)", level, n, member.Name),
+		ReadBW:    member.ReadBW * data,
+		WriteBW:   member.WriteBW * data,
+		SeekSec:   member.SeekSec, // members seek in parallel
+		Capacity:  int64(data) * member.Capacity,
+		IdleWatts: member.IdleWatts * float64(n),
+		BusyWatts: member.BusyWatts * float64(n),
+	}
+}
+
+// RAID50x10 is the fat-node server's array: ten WD 1 TB disks in RAID 50
+// (two RAID-5 groups of five, two parity disks total).
+func RAID50x10() Device {
+	return RAID(WDBlue1TB(), 10, 2, "RAID50")
+}

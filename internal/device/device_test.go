@@ -1,0 +1,69 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReadWriteTime(t *testing.T) {
+	d := Device{ReadBW: 100 * MB, WriteBW: 50 * MB, SeekSec: 0.01}
+	if got := d.ReadTime(100*MB, 1); math.Abs(got-1.01) > 1e-9 {
+		t.Errorf("ReadTime = %v, want 1.01", got)
+	}
+	if got := d.WriteTime(100*MB, 2); math.Abs(got-2.02) > 1e-9 {
+		t.Errorf("WriteTime = %v, want 2.02", got)
+	}
+	if got := d.ReadTime(0, 0); got != 0 {
+		t.Errorf("zero read = %v", got)
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative bytes should panic")
+		}
+	}()
+	WDBlue1TB().ReadTime(-1, 0)
+}
+
+func TestPaperDevices(t *testing.T) {
+	hdd := WDBlue1TB()
+	if hdd.ReadBW != 126*MB {
+		t.Errorf("HDD read BW = %v", hdd.ReadBW)
+	}
+	ssd := Plextor256GB()
+	if ssd.ReadBW != 3000*MB || ssd.WriteBW != 1000*MB {
+		t.Errorf("SSD BW = %v/%v", ssd.ReadBW, ssd.WriteBW)
+	}
+	// SSD must read >20x faster than HDD per Table 4.
+	if ssd.ReadBW/hdd.ReadBW < 20 {
+		t.Errorf("SSD/HDD ratio = %v", ssd.ReadBW/hdd.ReadBW)
+	}
+}
+
+func TestRAID50(t *testing.T) {
+	arr := RAID50x10()
+	member := WDBlue1TB()
+	if arr.ReadBW != member.ReadBW*8 {
+		t.Errorf("RAID50 read BW = %v, want 8x member", arr.ReadBW)
+	}
+	if arr.Capacity != 8*member.Capacity {
+		t.Errorf("RAID50 capacity = %v", arr.Capacity)
+	}
+	if arr.SeekSec != member.SeekSec {
+		t.Errorf("RAID50 seek = %v", arr.SeekSec)
+	}
+	if arr.BusyWatts != 10*member.BusyWatts {
+		t.Errorf("RAID50 busy watts = %v", arr.BusyWatts)
+	}
+}
+
+func TestRAIDValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RAID with parity >= members should panic")
+		}
+	}()
+	RAID(WDBlue1TB(), 2, 2, "RAID1")
+}

@@ -1,0 +1,152 @@
+package gpcr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/pdb"
+	"repro/internal/xdr"
+	"repro/internal/xtc"
+)
+
+func TestDefaultComposition(t *testing.T) {
+	c := Default()
+	frac := c.ProteinFraction()
+	if frac < 0.40 || frac > 0.50 {
+		t.Errorf("protein fraction = %.3f, want within the paper's 0.40-0.50", frac)
+	}
+	// ~43.5k atoms so a raw frame is ~522 KB like the paper's datasets.
+	if n := c.NAtoms(); n < 40000 || n > 47000 {
+		t.Errorf("NAtoms = %d, want ~43500", n)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	c := Scaled(50)
+	a, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Coords) != len(b.Coords) {
+		t.Fatalf("atom counts differ: %d vs %d", len(a.Coords), len(b.Coords))
+	}
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatalf("coordinates differ at atom %d", i)
+		}
+	}
+}
+
+func TestBuildCountsMatchConfig(t *testing.T) {
+	for _, factor := range []int{1000, 100, 20} {
+		c := Scaled(factor)
+		s, err := c.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Structure.NAtoms() != c.NAtoms() {
+			t.Errorf("factor %d: structure atoms = %d, config = %d",
+				factor, s.Structure.NAtoms(), c.NAtoms())
+		}
+		counts := s.Structure.CategoryCounts()
+		if counts[pdb.Protein] != c.ProteinAtoms() {
+			t.Errorf("factor %d: protein atoms = %d, want %d",
+				factor, counts[pdb.Protein], c.ProteinAtoms())
+		}
+		if counts[pdb.Water] != c.Waters*atomsPerWater {
+			t.Errorf("factor %d: water atoms = %d, want %d",
+				factor, counts[pdb.Water], c.Waters*atomsPerWater)
+		}
+		if counts[pdb.Lipid] != c.Lipids*atomsPerLipid {
+			t.Errorf("factor %d: lipid atoms = %d", factor, counts[pdb.Lipid])
+		}
+		if counts[pdb.Ion] != c.IonPairs*2 {
+			t.Errorf("factor %d: ion atoms = %d", factor, counts[pdb.Ion])
+		}
+		if counts[pdb.Ligand] != c.LigandAtoms {
+			t.Errorf("factor %d: ligand atoms = %d", factor, counts[pdb.Ligand])
+		}
+	}
+}
+
+func TestCoordsInsideBox(t *testing.T) {
+	s, err := Scaled(20).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack := float32(2.0) // gaussian jitter may poke slightly outside
+	for i, p := range s.Coords {
+		for d := 0; d < 3; d++ {
+			if p[d] < -slack || p[d] > s.Box+slack {
+				t.Fatalf("atom %d dim %d = %g outside box [0,%g]", i, d, p[d], s.Box)
+			}
+		}
+	}
+}
+
+func TestPDBRoundTripPreservesCategories(t *testing.T) {
+	s, err := Scaled(100).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pdb.Write(&buf, s.Structure); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := pdb.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NAtoms() != s.Structure.NAtoms() {
+		t.Fatalf("atoms = %d, want %d", parsed.NAtoms(), s.Structure.NAtoms())
+	}
+	for i := range parsed.Atoms {
+		if parsed.Atoms[i].Category != s.Structure.Atoms[i].Category {
+			t.Fatalf("atom %d: category %v != %v (res %q)",
+				i, parsed.Atoms[i].Category, s.Structure.Atoms[i].Category,
+				parsed.Atoms[i].ResName)
+		}
+	}
+}
+
+func TestInitialFrameCompression(t *testing.T) {
+	s, err := Scaled(10).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.InitialFrame()
+	w := xdr.NewWriter(1 << 20)
+	if err := f.AppendEncoded(w); err != nil {
+		t.Fatal(err)
+	}
+	raw := xtc.RawFrameSize(f.NAtoms())
+	ratio := xtc.CompressionRatio(raw, int64(w.Len()))
+	t.Logf("natoms=%d compressed=%d raw=%d ratio=%.2fx", f.NAtoms(), w.Len(), raw, ratio)
+	if ratio < 2.2 {
+		t.Errorf("compression ratio %.2f too low for a packed system; want >= 2.2", ratio)
+	}
+	// And the decode must be lossless to quantization error.
+	got, err := xtc.DecodeFrame(xdr.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := xtc.MaxError(xtc.DefaultPrecision) + 1e-6
+	for i := range f.Coords {
+		for d := 0; d < 3; d++ {
+			if diff := math.Abs(float64(got.Coords[i][d] - f.Coords[i][d])); diff > tol {
+				t.Fatalf("atom %d dim %d error %g > %g", i, d, diff, tol)
+			}
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := (Config{}).Build(); err == nil {
+		t.Error("empty config should fail to build")
+	}
+}

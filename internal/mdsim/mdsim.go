@@ -1,0 +1,164 @@
+// Package mdsim generates molecular-dynamics-like trajectories for a fixed
+// set of atoms. It is not a physical integrator; it produces motion with
+// the statistical character the XTC compressor and the paper's workload
+// care about: proteins and ligands jitter around tethered positions, lipids
+// diffuse laterally within a bilayer, and water and ions diffuse freely
+// with periodic wrapping.
+package mdsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pdb"
+	"repro/internal/xtc"
+)
+
+// Params controls per-category motion amplitudes (nm per frame).
+type Params struct {
+	DT           float32 // simulated time per frame, ps
+	ProteinSigma float64
+	LigandSigma  float64
+	LipidSigma   float64
+	WaterSigma   float64
+	IonSigma     float64
+	Tether       float64 // restoring pull toward reference for tethered atoms
+	Seed         int64
+}
+
+// DefaultParams returns motion amplitudes typical of a 10 ps frame spacing.
+func DefaultParams() Params {
+	return Params{
+		DT:           10,
+		ProteinSigma: 0.015,
+		LigandSigma:  0.02,
+		LipidSigma:   0.025,
+		WaterSigma:   0.04,
+		IonSigma:     0.05,
+		Tether:       0.1,
+		Seed:         7,
+	}
+}
+
+func (p Params) sigmaFor(c pdb.Category) float64 {
+	switch c {
+	case pdb.Protein:
+		return p.ProteinSigma
+	case pdb.Ligand:
+		return p.LigandSigma
+	case pdb.Lipid:
+		return p.LipidSigma
+	case pdb.Water:
+		return p.WaterSigma
+	case pdb.Ion:
+		return p.IonSigma
+	default:
+		return p.WaterSigma
+	}
+}
+
+// Simulator advances a trajectory frame by frame.
+type Simulator struct {
+	params Params
+	cats   []pdb.Category
+	ref    []xtc.Vec3 // tether reference (initial coordinates)
+	pos    []xtc.Vec3
+	box    float32
+	step   int32
+	rng    *rand.Rand
+}
+
+// New returns a Simulator over the given initial coordinates. cats must be
+// the per-atom categories in the same order. box is the cubic box edge, nm.
+func New(coords []xtc.Vec3, cats []pdb.Category, box float32, params Params) (*Simulator, error) {
+	if len(coords) != len(cats) {
+		return nil, fmt.Errorf("mdsim: %d coords but %d categories", len(coords), len(cats))
+	}
+	if box <= 0 {
+		return nil, fmt.Errorf("mdsim: non-positive box %g", box)
+	}
+	s := &Simulator{
+		params: params,
+		cats:   cats,
+		ref:    append([]xtc.Vec3(nil), coords...),
+		pos:    append([]xtc.Vec3(nil), coords...),
+		box:    box,
+		rng:    rand.New(rand.NewSource(params.Seed)),
+	}
+	return s, nil
+}
+
+// NAtoms returns the atom count.
+func (s *Simulator) NAtoms() int { return len(s.pos) }
+
+func (s *Simulator) wrap(v float32) float32 {
+	for v < 0 {
+		v += s.box
+	}
+	for v >= s.box {
+		v -= s.box
+	}
+	return v
+}
+
+// Step advances one frame and returns it. The returned frame's coordinate
+// slice is freshly allocated and owned by the caller.
+//
+// Only freely diffusing species (water, ions) wrap at the periodic
+// boundary; tethered molecules are kept whole even if they extend past the
+// box edge, the way trajectory tools present molecules to analysis.
+func (s *Simulator) Step() *xtc.Frame {
+	s.step++
+	for i := range s.pos {
+		cat := s.cats[i]
+		sigma := s.params.sigmaFor(cat)
+		tethered := cat == pdb.Protein || cat == pdb.Ligand
+		for d := 0; d < 3; d++ {
+			v := float64(s.pos[i][d]) + s.rng.NormFloat64()*sigma
+			wrap := true
+			if tethered {
+				v += (float64(s.ref[i][d]) - v) * s.params.Tether
+				wrap = false
+			} else if cat == pdb.Lipid {
+				if d == 2 {
+					// Lipids stay in their leaflet: tether z only.
+					v += (float64(s.ref[i][d]) - v) * s.params.Tether
+				}
+				wrap = false
+			}
+			if wrap {
+				s.pos[i][d] = s.wrap(float32(v))
+			} else {
+				s.pos[i][d] = float32(v)
+			}
+		}
+	}
+	f := &xtc.Frame{
+		Step:      s.step,
+		Time:      float32(s.step) * s.params.DT,
+		Coords:    append([]xtc.Vec3(nil), s.pos...),
+		Precision: xtc.DefaultPrecision,
+	}
+	f.Box[0], f.Box[4], f.Box[8] = s.box, s.box, s.box
+	return f
+}
+
+// Generate returns the next n frames.
+func (s *Simulator) Generate(n int) []*xtc.Frame {
+	frames := make([]*xtc.Frame, n)
+	for i := range frames {
+		frames[i] = s.Step()
+	}
+	return frames
+}
+
+// WriteTrajectory streams n frames into w without retaining them,
+// suitable for producing large trajectory files.
+func (s *Simulator) WriteTrajectory(w *xtc.Writer, n int) error {
+	for i := 0; i < n; i++ {
+		if err := w.WriteFrame(s.Step()); err != nil {
+			return fmt.Errorf("mdsim: frame %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package mdsim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/gpcr"
+	"repro/internal/pdb"
+	"repro/internal/xtc"
+)
+
+func buildSmall(t *testing.T) (*gpcr.System, []pdb.Category) {
+	t.Helper()
+	sys, err := gpcr.Scaled(100).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := make([]pdb.Category, sys.Structure.NAtoms())
+	for i := range cats {
+		cats[i] = sys.Structure.Atoms[i].Category
+	}
+	return sys, cats
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(make([]xtc.Vec3, 3), make([]pdb.Category, 2), 10, DefaultParams()); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := New(nil, nil, 0, DefaultParams()); err == nil {
+		t.Error("zero box should fail")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	sys, cats := buildSmall(t)
+	s1, err := New(sys.Coords, cats, sys.Box, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(sys.Coords, cats, sys.Box, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		f1, f2 := s1.Step(), s2.Step()
+		for i := range f1.Coords {
+			if f1.Coords[i] != f2.Coords[i] {
+				t.Fatalf("frame %d atom %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestStepMetadata(t *testing.T) {
+	sys, cats := buildSmall(t)
+	p := DefaultParams()
+	s, err := New(sys.Coords, cats, sys.Box, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := s.Step()
+	f2 := s.Step()
+	if f1.Step != 1 || f2.Step != 2 {
+		t.Errorf("steps = %d, %d", f1.Step, f2.Step)
+	}
+	if f2.Time != 2*p.DT {
+		t.Errorf("time = %g, want %g", f2.Time, 2*p.DT)
+	}
+	if f1.Box[0] != sys.Box {
+		t.Errorf("box = %g", f1.Box[0])
+	}
+	// Frames own their coordinates.
+	f1.Coords[0][0] = 1e9
+	if f2.Coords[0][0] == 1e9 {
+		t.Error("frames share coordinate storage")
+	}
+}
+
+func TestFreeSpeciesStayInBox(t *testing.T) {
+	sys, cats := buildSmall(t)
+	s, err := New(sys.Coords, cats, sys.Box, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *xtc.Frame
+	for k := 0; k < 50; k++ {
+		last = s.Step()
+	}
+	for i, p := range last.Coords {
+		if cats[i] != pdb.Water && cats[i] != pdb.Ion {
+			continue // tethered molecules may extend past the box edge
+		}
+		for d := 0; d < 3; d++ {
+			if p[d] < 0 || p[d] >= sys.Box {
+				t.Fatalf("atom %d (%v) dim %d = %g escaped box [0,%g)", i, cats[i], d, p[d], sys.Box)
+			}
+		}
+	}
+}
+
+func TestTetheredMoleculesNeverWrap(t *testing.T) {
+	// A protein atom near the box edge must drift smoothly, never jump to
+	// the far side (the artifact that inflates RMSD in analysis).
+	sys, cats := buildSmall(t)
+	s, err := New(sys.Coords, cats, sys.Box, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := append([]xtc.Vec3(nil), sys.Coords...)
+	for k := 0; k < 100; k++ {
+		f := s.Step()
+		for i := range f.Coords {
+			if cats[i] == pdb.Water || cats[i] == pdb.Ion {
+				continue
+			}
+			for d := 0; d < 3; d++ {
+				jump := math.Abs(float64(f.Coords[i][d] - prev[i][d]))
+				if jump > float64(sys.Box)/2 {
+					t.Fatalf("frame %d atom %d (%v): wrapped jump of %g nm", k, i, cats[i], jump)
+				}
+			}
+		}
+		prev = f.Coords
+	}
+}
+
+func TestProteinTetheredWaterDiffuses(t *testing.T) {
+	sys, cats := buildSmall(t)
+	s, err := New(sys.Coords, cats, sys.Box, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *xtc.Frame
+	for k := 0; k < 200; k++ {
+		last = s.Step()
+	}
+	drift := func(cat pdb.Category) float64 {
+		var sum float64
+		var n int
+		for i := range last.Coords {
+			if cats[i] != cat {
+				continue
+			}
+			// Minimum-image displacement from the initial position.
+			var d2 float64
+			for d := 0; d < 3; d++ {
+				dd := float64(last.Coords[i][d] - sys.Coords[i][d])
+				box := float64(sys.Box)
+				if dd > box/2 {
+					dd -= box
+				}
+				if dd < -box/2 {
+					dd += box
+				}
+				d2 += dd * dd
+			}
+			sum += math.Sqrt(d2)
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("no atoms of category %v", cat)
+		}
+		return sum / float64(n)
+	}
+	protein, water := drift(pdb.Protein), drift(pdb.Water)
+	t.Logf("mean drift after 200 frames: protein=%.3f nm, water=%.3f nm", protein, water)
+	if water < protein*2 {
+		t.Errorf("water drift (%.3f) should far exceed tethered protein drift (%.3f)", water, protein)
+	}
+	if protein > 0.5 {
+		t.Errorf("protein drift %.3f nm too large for a tethered globule", protein)
+	}
+}
+
+func TestWriteTrajectoryStreamsDecodableFrames(t *testing.T) {
+	sys, cats := buildSmall(t)
+	s, err := New(sys.Coords, cats, sys.Box, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := xtc.NewWriter(&buf)
+	if err := s.WriteTrajectory(w, 8); err != nil {
+		t.Fatal(err)
+	}
+	if w.Frames() != 8 {
+		t.Errorf("frames = %d", w.Frames())
+	}
+	frames, err := xtc.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 8 {
+		t.Fatalf("decoded %d frames", len(frames))
+	}
+	for i, f := range frames {
+		if int(f.Step) != i+1 {
+			t.Errorf("frame %d step = %d", i, f.Step)
+		}
+		if f.NAtoms() != len(sys.Coords) {
+			t.Errorf("frame %d natoms = %d", i, f.NAtoms())
+		}
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	sys, cats := buildSmall(t)
+	s, err := New(sys.Coords, cats, sys.Box, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := s.Generate(3)
+	if len(frames) != 3 || frames[2].Step != 3 {
+		t.Errorf("Generate(3) = %d frames, last step %d", len(frames), frames[len(frames)-1].Step)
+	}
+}

@@ -1,0 +1,57 @@
+// Package netsim models point-to-point network links between cluster nodes:
+// a bandwidth, a per-message latency, and helpers to compute transfer times
+// for striped parallel reads. The paper's cluster moves data over an
+// InfiniBand-class fabric; the SSD server and fat node are local (no
+// network hop).
+package netsim
+
+import "fmt"
+
+// MB is one megabyte per second in bytes/second.
+const MB = 1000 * 1000
+
+// Link models a point-to-point connection.
+type Link struct {
+	Name       string
+	Bandwidth  float64 // bytes/second
+	LatencySec float64 // one-way message latency
+}
+
+// TransferTime returns the time for one message of n bytes.
+func (l Link) TransferTime(n int64) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("netsim: negative transfer %d", n))
+	}
+	return l.LatencySec + float64(n)/l.Bandwidth
+}
+
+// InfiniBand returns a QDR-class fabric link (~4 GB/s, microsecond latency).
+func InfiniBand() Link {
+	return Link{Name: "InfiniBand QDR", Bandwidth: 4000 * MB, LatencySec: 2e-6}
+}
+
+// TenGbE returns a 10-gigabit Ethernet link.
+func TenGbE() Link {
+	return Link{Name: "10GbE", Bandwidth: 1250 * MB, LatencySec: 50e-6}
+}
+
+// Local returns an effectively infinite link for same-node access.
+func Local() Link {
+	return Link{Name: "local", Bandwidth: 1e18, LatencySec: 0}
+}
+
+// StripedTransferTime models k servers each sending bytesPerServer over
+// identical server links, funnelling into one client link: the elapsed time
+// is the slower of (a) one server's share and (b) the client NIC draining
+// the total.
+func StripedTransferTime(serverLink, clientLink Link, bytesPerServer int64, k int) float64 {
+	if k <= 0 {
+		panic("netsim: striped transfer with no servers")
+	}
+	perServer := serverLink.TransferTime(bytesPerServer)
+	total := clientLink.TransferTime(bytesPerServer * int64(k))
+	if perServer > total {
+		return perServer
+	}
+	return total
+}

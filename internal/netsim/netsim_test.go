@@ -1,0 +1,63 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransferTime(t *testing.T) {
+	l := Link{Bandwidth: 100 * MB, LatencySec: 0.001}
+	if got := l.TransferTime(100 * MB); math.Abs(got-1.001) > 1e-9 {
+		t.Errorf("TransferTime = %v", got)
+	}
+	if got := l.TransferTime(0); got != 0.001 {
+		t.Errorf("zero-byte transfer = %v", got)
+	}
+}
+
+func TestTransferNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative transfer should panic")
+		}
+	}()
+	InfiniBand().TransferTime(-1)
+}
+
+func TestStripedTransferServerBound(t *testing.T) {
+	// Slow server links, fast client: per-server share dominates.
+	server := Link{Bandwidth: 10 * MB}
+	client := Link{Bandwidth: 10000 * MB}
+	got := StripedTransferTime(server, client, 10*MB, 4)
+	if math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("server-bound = %v, want 1.0", got)
+	}
+}
+
+func TestStripedTransferClientBound(t *testing.T) {
+	// Fast servers funnel into a slow client NIC.
+	server := Link{Bandwidth: 10000 * MB}
+	client := Link{Bandwidth: 10 * MB}
+	got := StripedTransferTime(server, client, 10*MB, 4)
+	if math.Abs(got-4.0) > 1e-9 {
+		t.Errorf("client-bound = %v, want 4.0", got)
+	}
+}
+
+func TestStripedTransferValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 should panic")
+		}
+	}()
+	StripedTransferTime(Local(), Local(), 1, 0)
+}
+
+func TestStandardLinks(t *testing.T) {
+	if InfiniBand().Bandwidth <= TenGbE().Bandwidth {
+		t.Error("InfiniBand should outrun 10GbE")
+	}
+	if Local().TransferTime(1<<40) > 1e-5 {
+		t.Error("local transfers should be ~free")
+	}
+}

@@ -1,0 +1,127 @@
+package osfs
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	s, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := newFS(t)
+	if err := s.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("host"), 5000)
+	if err := vfs.WriteFile(s, "/a/b/f.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(s, "/a/b/f.bin")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read %d bytes, %v", len(got), err)
+	}
+	info, err := s.Stat("/a/b/f.bin")
+	if err != nil || info.Size != int64(len(data)) {
+		t.Errorf("Stat = %+v, %v", info, err)
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	s := newFS(t)
+	if _, err := s.Open("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("Open = %v", err)
+	}
+	if _, err := s.Stat("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("Stat = %v", err)
+	}
+}
+
+func TestOpenDirFails(t *testing.T) {
+	s := newFS(t)
+	if err := s.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open("/d"); !errors.Is(err, vfs.ErrIsDir) {
+		t.Errorf("Open dir = %v", err)
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	s := newFS(t)
+	if err := s.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"/d/b", "/d/a"} {
+		if err := vfs.WriteFile(s, n, []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := s.ReadDir("/d")
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("ReadDir = %v, %v", entries, err)
+	}
+	// os.ReadDir sorts by name.
+	if entries[0].Name != "a" {
+		t.Errorf("entries = %+v", entries)
+	}
+}
+
+func TestEscapeConfinement(t *testing.T) {
+	s := newFS(t)
+	// Paths with .. must stay under the root.
+	if err := vfs.WriteFile(s, "/../../evil", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !vfs.Exists(s, "/evil") {
+		t.Error("cleaned path not under root")
+	}
+	if _, err := filepath.Rel(s.Root(), s.hostPath("/../../evil")); err != nil {
+		t.Errorf("escaped root: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := newFS(t)
+	if err := vfs.WriteFile(s, "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("/f"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("double remove = %v", err)
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	s := newFS(t)
+	if err := vfs.WriteFile(s, "/f", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 3)
+	if _, err := f.ReadAt(buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "456" {
+		t.Errorf("ReadAt = %q", buf)
+	}
+	if f.Size() != 10 {
+		t.Errorf("Size = %d", f.Size())
+	}
+}

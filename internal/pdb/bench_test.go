@@ -1,0 +1,62 @@
+package pdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// benchStructure builds an n-atom structure once.
+func benchStructure(n int) *Structure {
+	s := &Structure{Title: "BENCH"}
+	residues := []string{"ALA", "SOL", "POPC", "SOD", "LIG"}
+	for i := 0; i < n; i++ {
+		res := residues[i%len(residues)]
+		het := res == "LIG" || res == "SOD"
+		s.Atoms = append(s.Atoms, Atom{
+			Serial: i + 1, Name: "CA", ResName: res, ChainID: 'A',
+			ResSeq: i/8 + 1, X: float64(i % 80), Y: float64(i % 77), Z: float64(i % 71),
+			Element: "C", HetAtm: het, Category: Classify(res, het),
+		})
+	}
+	return s
+}
+
+func BenchmarkWrite(b *testing.B) {
+	s := benchStructure(10000)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkParse(b *testing.B) {
+	s := benchStructure(10000)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		b.Fatal(err)
+	}
+	text := buf.String()
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(strings.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	names := []string{"ALA", "HOH", "POPC", "NA", "XYZ", "TRP"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Classify(names[i%len(names)], i%2 == 0)
+	}
+}

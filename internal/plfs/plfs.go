@@ -1,0 +1,311 @@
+// Package plfs implements the container layer ADA's I/O dispatcher is built
+// on, after PLFS (Bent et al., SC '09): a logical file is represented as a
+// container — a same-named directory on every backend mount — holding
+// "dropping" files with the actual data plus an index that records which
+// backend owns each dropping.
+//
+// The underlying file systems see ordinary directories and files and never
+// know the logical file was decomposed; that transparency is what lets ADA
+// steer the protein subset to an SSD-backed file system and the MISC subset
+// to an HDD-backed one (Fig 6 of the paper).
+package plfs
+
+import (
+	"bufio"
+	"fmt"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// indexFileName is the per-container index dropping. It always lives on the
+// first backend (the "canonical" mount).
+const indexFileName = ".plfs_index"
+
+// Backend is one mount the container spans.
+type Backend struct {
+	Name  string // e.g. "ssd", "hdd"
+	FS    vfs.FS
+	Mount string // path prefix inside FS, e.g. "/mnt1"
+}
+
+// Dropping describes one data dropping within a container.
+type Dropping struct {
+	Name    string // dropping file name, e.g. "subset.p"
+	Backend string // owning backend name
+	Size    int64
+}
+
+// FS is a PLFS-like container store over multiple backends.
+type FS struct {
+	mu       sync.Mutex
+	backends []Backend
+	byName   map[string]*Backend
+}
+
+// New returns a container store over the given backends. Backend names must
+// be unique; the first backend hosts container indexes.
+func New(backends ...Backend) (*FS, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("plfs: no backends")
+	}
+	p := &FS{byName: map[string]*Backend{}}
+	for i := range backends {
+		b := backends[i]
+		if b.FS == nil {
+			return nil, fmt.Errorf("plfs: backend %q has no file system", b.Name)
+		}
+		if _, dup := p.byName[b.Name]; dup {
+			return nil, fmt.Errorf("plfs: duplicate backend %q", b.Name)
+		}
+		b.Mount = vfs.Clean(b.Mount)
+		p.backends = append(p.backends, b)
+		p.byName[b.Name] = &p.backends[i]
+	}
+	return p, nil
+}
+
+// Backends returns the backend names in configuration order.
+func (p *FS) Backends() []string {
+	names := make([]string, len(p.backends))
+	for i, b := range p.backends {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// containerPath returns the container directory for logical on backend b.
+func containerPath(b *Backend, logical string) string {
+	return path.Join(b.Mount, vfs.Clean(logical))
+}
+
+// CreateContainer creates the container structure for a logical file on
+// every backend (a top-level directory per mount, as in Fig 6).
+func (p *FS) CreateContainer(logical string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.backends {
+		b := &p.backends[i]
+		if err := b.FS.MkdirAll(containerPath(b, logical)); err != nil {
+			return fmt.Errorf("plfs: create container on %s: %w", b.Name, err)
+		}
+	}
+	return p.writeIndexLocked(logical, nil)
+}
+
+// ContainerExists reports whether the logical file has a container.
+func (p *FS) ContainerExists(logical string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.readIndexLocked(logical)
+	return err == nil
+}
+
+// CreateDropping opens a new dropping for writing on the named backend and
+// records it in the container index. The caller must Close the returned
+// file before reading it back.
+func (p *FS) CreateDropping(logical, dropping, backend string) (vfs.File, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.byName[backend]
+	if !ok {
+		return nil, fmt.Errorf("plfs: unknown backend %q", backend)
+	}
+	idx, err := p.readIndexLocked(logical)
+	if err != nil {
+		return nil, err
+	}
+	if strings.ContainsAny(dropping, "/\t\n") || dropping == "" || dropping == indexFileName {
+		return nil, fmt.Errorf("plfs: invalid dropping name %q", dropping)
+	}
+	f, err := b.FS.Create(path.Join(containerPath(b, logical), dropping))
+	if err != nil {
+		return nil, fmt.Errorf("plfs: create dropping: %w", err)
+	}
+	// Record (or re-point) the dropping.
+	out := idx[:0]
+	for _, d := range idx {
+		if d.Name != dropping {
+			out = append(out, d)
+		}
+	}
+	out = append(out, Dropping{Name: dropping, Backend: backend})
+	if err := p.writeIndexLocked(logical, out); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// OpenDropping opens an existing dropping for reading, resolving its
+// backend through the container index.
+func (p *FS) OpenDropping(logical, dropping string) (vfs.File, error) {
+	p.mu.Lock()
+	idx, err := p.readIndexLocked(logical)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	var owner *Backend
+	for _, d := range idx {
+		if d.Name == dropping {
+			owner = p.byName[d.Backend]
+			break
+		}
+	}
+	p.mu.Unlock()
+	if owner == nil {
+		return nil, fmt.Errorf("%w: dropping %q in container %q", vfs.ErrNotExist, dropping, logical)
+	}
+	return owner.FS.Open(path.Join(containerPath(owner, logical), dropping))
+}
+
+// StatDropping returns index info plus the current size of a dropping.
+func (p *FS) StatDropping(logical, dropping string) (Dropping, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, err := p.readIndexLocked(logical)
+	if err != nil {
+		return Dropping{}, err
+	}
+	for _, d := range idx {
+		if d.Name != dropping {
+			continue
+		}
+		b := p.byName[d.Backend]
+		info, err := b.FS.Stat(path.Join(containerPath(b, logical), dropping))
+		if err != nil {
+			return Dropping{}, err
+		}
+		d.Size = info.Size
+		return d, nil
+	}
+	return Dropping{}, fmt.Errorf("%w: dropping %q in container %q", vfs.ErrNotExist, dropping, logical)
+}
+
+// Index lists the container's droppings with up-to-date sizes.
+func (p *FS) Index(logical string) ([]Dropping, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, err := p.readIndexLocked(logical)
+	if err != nil {
+		return nil, err
+	}
+	for i := range idx {
+		b, ok := p.byName[idx[i].Backend]
+		if !ok {
+			return nil, fmt.Errorf("plfs: index references unknown backend %q", idx[i].Backend)
+		}
+		info, err := b.FS.Stat(path.Join(containerPath(b, logical), idx[i].Name))
+		if err == nil {
+			idx[i].Size = info.Size
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i].Name < idx[j].Name })
+	return idx, nil
+}
+
+// ListContainers returns the logical names of every container, discovered
+// by walking the canonical backend for index droppings.
+func (p *FS) ListContainers() ([]string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	canon := &p.backends[0]
+	if !vfs.Exists(canon.FS, canon.Mount) {
+		return nil, nil // no container ever created
+	}
+	var out []string
+	err := vfs.Walk(canon.FS, canon.Mount, func(path string, info vfs.FileInfo) error {
+		if info.Name != indexFileName {
+			return nil
+		}
+		dir := path[:len(path)-len("/"+indexFileName)]
+		logical := strings.TrimPrefix(dir, strings.TrimSuffix(canon.Mount, "/"))
+		if logical == "" {
+			logical = "/"
+		}
+		out = append(out, logical)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("plfs: list containers: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// RemoveContainer deletes a logical file: every dropping, the index, and
+// the container directories.
+func (p *FS) RemoveContainer(logical string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, err := p.readIndexLocked(logical)
+	if err != nil {
+		return err
+	}
+	for _, d := range idx {
+		b := p.byName[d.Backend]
+		if b == nil {
+			continue
+		}
+		if err := b.FS.Remove(path.Join(containerPath(b, logical), d.Name)); err != nil {
+			return fmt.Errorf("plfs: remove dropping %q: %w", d.Name, err)
+		}
+	}
+	canon := &p.backends[0]
+	if err := canon.FS.Remove(path.Join(containerPath(canon, logical), indexFileName)); err != nil {
+		return err
+	}
+	for i := range p.backends {
+		b := &p.backends[i]
+		if err := b.FS.Remove(containerPath(b, logical)); err != nil {
+			return fmt.Errorf("plfs: remove container dir on %s: %w", b.Name, err)
+		}
+	}
+	return nil
+}
+
+// The index format is one dropping per line: "<name>\t<backend>".
+
+func (p *FS) indexPath(logical string) string {
+	return path.Join(containerPath(&p.backends[0], logical), indexFileName)
+}
+
+func (p *FS) writeIndexLocked(logical string, idx []Dropping) error {
+	var sb strings.Builder
+	for _, d := range idx {
+		fmt.Fprintf(&sb, "%s\t%s\n", d.Name, d.Backend)
+	}
+	if err := vfs.WriteFile(p.backends[0].FS, p.indexPath(logical), []byte(sb.String())); err != nil {
+		return fmt.Errorf("plfs: write index for %q: %w", logical, err)
+	}
+	return nil
+}
+
+func (p *FS) readIndexLocked(logical string) ([]Dropping, error) {
+	data, err := vfs.ReadFile(p.backends[0].FS, p.indexPath(logical))
+	if err != nil {
+		return nil, fmt.Errorf("plfs: container %q: %w", logical, err)
+	}
+	var idx []Dropping
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("plfs: corrupt index for %q at line %s",
+				logical, strconv.Itoa(line))
+		}
+		idx = append(idx, Dropping{Name: parts[0], Backend: parts[1]})
+	}
+	return idx, nil
+}

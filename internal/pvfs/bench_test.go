@@ -1,0 +1,63 @@
+package pvfs
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/vfs"
+)
+
+func BenchmarkStripedWholeFileRead(b *testing.B) {
+	fs, err := New(threeSSD("bench"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const size = 16 << 20
+	if err := vfs.WriteFile(fs, "/f", make([]byte, size)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vfs.ReadFile(fs, "/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStripedWrite(b *testing.B) {
+	fs, err := New(threeSSD("bench"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4<<20)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vfs.WriteFile(fs, "/f", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetadataStat(b *testing.B) {
+	fs, err := New(Config{
+		Label:      "meta",
+		Servers:    []Server{{Name: "a", Dev: device.Plextor256GB()}},
+		ClientLink: threeSSD("x").ClientLink,
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/f", []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Stat("/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

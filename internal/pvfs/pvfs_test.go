@@ -1,0 +1,319 @@
+package pvfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func threeHDD(label string) Config {
+	mk := func(name string) Server {
+		return Server{Name: name, Dev: device.WDBlue1TB(), Link: netsim.InfiniBand()}
+	}
+	return Config{
+		Label:      label,
+		Servers:    []Server{mk("hdd1"), mk("hdd2"), mk("hdd3")},
+		ClientLink: netsim.InfiniBand(),
+	}
+}
+
+func threeSSD(label string) Config {
+	mk := func(name string) Server {
+		return Server{Name: name, Dev: device.Plextor256GB(), Link: netsim.InfiniBand()}
+	}
+	return Config{
+		Label:      label,
+		Servers:    []Server{mk("ssd1"), mk("ssd2"), mk("ssd3")},
+		ClientLink: netsim.InfiniBand(),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("no servers should fail")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs, err := New(threeHDD("t"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 5*DefaultStripeSize+12345) // spans many stripes
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	if err := vfs.WriteFile(fs, "/data/traj.xtc", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(fs, "/data/traj.xtc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	info, err := fs.Stat("/data/traj.xtc")
+	if err != nil || info.Size != int64(len(data)) {
+		t.Errorf("Stat = %+v, %v", info, err)
+	}
+}
+
+func TestStripesSpreadAcrossServers(t *testing.T) {
+	fs, err := New(threeHDD("t"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 6*DefaultStripeSize)
+	if err := vfs.WriteFile(fs, "/f", data); err != nil {
+		t.Fatal(err)
+	}
+	// With 6 stripes over 3 servers each store should hold 2 stripes.
+	for i, st := range fs.stores {
+		if got := st.TotalBytes(); got != 2*DefaultStripeSize {
+			t.Errorf("server %d holds %d bytes, want %d", i, got, 2*DefaultStripeSize)
+		}
+	}
+}
+
+func TestParallelReadFasterThanSingleDevice(t *testing.T) {
+	// A striped read over 3 HDDs must beat one HDD by close to 3x.
+	env := sim.NewEnv()
+	fs, err := New(threeHDD("par"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 90 * device.MB
+	if err := vfs.WriteFile(fs, "/f", make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	start := env.Clock.Now()
+	if _, err := vfs.ReadFile(fs, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := env.Clock.Now() - start
+	single := device.WDBlue1TB().ReadTime(size, 1)
+	speedup := single / elapsed
+	t.Logf("3-way striped read: %.3fs vs single-disk %.3fs (%.2fx)", elapsed, single, speedup)
+	if speedup < 2.5 || speedup > 3.5 {
+		t.Errorf("speedup = %.2fx, want ~3x", speedup)
+	}
+}
+
+func TestSSDClusterBeatsHDDCluster(t *testing.T) {
+	read := func(cfg Config) float64 {
+		env := sim.NewEnv()
+		fs, err := New(cfg, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vfs.WriteFile(fs, "/f", make([]byte, 60*device.MB)); err != nil {
+			t.Fatal(err)
+		}
+		start := env.Clock.Now()
+		if _, err := vfs.ReadFile(fs, "/f"); err != nil {
+			t.Fatal(err)
+		}
+		return env.Clock.Now() - start
+	}
+	hdd := read(threeHDD("h"))
+	ssd := read(threeSSD("s"))
+	t.Logf("hdd=%.4fs ssd=%.4fs ratio=%.1fx", hdd, ssd, hdd/ssd)
+	// Fig 9a: ADA on SSD nodes reads >2x faster than PVFS spanning HDDs.
+	if hdd/ssd < 2 {
+		t.Errorf("SSD cluster only %.2fx faster than HDD cluster", hdd/ssd)
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	fs, err := New(threeHDD("t"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 2*DefaultStripeSize+100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := vfs.WriteFile(fs, "/f", data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 200)
+	off := int64(DefaultStripeSize - 100) // straddles stripe boundary
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if buf[i] != data[off+int64(i)] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	if _, err := f.ReadAt(buf, int64(len(data))+1); err != io.EOF {
+		t.Errorf("past-end: %v", err)
+	}
+}
+
+func TestMetadataOps(t *testing.T) {
+	fs, err := New(threeHDD("t"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/a/b/f1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/a/b/f2", []byte("yy")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.ReadDir("/a/b")
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("ReadDir = %v, %v", entries, err)
+	}
+	if entries[0].Name != "f1" || entries[1].Size != 2 {
+		t.Errorf("entries = %+v", entries)
+	}
+	if _, err := fs.Open("/a/b/missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("Open missing: %v", err)
+	}
+	if err := fs.Remove("/a/b/f1"); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(fs, "/a/b/f1") {
+		t.Error("f1 still exists")
+	}
+}
+
+func TestRemoveReleasesStripes(t *testing.T) {
+	fs, err := New(threeHDD("t"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/f", make([]byte, 4*DefaultStripeSize)); err != nil {
+		t.Fatal(err)
+	}
+	if fs.TotalBytes() == 0 {
+		t.Fatal("no stripes stored")
+	}
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.TotalBytes(); got != 0 {
+		t.Errorf("TotalBytes after remove = %d", got)
+	}
+}
+
+func TestMetadataLatencyCharged(t *testing.T) {
+	env := sim.NewEnv()
+	fs, err := New(threeHDD("m"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := env.Clock.Now()
+	_, _ = fs.Stat("/")
+	if env.Clock.Now() <= before {
+		t.Error("Stat should charge metadata latency")
+	}
+	if env.Profile.Get("meta.m") <= 0 {
+		t.Error("metadata bucket empty")
+	}
+}
+
+func TestQuickRoundTripVariousSizes(t *testing.T) {
+	f := func(seed int64, sz uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs, err := New(Config{
+			Label:      "q",
+			StripeSize: 4096,
+			Servers: []Server{
+				{Name: "a", Dev: device.Plextor256GB(), Link: netsim.Local()},
+				{Name: "b", Dev: device.Plextor256GB(), Link: netsim.Local()},
+			},
+			ClientLink: netsim.Local(),
+		}, nil)
+		if err != nil {
+			return false
+		}
+		data := make([]byte, sz%(64*1024))
+		rng.Read(data)
+		if err := vfs.WriteFile(fs, "/f", data); err != nil {
+			return false
+		}
+		got, err := vfs.ReadFile(fs, "/f")
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAcrossHandles(t *testing.T) {
+	fs, err := New(threeHDD("t"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		chunk := bytes.Repeat([]byte{byte(i)}, 100000)
+		if _, err := f.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(fs, "/f")
+	if err != nil || len(got) != 1000000 {
+		t.Fatalf("read %d bytes, %v", len(got), err)
+	}
+	for i, b := range got {
+		if b != byte(i/100000) {
+			t.Fatalf("byte %d = %d", i, b)
+		}
+	}
+}
+
+func TestClientNICBottleneck(t *testing.T) {
+	// Infinitely fast servers, slow client NIC: elapsed = total/clientBW.
+	env := sim.NewEnv()
+	slow := netsim.Link{Name: "slow", Bandwidth: 10 * device.MB}
+	cfg := Config{
+		Label: "nic",
+		Servers: []Server{
+			{Name: "a", Dev: device.Device{ReadBW: 1e18, WriteBW: 1e18, Capacity: device.GB}, Link: netsim.Local()},
+			{Name: "b", Dev: device.Device{ReadBW: 1e18, WriteBW: 1e18, Capacity: device.GB}, Link: netsim.Local()},
+		},
+		ClientLink: slow,
+	}
+	fs, err := New(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/f", make([]byte, 20*device.MB)); err != nil {
+		t.Fatal(err)
+	}
+	start := env.Clock.Now()
+	if _, err := vfs.ReadFile(fs, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := env.Clock.Now() - start
+	if math.Abs(elapsed-2.0) > 0.1 {
+		t.Errorf("elapsed = %.3fs, want ~2.0s (20MB over a 10MB/s NIC)", elapsed)
+	}
+}

@@ -1,0 +1,56 @@
+package rangelist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAddFragmented(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	starts := make([]int, 1000)
+	for i := range starts {
+		starts[i] = rng.Intn(1 << 20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := New()
+		for _, s := range starts {
+			l.Add(s, s+64)
+		}
+	}
+}
+
+func BenchmarkAppendSequential(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := New()
+		for k := 0; k < 1000; k++ {
+			l.Append(k*100, k*100+60)
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	l := New()
+	for k := 0; k < 1000; k++ {
+		l.Append(k*100, k*100+60)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Contains(i % 100000)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	a, c := New(), New()
+	for k := 0; k < 1000; k++ {
+		a.Append(k*100, k*100+60)
+		c.Append(k*70, k*70+30)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Intersect(c)
+	}
+}

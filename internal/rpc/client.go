@@ -1,0 +1,226 @@
+package rpc
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// Client is a vfs.FS backed by a remote storage node. It is safe for
+// concurrent use; requests are serialized over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+var _ vfs.FS = (*Client)(nil)
+
+// Dial connects to a storage node.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// NewClient wraps an existing connection (useful for tests over pipes).
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close shuts the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call sends one request and decodes the status word of the response.
+func (c *Client) call(req *xdr.Writer) (*xdr.Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req.Bytes()); err != nil {
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+	payload, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: receive: %w", err)
+	}
+	r := xdr.NewReader(payload)
+	if err := decodeStatus(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func request(op uint32) *xdr.Writer {
+	w := xdr.NewWriter(256)
+	w.Uint32(op)
+	return w
+}
+
+func (c *Client) openLike(op uint32, name string) (vfs.File, error) {
+	req := request(op)
+	req.String(name)
+	r, err := c.call(req)
+	if err != nil {
+		return nil, err
+	}
+	fd := r.Uint32()
+	size := r.Int64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return &remoteFile{c: c, name: vfs.Clean(name), fd: fd, size: size}, nil
+}
+
+// Create implements vfs.FS.
+func (c *Client) Create(name string) (vfs.File, error) { return c.openLike(opCreate, name) }
+
+// Open implements vfs.FS.
+func (c *Client) Open(name string) (vfs.File, error) { return c.openLike(opOpen, name) }
+
+// Stat implements vfs.FS.
+func (c *Client) Stat(name string) (vfs.FileInfo, error) {
+	req := request(opStat)
+	req.String(name)
+	r, err := c.call(req)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	info := decodeInfo(r)
+	return info, r.Err()
+}
+
+// ReadDir implements vfs.FS.
+func (c *Client) ReadDir(name string) ([]vfs.FileInfo, error) {
+	req := request(opReadDir)
+	req.String(name)
+	r, err := c.call(req)
+	if err != nil {
+		return nil, err
+	}
+	n := r.Uint32()
+	entries := make([]vfs.FileInfo, 0, n)
+	for i := uint32(0); i < n; i++ {
+		entries = append(entries, decodeInfo(r))
+	}
+	return entries, r.Err()
+}
+
+// MkdirAll implements vfs.FS.
+func (c *Client) MkdirAll(name string) error {
+	req := request(opMkdirAll)
+	req.String(name)
+	_, err := c.call(req)
+	return err
+}
+
+// Remove implements vfs.FS.
+func (c *Client) Remove(name string) error {
+	req := request(opRemove)
+	req.String(name)
+	_, err := c.call(req)
+	return err
+}
+
+// remoteFile is a handle on the server.
+type remoteFile struct {
+	c      *Client
+	name   string
+	fd     uint32
+	size   int64
+	off    int64
+	closed bool
+}
+
+func (f *remoteFile) Name() string { return f.name }
+
+func (f *remoteFile) Size() int64 {
+	req := request(opSize)
+	req.Uint32(f.fd)
+	r, err := f.c.call(req)
+	if err != nil {
+		return f.size // best effort: the size at open time
+	}
+	if s := r.Int64(); r.Err() == nil {
+		f.size = s
+	}
+	return f.size
+}
+
+func (f *remoteFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	req := request(opRead)
+	req.Uint32(f.fd)
+	req.Int64(off)
+	req.Uint32(uint32(len(p)))
+	r, err := f.c.call(req)
+	if err != nil {
+		return 0, err
+	}
+	eof := r.Uint32() != 0
+	data := r.VarOpaque()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	n := copy(p, data)
+	if eof || n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *remoteFile) Read(p []byte) (int, error) {
+	n, err := f.ReadAt(p, f.off)
+	f.off += int64(n)
+	if err == io.EOF && n > 0 {
+		// Partial read before EOF: report the bytes now, EOF next call.
+		return n, nil
+	}
+	return n, err
+}
+
+func (f *remoteFile) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	total := 0
+	// Chunk large writes under the frame limit.
+	const chunk = MaxPayload / 4
+	for total < len(p) {
+		end := total + chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		want := end - total
+		req := request(opWrite)
+		req.Uint32(f.fd)
+		req.VarOpaque(p[total:end])
+		r, err := f.c.call(req)
+		if err != nil {
+			return total, err
+		}
+		n := int(r.Uint32())
+		if err := r.Err(); err != nil {
+			return total, err
+		}
+		total += n
+		if n != want {
+			return total, fmt.Errorf("rpc: short write %d of %d", n, want)
+		}
+	}
+	return total, nil
+}
+
+func (f *remoteFile) Close() error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	f.closed = true
+	req := request(opClose)
+	req.Uint32(f.fd)
+	_, err := f.c.call(req)
+	return err
+}

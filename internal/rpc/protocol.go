@@ -1,0 +1,116 @@
+// Package rpc exposes a vfs.FS over a TCP connection with a compact
+// length-prefixed binary protocol, so ADA's backends can run as real
+// storage-node processes (cmd/adanode) instead of in-process stores.
+//
+// Wire format, both directions:
+//
+//	uint32  payload length (big-endian, excluding itself)
+//	payload XDR-encoded body
+//
+// A request body is: uint32 opcode, then opcode-specific XDR fields. A
+// response body is: uint32 status (0 = OK, 1 = error), then either an error
+// string or opcode-specific fields. One request is in flight per
+// connection at a time; clients serialize with a mutex.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// Opcodes.
+const (
+	opCreate uint32 = iota + 1
+	opOpen
+	opRead
+	opWrite
+	opClose
+	opStat
+	opReadDir
+	opMkdirAll
+	opRemove
+	opSize
+)
+
+// MaxPayload bounds a single message (catches corrupt length prefixes).
+const MaxPayload = 64 << 20
+
+// ErrProtocol is returned for malformed frames.
+var ErrProtocol = errors.New("rpc: protocol error")
+
+// writeFrame sends one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxPayload {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// respondErr encodes an error response.
+func respondErr(err error) []byte {
+	w := xdr.NewWriter(64)
+	w.Uint32(1)
+	w.String(err.Error())
+	return w.Bytes()
+}
+
+// respondOK starts an OK response; the caller appends fields.
+func respondOK() *xdr.Writer {
+	w := xdr.NewWriter(256)
+	w.Uint32(0)
+	return w
+}
+
+// decodeStatus consumes the status word, converting an error response into
+// a Go error.
+func decodeStatus(r *xdr.Reader) error {
+	status := r.Uint32()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if status == 0 {
+		return nil
+	}
+	msg := r.String()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return remoteError(msg)
+}
+
+// remoteError reconstructs the vfs sentinel errors from the wire so that
+// errors.Is works across the connection.
+func remoteError(msg string) error {
+	for _, sentinel := range []error{vfs.ErrNotExist, vfs.ErrExist, vfs.ErrIsDir, vfs.ErrNotDir} {
+		if strings.Contains(msg, sentinel.Error()) {
+			return fmt.Errorf("%w (remote: %s)", sentinel, msg)
+		}
+	}
+	return errors.New(msg)
+}

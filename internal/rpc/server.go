@@ -1,0 +1,253 @@
+package rpc
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// Server exposes one vfs.FS to remote clients.
+type Server struct {
+	fsys   vfs.FS
+	logger *log.Logger
+
+	mu      sync.Mutex
+	nextFD  uint32
+	handles map[uint32]vfs.File
+}
+
+// NewServer returns a server over fsys. logger may be nil to disable
+// logging.
+func NewServer(fsys vfs.FS, logger *log.Logger) *Server {
+	return &Server{fsys: fsys, logger: logger, handles: map[uint32]vfs.File{}}
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	s.logf("rpc: client %s connected", conn.RemoteAddr())
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			if err != io.EOF {
+				s.logf("rpc: client %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(payload)
+		if err := writeFrame(conn, resp); err != nil {
+			s.logf("rpc: client %s write: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(payload []byte) []byte {
+	r := xdr.NewReader(payload)
+	op := r.Uint32()
+	if err := r.Err(); err != nil {
+		return respondErr(err)
+	}
+	switch op {
+	case opCreate, opOpen:
+		name := r.String()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		var f vfs.File
+		var err error
+		if op == opCreate {
+			f, err = s.fsys.Create(name)
+		} else {
+			f, err = s.fsys.Open(name)
+		}
+		if err != nil {
+			return respondErr(err)
+		}
+		s.mu.Lock()
+		s.nextFD++
+		fd := s.nextFD
+		s.handles[fd] = f
+		s.mu.Unlock()
+		w := respondOK()
+		w.Uint32(fd)
+		w.Int64(f.Size())
+		return w.Bytes()
+
+	case opRead:
+		fd := r.Uint32()
+		off := r.Int64()
+		n := r.Uint32()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		if n > MaxPayload/2 {
+			return respondErr(fmt.Errorf("rpc: read of %d bytes too large", n))
+		}
+		f, err := s.handle(fd)
+		if err != nil {
+			return respondErr(err)
+		}
+		buf := make([]byte, n)
+		got, err := f.ReadAt(buf, off)
+		if err != nil && err != io.EOF {
+			return respondErr(err)
+		}
+		w := respondOK()
+		w.Uint32(boolWord(err == io.EOF))
+		w.VarOpaque(buf[:got])
+		return w.Bytes()
+
+	case opWrite:
+		fd := r.Uint32()
+		data := r.VarOpaque()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		f, err := s.handle(fd)
+		if err != nil {
+			return respondErr(err)
+		}
+		n, err := f.Write(data)
+		if err != nil {
+			return respondErr(err)
+		}
+		w := respondOK()
+		w.Uint32(uint32(n))
+		return w.Bytes()
+
+	case opClose:
+		fd := r.Uint32()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		s.mu.Lock()
+		f, ok := s.handles[fd]
+		delete(s.handles, fd)
+		s.mu.Unlock()
+		if !ok {
+			return respondErr(fmt.Errorf("rpc: unknown handle %d", fd))
+		}
+		if err := f.Close(); err != nil {
+			return respondErr(err)
+		}
+		return respondOK().Bytes()
+
+	case opSize:
+		fd := r.Uint32()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		f, err := s.handle(fd)
+		if err != nil {
+			return respondErr(err)
+		}
+		w := respondOK()
+		w.Int64(f.Size())
+		return w.Bytes()
+
+	case opStat:
+		name := r.String()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		info, err := s.fsys.Stat(name)
+		if err != nil {
+			return respondErr(err)
+		}
+		w := respondOK()
+		appendInfo(w, info)
+		return w.Bytes()
+
+	case opReadDir:
+		name := r.String()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		entries, err := s.fsys.ReadDir(name)
+		if err != nil {
+			return respondErr(err)
+		}
+		w := respondOK()
+		w.Uint32(uint32(len(entries)))
+		for _, e := range entries {
+			appendInfo(w, e)
+		}
+		return w.Bytes()
+
+	case opMkdirAll:
+		name := r.String()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		if err := s.fsys.MkdirAll(name); err != nil {
+			return respondErr(err)
+		}
+		return respondOK().Bytes()
+
+	case opRemove:
+		name := r.String()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		if err := s.fsys.Remove(name); err != nil {
+			return respondErr(err)
+		}
+		return respondOK().Bytes()
+
+	default:
+		return respondErr(fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op))
+	}
+}
+
+func (s *Server) handle(fd uint32) (vfs.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.handles[fd]
+	if !ok {
+		return nil, fmt.Errorf("rpc: unknown handle %d", fd)
+	}
+	return f, nil
+}
+
+func appendInfo(w *xdr.Writer, info vfs.FileInfo) {
+	w.String(info.Name)
+	w.Int64(info.Size)
+	w.Uint32(boolWord(info.IsDir))
+}
+
+func decodeInfo(r *xdr.Reader) vfs.FileInfo {
+	return vfs.FileInfo{
+		Name:  r.String(),
+		Size:  r.Int64(),
+		IsDir: r.Uint32() != 0,
+	}
+}
+
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Errorf("Now = %v", c.Now())
+	}
+	c.Advance(1.5)
+	c.Advance(0)
+	c.Advance(2.5)
+	if c.Now() != 4 {
+		t.Errorf("Now = %v, want 4", c.Now())
+	}
+	c.AdvanceTo(3) // earlier: no-op
+	if c.Now() != 4 {
+		t.Errorf("AdvanceTo(earlier) moved clock to %v", c.Now())
+	}
+	c.AdvanceTo(10)
+	if c.Now() != 10 {
+		t.Errorf("AdvanceTo = %v", c.Now())
+	}
+}
+
+func TestClockRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative advance should panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockRejectsNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN advance should panic")
+		}
+	}()
+	NewClock().Advance(math.NaN())
+}
+
+func TestDuration(t *testing.T) {
+	if got := Duration(1.5).Seconds(); got != 1.5 {
+		t.Errorf("Duration = %v", got)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	p := NewProfile()
+	p.Add("cpu.decompress", 3)
+	p.Add("cpu.render", 1)
+	p.Add("io.read", 1)
+	p.Add("cpu.decompress", 1)
+	if got := p.Get("cpu.decompress"); got != 4 {
+		t.Errorf("Get = %v", got)
+	}
+	if got := p.Total(); got != 6 {
+		t.Errorf("Total = %v", got)
+	}
+	if got := p.TotalPrefix("cpu."); got != 5 {
+		t.Errorf("TotalPrefix = %v", got)
+	}
+	if got := p.Fraction("cpu.decompress"); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("Fraction = %v", got)
+	}
+	names := p.Buckets()
+	if names[0] != "cpu.decompress" {
+		t.Errorf("Buckets[0] = %v", names)
+	}
+	if !strings.Contains(p.String(), "cpu.decompress") {
+		t.Errorf("String missing bucket: %s", p.String())
+	}
+	p.Reset()
+	if p.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if p.Fraction("cpu.render") != 0 {
+		t.Error("Fraction of empty profile should be 0")
+	}
+}
+
+func TestEnergyMeter(t *testing.T) {
+	c := NewClock()
+	m := NewEnergyMeter(c, 400) // one 400 W node
+	m.Start()
+	c.Advance(10)
+	if got := m.Joules(); got != 4000 {
+		t.Errorf("open-window Joules = %v", got)
+	}
+	m.Stop()
+	c.Advance(100) // outside the window: not counted
+	if got := m.Joules(); got != 4000 {
+		t.Errorf("Joules = %v, want 4000", got)
+	}
+	m.Start()
+	c.Advance(5)
+	m.Stop()
+	if got := m.Kilojoules(); got != 6 {
+		t.Errorf("Kilojoules = %v, want 6", got)
+	}
+}
+
+func TestEnergyMeterMisuse(t *testing.T) {
+	c := NewClock()
+	m := NewEnergyMeter(c, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Stop without Start should panic")
+			}
+		}()
+		m.Stop()
+	}()
+	m.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Start should panic")
+		}
+	}()
+	m.Start()
+}
+
+func TestEnvCharge(t *testing.T) {
+	e := NewEnv()
+	e.Charge("io.read", 2)
+	e.ChargeConcurrent("io.read", 3)
+	if e.Clock.Now() != 2 {
+		t.Errorf("clock = %v, want 2 (concurrent charge must not advance)", e.Clock.Now())
+	}
+	if e.Profile.Get("io.read") != 5 {
+		t.Errorf("profile = %v, want 5", e.Profile.Get("io.read"))
+	}
+}

@@ -1,0 +1,226 @@
+package trr
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xtc"
+)
+
+func makeFrame(rng *rand.Rand, natoms int, withV, withF bool) *Frame {
+	f := &Frame{
+		Step:   int32(rng.Intn(1 << 20)),
+		Time:   rng.Float32() * 100,
+		Lambda: rng.Float32(),
+	}
+	f.Box[0], f.Box[4], f.Box[8] = 8, 8, 8
+	mk := func() []xtc.Vec3 {
+		vs := make([]xtc.Vec3, natoms)
+		for i := range vs {
+			for d := 0; d < 3; d++ {
+				vs[i][d] = float32(rng.Float64()*16 - 8)
+			}
+		}
+		return vs
+	}
+	f.Coords = mk()
+	if withV {
+		f.Velocities = mk()
+	}
+	if withF {
+		f.Forces = mk()
+	}
+	return f
+}
+
+func assertEqual(t *testing.T, want, got *Frame) {
+	t.Helper()
+	if got.Step != want.Step || got.Time != want.Time || got.Lambda != want.Lambda {
+		t.Fatalf("metadata: got %d/%g/%g want %d/%g/%g",
+			got.Step, got.Time, got.Lambda, want.Step, want.Time, want.Lambda)
+	}
+	if got.Box != want.Box {
+		t.Fatalf("box differs")
+	}
+	check := func(name string, a, b []xtc.Vec3) {
+		if len(a) != len(b) {
+			t.Fatalf("%s length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d] = %v, want %v", name, i, b[i], a[i])
+			}
+		}
+	}
+	check("coords", want.Coords, got.Coords)
+	check("velocities", want.Velocities, got.Velocities)
+	check("forces", want.Forces, got.Forces)
+}
+
+func TestRoundTripVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, variant := range []struct {
+		name         string
+		withV, withF bool
+	}{
+		{"positions-only", false, false},
+		{"with-velocities", true, false},
+		{"with-forces", false, true},
+		{"full", true, true},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			w := NewWriter(&buf)
+			var frames []*Frame
+			for i := 0; i < 4; i++ {
+				f := makeFrame(rng, 50+i, variant.withV, variant.withF)
+				frames = append(frames, f)
+				if err := w.WriteFrame(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if w.Frames() != 4 || w.BytesWritten() != int64(buf.Len()) {
+				t.Errorf("writer stats: %d frames, %d bytes (buf %d)",
+					w.Frames(), w.BytesWritten(), buf.Len())
+			}
+			r := NewReader(&buf)
+			got, err := r.ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 4 {
+				t.Fatalf("frames = %d", len(got))
+			}
+			for i := range frames {
+				assertEqual(t, frames[i], got[i])
+			}
+		})
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8, withV bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fr := makeFrame(rng, int(n)%100+1, withV, false)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteFrame(fr); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadFrame()
+		if err != nil {
+			return false
+		}
+		if got.Step != fr.Step || len(got.Coords) != len(fr.Coords) {
+			return false
+		}
+		for i := range fr.Coords {
+			if got.Coords[i] != fr.Coords[i] {
+				return false
+			}
+		}
+		return (got.Velocities != nil) == withV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMismatchedVectorCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := makeFrame(rng, 10, true, false)
+	f.Velocities = f.Velocities[:5]
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.WriteFrame(f); err == nil {
+		t.Error("mismatched velocity count should fail")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(makeFrame(rng, 40, false, false)); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	raw := buf.Bytes()
+	r := NewReader(bytes.NewReader(raw[:len(raw)-8]))
+	if _, err := r.ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestBadMagicAndTag(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(makeFrame(rng, 10, false, false)); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	raw := buf.Bytes()
+
+	bad := append([]byte{}, raw...)
+	bad[3] = 99 // corrupt magic
+	if _, err := NewReader(bytes.NewReader(bad)).ReadFrame(); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad magic: %v", err)
+	}
+	bad2 := append([]byte{}, raw...)
+	bad2[10] ^= 0xff // corrupt the version tag
+	if _, err := NewReader(bytes.NewReader(bad2)).ReadFrame(); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad tag: %v", err)
+	}
+}
+
+func TestToFromXTC(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := makeFrame(rng, 30, true, true)
+	x := f.ToXTC()
+	if x.NAtoms() != 30 || x.Step != f.Step || x.Time != f.Time {
+		t.Errorf("ToXTC = %+v", x)
+	}
+	back := FromXTC(x)
+	for i := range f.Coords {
+		if back.Coords[i] != f.Coords[i] {
+			t.Fatalf("coord %d differs", i)
+		}
+	}
+	if back.Velocities != nil {
+		t.Error("FromXTC should not invent velocities")
+	}
+	// Mutating the conversion must not touch the original.
+	x.Coords[0][0] = 1e9
+	if f.Coords[0][0] == 1e9 {
+		t.Error("ToXTC shares storage")
+	}
+}
+
+func TestBytesConsumed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.WriteFrame(makeFrame(rng, 20, true, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := r.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if r.BytesConsumed() != int64(buf.Len()) {
+		t.Errorf("BytesConsumed = %d, want %d", r.BytesConsumed(), buf.Len())
+	}
+}

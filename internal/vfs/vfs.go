@@ -1,0 +1,367 @@
+// Package vfs defines the POSIX-like file-system interface every storage
+// layer in this repository implements — the in-memory store, the
+// device-timed local file systems (ext4/XFS stand-ins), the striped
+// parallel file system, and the PLFS container layer — plus an in-memory
+// reference implementation.
+//
+// Paths are slash-separated and rooted at "/"; they are cleaned on entry so
+// "a//b/./c" and "/a/b/c" refer to the same file.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by FS implementations.
+var (
+	ErrNotExist = errors.New("vfs: file does not exist")
+	ErrExist    = errors.New("vfs: file already exists")
+	ErrIsDir    = errors.New("vfs: is a directory")
+	ErrNotDir   = errors.New("vfs: not a directory")
+	ErrClosed   = errors.New("vfs: file already closed")
+)
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Name  string // base name
+	Size  int64
+	IsDir bool
+}
+
+// File is an open file handle.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.ReaderAt
+	// Size returns the current file size.
+	Size() int64
+	// Name returns the cleaned absolute path the file was opened with.
+	Name() string
+}
+
+// FS is the file-system interface ADA's I/O determinator dispatches to.
+type FS interface {
+	// Create truncates or creates the file for writing (and reading).
+	Create(name string) (File, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Stat describes a file or directory.
+	Stat(name string) (FileInfo, error)
+	// ReadDir lists a directory in name order.
+	ReadDir(name string) ([]FileInfo, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(name string) error
+	// Remove deletes a file or empty directory.
+	Remove(name string) error
+}
+
+// Clean normalizes a path to the canonical rooted form.
+func Clean(name string) string {
+	if !strings.HasPrefix(name, "/") {
+		name = "/" + name
+	}
+	return path.Clean(name)
+}
+
+// ReadFile reads the whole named file.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := io.ReadFull(f, buf); err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteFile writes data to the named file, creating it.
+func WriteFile(fsys FS, name string, data []byte) error {
+	if err := fsys.MkdirAll(path.Dir(Clean(name))); err != nil {
+		return err
+	}
+	f, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Exists reports whether the named file or directory exists.
+func Exists(fsys FS, name string) bool {
+	_, err := fsys.Stat(name)
+	return err == nil
+}
+
+// MemFS is a thread-safe in-memory file system.
+type MemFS struct {
+	mu    sync.RWMutex
+	files map[string]*memNode
+}
+
+type memNode struct {
+	data  []byte
+	isDir bool
+}
+
+// NewMemFS returns an empty in-memory FS containing only the root.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memNode{"/": {isDir: true}}}
+}
+
+var _ FS = (*MemFS)(nil)
+
+func (m *MemFS) parentDirExists(name string) error {
+	dir := path.Dir(name)
+	n, ok := m.files[dir]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, dir)
+	}
+	if !n.isDir {
+		return fmt.Errorf("%w: %s", ErrNotDir, dir)
+	}
+	return nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	name = Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.parentDirExists(name); err != nil {
+		return nil, err
+	}
+	if n, ok := m.files[name]; ok && n.isDir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, name)
+	}
+	node := &memNode{}
+	m.files[name] = node
+	return &memFile{fs: m, name: name, node: node, writable: true}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (File, error) {
+	name = Clean(name)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if n.isDir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, name)
+	}
+	return &memFile{fs: m, name: name, node: n}, nil
+}
+
+// Stat implements FS.
+func (m *MemFS) Stat(name string) (FileInfo, error) {
+	name = Clean(name)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, ok := m.files[name]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return FileInfo{Name: path.Base(name), Size: int64(len(n.data)), IsDir: n.isDir}, nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(name string) ([]FileInfo, error) {
+	name = Clean(name)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if !n.isDir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, name)
+	}
+	prefix := name
+	if prefix != "/" {
+		prefix += "/"
+	}
+	var out []FileInfo
+	for p, node := range m.files {
+		if p == name || !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := p[len(prefix):]
+		if strings.Contains(rest, "/") {
+			continue // deeper entry
+		}
+		out = append(out, FileInfo{Name: rest, Size: int64(len(node.data)), IsDir: node.isDir})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(name string) error {
+	name = Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	segs := strings.Split(strings.TrimPrefix(name, "/"), "/")
+	cur := ""
+	for _, s := range segs {
+		if s == "" {
+			continue
+		}
+		cur += "/" + s
+		if n, ok := m.files[cur]; ok {
+			if !n.isDir {
+				return fmt.Errorf("%w: %s", ErrNotDir, cur)
+			}
+			continue
+		}
+		m.files[cur] = &memNode{isDir: true}
+	}
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	name = Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if n.isDir {
+		prefix := name + "/"
+		for p := range m.files {
+			if strings.HasPrefix(p, prefix) {
+				return fmt.Errorf("vfs: directory %s not empty", name)
+			}
+		}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// TotalBytes returns the sum of all file sizes (directories excluded).
+func (m *MemFS) TotalBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var n int64
+	for _, node := range m.files {
+		n += int64(len(node.data))
+	}
+	return n
+}
+
+// Walk visits every file (not directory) under root in sorted order.
+func Walk(fsys FS, root string, fn func(path string, info FileInfo) error) error {
+	root = Clean(root)
+	entries, err := fsys.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		p := path.Join(root, e.Name)
+		if e.IsDir {
+			if err := Walk(fsys, p, fn); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := fn(p, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type memFile struct {
+	fs       *MemFS
+	name     string
+	node     *memNode
+	off      int64
+	writable bool
+	closed   bool
+}
+
+func (f *memFile) Name() string { return f.name }
+
+func (f *memFile) Size() int64 {
+	f.fs.mu.RLock()
+	defer f.fs.mu.RUnlock()
+	return int64(len(f.node.data))
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	f.fs.mu.RLock()
+	defer f.fs.mu.RUnlock()
+	if f.off >= int64(len(f.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.data[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	f.fs.mu.RLock()
+	defer f.fs.mu.RUnlock()
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: negative offset %d", off)
+	}
+	if off >= int64(len(f.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if !f.writable {
+		return 0, fmt.Errorf("vfs: %s opened read-only", f.name)
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	// Append-at-offset semantics: extend with zeros if needed.
+	end := f.off + int64(len(p))
+	if end > int64(len(f.node.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.node.data)
+		f.node.data = grown
+	}
+	copy(f.node.data[f.off:], p)
+	f.off = end
+	return len(p), nil
+}
+
+func (f *memFile) Close() error {
+	if f.closed {
+		return ErrClosed
+	}
+	f.closed = true
+	return nil
+}

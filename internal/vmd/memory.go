@@ -1,0 +1,113 @@
+// Package vmd models the visualization front end of the evaluation: the
+// molecule loader (`mol new`, `mol addfile ... tag p`), the data-processing
+// pipeline (decompress, scan, render), a memory accountant with the
+// fat-node experiment's OOM-kill behavior, and the compute-node CPU cost
+// model the turnaround metric is built from.
+package vmd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds the compute node's
+// memory capacity — the condition the paper reports as the process being
+// "killed by the system due to memory shortage".
+var ErrOutOfMemory = errors.New("vmd: out of memory")
+
+// Memory is a virtual-memory accountant for one compute node.
+type Memory struct {
+	mu       sync.Mutex
+	capacity int64 // 0 = unlimited
+	used     int64
+	peak     int64
+	byLabel  map[string]int64
+}
+
+// NewMemory returns an accountant with the given capacity in bytes
+// (0 = unlimited).
+func NewMemory(capacity int64) *Memory {
+	return &Memory{capacity: capacity, byLabel: map[string]int64{}}
+}
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (m *Memory) Capacity() int64 { return m.capacity }
+
+// Alloc reserves n bytes under the given label. It fails with
+// ErrOutOfMemory when the reservation would exceed capacity.
+func (m *Memory) Alloc(label string, n int64) error {
+	if n < 0 {
+		panic(fmt.Sprintf("vmd: negative alloc %d (%s)", n, label))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.capacity > 0 && m.used+n > m.capacity {
+		return fmt.Errorf("%w: %s needs %d bytes, %d of %d in use",
+			ErrOutOfMemory, label, n, m.used, m.capacity)
+	}
+	m.used += n
+	m.byLabel[label] += n
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	return nil
+}
+
+// Free releases n bytes from a label. Releasing more than allocated panics:
+// it means the accounting is broken, not the workload.
+func (m *Memory) Free(label string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 || m.byLabel[label] < n {
+		panic(fmt.Sprintf("vmd: free %d from %s which holds %d", n, label, m.byLabel[label]))
+	}
+	m.byLabel[label] -= n
+	m.used -= n
+	if m.byLabel[label] == 0 {
+		delete(m.byLabel, label)
+	}
+}
+
+// FreeAll releases everything under a label and returns the amount.
+func (m *Memory) FreeAll(label string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.byLabel[label]
+	m.used -= n
+	delete(m.byLabel, label)
+	return n
+}
+
+// Used returns current usage.
+func (m *Memory) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Peak returns the high-water mark (the metric of Figs 7c, 9c, 10c).
+func (m *Memory) Peak() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// Labels returns usage per label, sorted by label name.
+func (m *Memory) Labels() []LabelUsage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LabelUsage, 0, len(m.byLabel))
+	for l, n := range m.byLabel {
+		out = append(out, LabelUsage{Label: l, Bytes: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// LabelUsage is one label's live allocation.
+type LabelUsage struct {
+	Label string
+	Bytes int64
+}

@@ -1,0 +1,242 @@
+package vmd
+
+import (
+	"container/list"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xtc"
+)
+
+// FrameSource provides random access to a trajectory's frames.
+// xtc.RandomAccessReader and core.SubsetRandomReader both satisfy it.
+type FrameSource interface {
+	Frames() int
+	ReadFrameAt(i int) (*xtc.Frame, error)
+}
+
+// CacheStats reports a FrameCache's behavior over a playback run.
+type CacheStats struct {
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	BytesLoaded int64
+}
+
+// HitRate returns the fraction of accesses served from memory.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// FrameCache keeps decoded frames in memory under a byte budget with LRU
+// eviction — the "recently retrieved frames should be evacuated from the
+// limited memory to make room for subsequent phases of frames" mechanism
+// the paper's Section 2.1 describes. A cache too small for the working set
+// thrashes under back-and-forth replay, which is exactly why ADA's smaller
+// protein-only frames keep playback fluent.
+type FrameCache struct {
+	src    FrameSource
+	mem    *Memory
+	budget int64
+	lru    *list.List            // front = most recent; values are cacheEntry
+	lookup map[int]*list.Element // frame number -> element
+	stats  CacheStats
+}
+
+type cacheEntry struct {
+	frame *xtc.Frame
+	num   int
+	bytes int64
+}
+
+// memPlayback is the memory-accounting label for cached frames.
+const memPlayback = "playback-cache"
+
+// NewFrameCache returns a cache over src limited to budget bytes of decoded
+// frames, accounted against the session's memory. A budget of 0 means
+// "whatever memory remains".
+func (s *Session) NewFrameCache(src FrameSource, budget int64) *FrameCache {
+	return &FrameCache{
+		src:    src,
+		mem:    s.Mem,
+		budget: budget,
+		lru:    list.New(),
+		lookup: map[int]*list.Element{},
+	}
+}
+
+// Stats returns the accumulated cache statistics.
+func (c *FrameCache) Stats() CacheStats { return c.stats }
+
+// Len returns the number of cached frames.
+func (c *FrameCache) Len() int { return c.lru.Len() }
+
+// usedBytes returns the bytes currently held.
+func (c *FrameCache) usedBytes() int64 {
+	var n int64
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		n += e.Value.(cacheEntry).bytes
+	}
+	return n
+}
+
+// Frame returns frame i, loading and caching it on a miss.
+func (c *FrameCache) Frame(i int) (*xtc.Frame, error) {
+	if e, ok := c.lookup[i]; ok {
+		c.lru.MoveToFront(e)
+		c.stats.Hits++
+		return e.Value.(cacheEntry).frame, nil
+	}
+	c.stats.Misses++
+	f, err := c.src.ReadFrameAt(i)
+	if err != nil {
+		return nil, fmt.Errorf("vmd: playback frame %d: %w", i, err)
+	}
+	size := xtc.RawFrameSize(f.NAtoms())
+	if c.budget > 0 && size > c.budget {
+		// Frame larger than the whole budget: serve it uncached.
+		c.stats.BytesLoaded += size
+		return f, nil
+	}
+	// Evict until the frame fits the budget and the session memory.
+	for c.budget > 0 && c.usedBytes()+size > c.budget && c.lru.Len() > 0 {
+		c.evictOldest()
+	}
+	for c.mem.Alloc(memPlayback, size) != nil {
+		if c.lru.Len() == 0 {
+			// Nothing left to evict: hand the frame out uncached rather
+			// than failing playback.
+			c.stats.BytesLoaded += size
+			return f, nil
+		}
+		c.evictOldest()
+	}
+	e := c.lru.PushFront(cacheEntry{frame: f, num: i, bytes: size})
+	c.lookup[i] = e
+	c.stats.BytesLoaded += size
+	return f, nil
+}
+
+func (c *FrameCache) evictOldest() {
+	e := c.lru.Back()
+	if e == nil {
+		return
+	}
+	entry := e.Value.(cacheEntry)
+	c.lru.Remove(e)
+	delete(c.lookup, entry.num)
+	c.mem.Free(memPlayback, entry.bytes)
+	c.stats.Evictions++
+}
+
+// Release drops every cached frame and returns the memory.
+func (c *FrameCache) Release() {
+	for c.lru.Len() > 0 {
+		c.evictOldest()
+	}
+}
+
+// ChargeDecompression wraps a random-access reader over a *compressed*
+// stream so that every frame load also charges the session's compute-side
+// decompression rate for that frame's encoded bytes — the traditional
+// playback path, where each cache miss pays decompression again.
+func (s *Session) ChargeDecompression(ra *xtc.RandomAccessReader, idx *xtc.Index) FrameSource {
+	return &decompressChargedSource{s: s, ra: ra, idx: idx}
+}
+
+type decompressChargedSource struct {
+	s   *Session
+	ra  *xtc.RandomAccessReader
+	idx *xtc.Index
+}
+
+func (d *decompressChargedSource) Frames() int { return d.ra.Frames() }
+
+func (d *decompressChargedSource) ReadFrameAt(i int) (*xtc.Frame, error) {
+	if d.s.cost.DecompressBps > 0 {
+		d.s.charge("decompress",
+			float64(d.idx.Size(i))/(d.s.cost.DecompressBps*d.s.cost.factor()))
+	}
+	return d.ra.ReadFrameAt(i)
+}
+
+// Playback access patterns (Section 2.1: biologists replay "back and
+// forth"; random access is the worst case for the cache).
+
+// Sequential plays 0..frames-1 once.
+func Sequential(frames int) []int {
+	out := make([]int, frames)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// BackAndForth sweeps forward then backward, `sweeps` times.
+func BackAndForth(frames, sweeps int) []int {
+	var out []int
+	for s := 0; s < sweeps; s++ {
+		if s%2 == 0 {
+			for i := 0; i < frames; i++ {
+				out = append(out, i)
+			}
+		} else {
+			for i := frames - 1; i >= 0; i-- {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// RandomAccess plays n uniformly random frames.
+func RandomAccess(frames, n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(frames)
+	}
+	return out
+}
+
+// PlayStats summarizes one playback run.
+type PlayStats struct {
+	FramesShown int
+	Cache       CacheStats
+	// StallSec is the virtual time spent loading misses — the pauses a
+	// viewer perceives as non-fluent animation.
+	StallSec float64
+	// RenderSec is the virtual time spent rebuilding graphics.
+	RenderSec float64
+}
+
+// Play renders the frames named by pattern through the cache, charging
+// render time per displayed frame and attributing miss-loading time to
+// stalls.
+func (s *Session) Play(cache *FrameCache, pattern []int) (PlayStats, error) {
+	var st PlayStats
+	for _, i := range pattern {
+		var before float64
+		if s.env != nil {
+			before = s.env.Clock.Now()
+		}
+		missesBefore := cache.stats.Misses
+		f, err := cache.Frame(i)
+		if err != nil {
+			return st, err
+		}
+		if s.env != nil && cache.stats.Misses > missesBefore {
+			st.StallSec += s.env.Clock.Now() - before
+		}
+		renderSec := float64(f.NAtoms()) * s.cost.RenderSecPerAtomFrame / s.cost.factor()
+		s.charge("render", renderSec)
+		st.RenderSec += renderSec
+		st.FramesShown++
+	}
+	st.Cache = cache.Stats()
+	return st, nil
+}

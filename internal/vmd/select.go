@@ -1,0 +1,222 @@
+package vmd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/pdb"
+	"repro/internal/rangelist"
+)
+
+// Selection expressions are VMD's way of naming atom subsets
+// ("protein and chain A", "water or ion", "not hetatm"). This is a small
+// recursive-descent implementation of the boolean core of that language:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr { "or" andExpr }
+//	andExpr := unary { "and" unary }
+//	unary   := "not" unary | "(" expr ")" | primary
+//	primary := "all" | "none" | "protein" | "water" | "lipid" | "ion"
+//	         | "ligand" | "other" | "hetatm"
+//	         | "chain" ID | "resname" NAME | "element" SYM
+//	         | "index" N [ "to" N ]
+//
+// Keywords are case-insensitive.
+
+// Select evaluates a selection expression against a structure, returning
+// the matching atom indices as ranges.
+func Select(s *pdb.Structure, expr string) (*rangelist.List, error) {
+	p := &selParser{tokens: tokenize(expr)}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, fmt.Errorf("vmd: select %q: %w", expr, err)
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("vmd: select %q: unexpected %q", expr, p.peek())
+	}
+	out := rangelist.New()
+	begin := -1
+	for i := range s.Atoms {
+		if pred(&s.Atoms[i], i) {
+			if begin < 0 {
+				begin = i
+			}
+			continue
+		}
+		if begin >= 0 {
+			out.Append(begin, i)
+			begin = -1
+		}
+	}
+	if begin >= 0 {
+		out.Append(begin, s.NAtoms())
+	}
+	return out, nil
+}
+
+// SetSelection replaces the session's render selection with the atoms
+// matching the expression (evaluated against the loaded structure).
+func (s *Session) SetSelection(expr string) error {
+	if s.structure == nil {
+		return fmt.Errorf("vmd: no structure loaded (mol new first)")
+	}
+	sel, err := Select(s.structure, expr)
+	if err != nil {
+		return err
+	}
+	s.selection = sel
+	return nil
+}
+
+type atomPred func(a *pdb.Atom, index int) bool
+
+func tokenize(expr string) []string {
+	expr = strings.ReplaceAll(expr, "(", " ( ")
+	expr = strings.ReplaceAll(expr, ")", " ) ")
+	return strings.Fields(expr)
+}
+
+type selParser struct {
+	tokens []string
+	pos    int
+}
+
+func (p *selParser) done() bool { return p.pos >= len(p.tokens) }
+
+func (p *selParser) peek() string {
+	if p.done() {
+		return ""
+	}
+	return p.tokens[p.pos]
+}
+
+func (p *selParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *selParser) accept(keyword string) bool {
+	if strings.EqualFold(p.peek(), keyword) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *selParser) parseOr() (atomPred, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l, r := left, right
+		left = func(a *pdb.Atom, i int) bool { return l(a, i) || r(a, i) }
+	}
+	return left, nil
+}
+
+func (p *selParser) parseAnd() (atomPred, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("and") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l, r := left, right
+		left = func(a *pdb.Atom, i int) bool { return l(a, i) && r(a, i) }
+	}
+	return left, nil
+}
+
+func (p *selParser) parseUnary() (atomPred, error) {
+	if p.accept("not") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return func(a *pdb.Atom, i int) bool { return !inner(a, i) }, nil
+	}
+	if p.accept("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, fmt.Errorf("missing closing parenthesis")
+		}
+		return inner, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *selParser) parsePrimary() (atomPred, error) {
+	tok := p.next()
+	if tok == "" {
+		return nil, fmt.Errorf("unexpected end of expression")
+	}
+	switch strings.ToLower(tok) {
+	case "all":
+		return func(*pdb.Atom, int) bool { return true }, nil
+	case "none":
+		return func(*pdb.Atom, int) bool { return false }, nil
+	case "protein", "water", "lipid", "ion", "ligand", "other":
+		cat, err := pdb.ParseCategory(tok)
+		if err != nil {
+			return nil, err
+		}
+		return func(a *pdb.Atom, _ int) bool { return a.Category == cat }, nil
+	case "hetatm":
+		return func(a *pdb.Atom, _ int) bool { return a.HetAtm }, nil
+	case "chain":
+		arg := p.next()
+		if len(arg) != 1 {
+			return nil, fmt.Errorf("chain wants a single letter, got %q", arg)
+		}
+		id := arg[0]
+		return func(a *pdb.Atom, _ int) bool { return a.ChainID == id }, nil
+	case "resname":
+		arg := strings.ToUpper(p.next())
+		if arg == "" {
+			return nil, fmt.Errorf("resname wants a residue name")
+		}
+		return func(a *pdb.Atom, _ int) bool {
+			return strings.ToUpper(a.ResName) == arg
+		}, nil
+	case "element":
+		arg := strings.ToUpper(p.next())
+		if arg == "" {
+			return nil, fmt.Errorf("element wants a symbol")
+		}
+		return func(a *pdb.Atom, _ int) bool {
+			return strings.ToUpper(strings.TrimSpace(a.Element)) == arg
+		}, nil
+	case "index":
+		loTok := p.next()
+		lo, err := strconv.Atoi(loTok)
+		if err != nil {
+			return nil, fmt.Errorf("index wants a number, got %q", loTok)
+		}
+		hi := lo
+		if p.accept("to") {
+			hiTok := p.next()
+			if hi, err = strconv.Atoi(hiTok); err != nil {
+				return nil, fmt.Errorf("index range end: %q", hiTok)
+			}
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("inverted index range %d to %d", lo, hi)
+		}
+		return func(_ *pdb.Atom, i int) bool { return i >= lo && i <= hi }, nil
+	default:
+		return nil, fmt.Errorf("unknown keyword %q", tok)
+	}
+}

@@ -1,0 +1,123 @@
+package vmd
+
+import (
+	"testing"
+
+	"repro/internal/pdb"
+)
+
+// selStructure builds a small structure with known layout:
+// 0-3 protein chain A (ALA), 4-5 protein chain B (TRP),
+// 6-8 water chain W (SOL), 9 ion (SOD, hetatm), 10 ligand (LIG, hetatm).
+func selStructure() *pdb.Structure {
+	s := &pdb.Structure{}
+	add := func(res string, chain byte, elem string, het bool, n int) {
+		for i := 0; i < n; i++ {
+			a := pdb.Atom{ResName: res, ChainID: chain, Element: elem, HetAtm: het}
+			a.Category = pdb.Classify(res, het)
+			s.Atoms = append(s.Atoms, a)
+		}
+	}
+	add("ALA", 'A', "C", false, 4)
+	add("TRP", 'B', "C", false, 2)
+	add("SOL", 'W', "O", false, 3)
+	add("SOD", 'I', "NA", true, 1)
+	add("LIG", 'L', "C", true, 1)
+	return s
+}
+
+func TestSelectExpressions(t *testing.T) {
+	s := selStructure()
+	cases := []struct {
+		expr string
+		want string // rangelist string
+	}{
+		{"all", "0-11"},
+		{"none", ""},
+		{"protein", "0-6"},
+		{"water", "6-9"},
+		{"ion", "9-10"},
+		{"ligand", "10-11"},
+		{"hetatm", "9-11"},
+		{"chain A", "0-4"},
+		{"chain B", "4-6"},
+		{"resname TRP", "4-6"},
+		{"resname trp", "4-6"},
+		{"element O", "6-9"},
+		{"element NA", "9-10"},
+		{"index 3", "3-4"},
+		{"index 2 to 5", "2-6"},
+		{"protein and chain B", "4-6"},
+		{"protein or water", "0-9"},
+		{"not protein", "6-11"},
+		{"not (protein or water)", "9-11"},
+		{"protein and not chain A", "4-6"},
+		{"hetatm and element C", "10-11"},
+		{"water or ion or ligand", "6-11"},
+		{"PROTEIN AND CHAIN A", "0-4"}, // keywords case-insensitive
+	}
+	for _, c := range cases {
+		got, err := Select(s, c.expr)
+		if err != nil {
+			t.Errorf("Select(%q): %v", c.expr, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("Select(%q) = %q, want %q", c.expr, got.String(), c.want)
+		}
+	}
+}
+
+func TestSelectPrecedence(t *testing.T) {
+	s := selStructure()
+	// "a or b and c" parses as "a or (b and c)".
+	got, err := Select(s, "ion or protein and chain A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "0-4,9-10" {
+		t.Errorf("precedence: %s", got)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	s := selStructure()
+	for _, expr := range []string{
+		"", "bogus", "protein and", "not", "(protein", "chain AB", "chain",
+		"resname", "element", "index x", "index 5 to 2", "protein extra",
+		"index 1 to x",
+	} {
+		if _, err := Select(s, expr); err == nil {
+			t.Errorf("Select(%q) should fail", expr)
+		}
+	}
+}
+
+func TestSetSelection(t *testing.T) {
+	fx := newFixture(t, 300, 2, nil)
+	sess := NewSession(nil, 0, ComputeCost{})
+	if err := sess.SetSelection("protein"); err == nil {
+		t.Error("SetSelection before MolNew should fail")
+	}
+	if err := sess.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetSelection("water"); err != nil {
+		t.Fatal(err)
+	}
+	counts := fx.sys.Structure.CategoryCounts()
+	if sess.SelectionCount() != counts[pdb.Water] {
+		t.Errorf("selection = %d, want %d water atoms", sess.SelectionCount(), counts[pdb.Water])
+	}
+	// Render now uses the custom selection.
+	if err := sess.LoadRaw(fx.fs, "/data/traj.raw.xtc"); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.RenderLoaded()
+	if st.AtomsPerFrame != counts[pdb.Water] {
+		t.Errorf("rendered %d atoms, want %d", st.AtomsPerFrame, counts[pdb.Water])
+	}
+	if err := sess.SetSelection("not a valid ("); err == nil {
+		t.Error("invalid expression should fail")
+	}
+}

@@ -1,0 +1,424 @@
+package vmd
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dcd"
+	"repro/internal/gpcr"
+	"repro/internal/mdsim"
+	"repro/internal/pdb"
+	"repro/internal/plfs"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/xtc"
+)
+
+// fixture bundles a tiny ingested dataset plus traditional-FS copies.
+type fixture struct {
+	sys       *gpcr.System
+	pdbBytes  []byte
+	traj      []byte // compressed
+	rawTraj   []byte // decompressed
+	frames    int
+	fs        *vfs.MemFS // traditional FS holding both forms
+	ada       *core.ADA
+	adaEnvFSs []*vfs.MemFS
+}
+
+func newFixture(t testing.TB, scale, frames int, env *sim.Env) *fixture {
+	t.Helper()
+	sys, err := gpcr.Scaled(scale).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pb bytes.Buffer
+	if err := pdb.Write(&pb, sys.Structure); err != nil {
+		t.Fatal(err)
+	}
+	cats := make([]pdb.Category, sys.Structure.NAtoms())
+	for i := range cats {
+		cats[i] = sys.Structure.Atoms[i].Category
+	}
+	s, err := mdsim.New(sys.Coords, cats, sys.Box, mdsim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb, rb bytes.Buffer
+	cw := xtc.NewWriter(&cb)
+	rw := xtc.NewRawWriter(&rb)
+	for i := 0; i < frames; i++ {
+		f := s.Step()
+		if err := cw.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fsys := vfs.NewMemFS()
+	if err := vfs.WriteFile(fsys, "/data/sys.pdb", pb.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fsys, "/data/traj.xtc", cb.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fsys, "/data/traj.raw.xtc", rb.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	ssd, hdd := vfs.NewMemFS(), vfs.NewMemFS()
+	containers, err := plfs.New(
+		plfs.Backend{Name: "ssd", FS: ssd, Mount: "/mnt1"},
+		plfs.Backend{Name: "hdd", FS: hdd, Mount: "/mnt2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.New(containers, env, core.Options{})
+	if _, err := a.Ingest("/traj.xtc", pb.Bytes(), bytes.NewReader(cb.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		sys: sys, pdbBytes: pb.Bytes(), traj: cb.Bytes(), rawTraj: rb.Bytes(),
+		frames: frames, fs: fsys, ada: a, adaEnvFSs: []*vfs.MemFS{ssd, hdd},
+	}
+}
+
+func TestMemoryAccountant(t *testing.T) {
+	m := NewMemory(100)
+	if err := m.Alloc("a", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Alloc("b", 50); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("over-capacity alloc: %v", err)
+	}
+	if err := m.Alloc("b", 40); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 100 || m.Peak() != 100 {
+		t.Errorf("used=%d peak=%d", m.Used(), m.Peak())
+	}
+	m.Free("a", 60)
+	if m.Used() != 40 || m.Peak() != 100 {
+		t.Errorf("after free: used=%d peak=%d", m.Used(), m.Peak())
+	}
+	labels := m.Labels()
+	if len(labels) != 1 || labels[0].Label != "b" || labels[0].Bytes != 40 {
+		t.Errorf("labels = %+v", labels)
+	}
+	if got := m.FreeAll("b"); got != 40 {
+		t.Errorf("FreeAll = %d", got)
+	}
+	if m.Used() != 0 {
+		t.Errorf("used = %d", m.Used())
+	}
+}
+
+func TestMemoryUnlimited(t *testing.T) {
+	m := NewMemory(0)
+	if err := m.Alloc("x", 1<<50); err != nil {
+		t.Errorf("unlimited alloc failed: %v", err)
+	}
+}
+
+func TestMemoryMisuse(t *testing.T) {
+	m := NewMemory(0)
+	m.Alloc("a", 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-free should panic")
+		}
+	}()
+	m.Free("a", 6)
+}
+
+func TestMolNew(t *testing.T) {
+	fx := newFixture(t, 300, 1, nil)
+	s := NewSession(nil, 0, ComputeCost{})
+	if err := s.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Structure().NAtoms() != fx.sys.Structure.NAtoms() {
+		t.Errorf("structure atoms = %d", s.Structure().NAtoms())
+	}
+	counts := fx.sys.Structure.CategoryCounts()
+	if s.SelectionCount() != counts[pdb.Protein] {
+		t.Errorf("selection = %d, want %d protein atoms", s.SelectionCount(), counts[pdb.Protein])
+	}
+}
+
+func TestAllLoadPathsAgreeOnProteinCoords(t *testing.T) {
+	fx := newFixture(t, 300, 3, nil)
+	counts := fx.sys.Structure.CategoryCounts()
+	nprot := counts[pdb.Protein]
+
+	load := func(name string, load func(s *Session) error) *Session {
+		s := NewSession(nil, 0, ComputeCost{})
+		if err := s.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := load(s); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Frames() != fx.frames {
+			t.Fatalf("%s: frames = %d", name, s.Frames())
+		}
+		return s
+	}
+	cSess := load("C", func(s *Session) error { return s.LoadCompressed(fx.fs, "/data/traj.xtc") })
+	dSess := load("D", func(s *Session) error { return s.LoadRaw(fx.fs, "/data/traj.raw.xtc") })
+	aAll := load("ADA-all", func(s *Session) error { return s.LoadADAFull(fx.ada, "/traj.xtc") })
+	aProt := load("ADA-p", func(s *Session) error { return s.LoadADASubset(fx.ada, "/traj.xtc", core.TagProtein) })
+
+	if aProt.Frame(0).NAtoms() != nprot {
+		t.Fatalf("ADA-p frame atoms = %d, want %d", aProt.Frame(0).NAtoms(), nprot)
+	}
+	// Protein coordinates must agree across every path (within quantization).
+	labels := core.BuildLabels(fx.sys.Structure)
+	protIdx := labels.CategoryRanges(pdb.Protein).Indices()
+	tol := 2*xtc.MaxError(xtc.DefaultPrecision) + 1e-6
+	for k := 0; k < fx.frames; k++ {
+		for j, atom := range protIdx {
+			want := cSess.Frame(k).Coords[atom]
+			for _, pair := range []struct {
+				name string
+				got  xtc.Vec3
+			}{
+				{"D", dSess.Frame(k).Coords[atom]},
+				{"ADA-all", aAll.Frame(k).Coords[atom]},
+				{"ADA-p", aProt.Frame(k).Coords[j]},
+			} {
+				for d := 0; d < 3; d++ {
+					if math.Abs(float64(pair.got[d]-want[d])) > tol {
+						t.Fatalf("frame %d atom %d %s: %v vs %v", k, atom, pair.name, pair.got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMemoryShapesAcrossScenarios(t *testing.T) {
+	// Fig 7c: memory(C) = compressed + raw; memory(D/ADA-all) = raw;
+	// memory(ADA-p) = protein raw only.
+	fx := newFixture(t, 300, 4, nil)
+	peak := func(load func(s *Session) error) int64 {
+		s := NewSession(nil, 0, ComputeCost{})
+		if err := s.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+			t.Fatal(err)
+		}
+		if err := load(s); err != nil {
+			t.Fatal(err)
+		}
+		return s.Mem.Peak()
+	}
+	c := peak(func(s *Session) error { return s.LoadCompressed(fx.fs, "/data/traj.xtc") })
+	d := peak(func(s *Session) error { return s.LoadRaw(fx.fs, "/data/traj.raw.xtc") })
+	all := peak(func(s *Session) error { return s.LoadADAFull(fx.ada, "/traj.xtc") })
+	prot := peak(func(s *Session) error { return s.LoadADASubset(fx.ada, "/traj.xtc", core.TagProtein) })
+
+	natoms := fx.sys.Structure.NAtoms()
+	raw := int64(fx.frames) * xtc.RawFrameSize(natoms)
+	// The C path frees compressed bytes as they are consumed, so its peak
+	// sits between the raw size and raw + one compressed frame's worth.
+	if c < raw || c > raw+int64(len(fx.traj)) {
+		t.Errorf("C peak = %d, want within [%d, %d]", c, raw, raw+int64(len(fx.traj)))
+	}
+	if d != raw || all != raw {
+		t.Errorf("D peak = %d, ADA-all peak = %d, want %d", d, all, raw)
+	}
+	counts := fx.sys.Structure.CategoryCounts()
+	wantProt := int64(fx.frames) * xtc.RawFrameSize(counts[pdb.Protein])
+	if prot != wantProt {
+		t.Errorf("ADA-p peak = %d, want %d", prot, wantProt)
+	}
+	if ratio := float64(c) / float64(prot); ratio < 2 {
+		t.Errorf("C/ADA-p memory ratio = %.2f, want > 2 (paper: 2.5x+)", ratio)
+	}
+}
+
+func TestCPUChargesByScenario(t *testing.T) {
+	// Enough frames that the trajectory dwarfs the structure file, as in
+	// any real workload (Fig 8's profile is taken at 5,006 frames).
+	fx := newFixture(t, 300, 120, nil)
+	run := func(load func(s *Session) error) *sim.Profile {
+		env := sim.NewEnv()
+		s := NewSession(env, 0, ComputeCost{})
+		if err := s.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+			t.Fatal(err)
+		}
+		if err := load(s); err != nil {
+			t.Fatal(err)
+		}
+		s.RenderLoaded()
+		return env.Profile
+	}
+	c := run(func(s *Session) error { return s.LoadCompressed(fx.fs, "/data/traj.xtc") })
+	if c.Get("compute.cpu.decompress") <= 0 {
+		t.Error("C path must decompress on the compute node")
+	}
+	// Fig 8: decompression dominates the compute CPU in the C path.
+	cpu := c.TotalPrefix("compute.cpu.")
+	if frac := c.Get("compute.cpu.decompress") / cpu; frac < 0.5 {
+		t.Errorf("decompress fraction = %.2f, want > 0.5", frac)
+	}
+	p := run(func(s *Session) error { return s.LoadADASubset(fx.ada, "/traj.xtc", core.TagProtein) })
+	if p.Get("compute.cpu.decompress") != 0 || p.Get("compute.cpu.scan") != 0 {
+		t.Error("ADA subset path must not decompress or scan on the compute node")
+	}
+	if p.Get("compute.cpu.render") <= 0 {
+		t.Error("render must be charged")
+	}
+}
+
+func TestRenderSelection(t *testing.T) {
+	fx := newFixture(t, 300, 2, nil)
+	s := NewSession(nil, 0, ComputeCost{})
+	if err := s.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadRaw(fx.fs, "/data/traj.raw.xtc"); err != nil {
+		t.Fatal(err)
+	}
+	st := s.RenderLoaded()
+	counts := fx.sys.Structure.CategoryCounts()
+	if st.AtomsPerFrame != counts[pdb.Protein] {
+		t.Errorf("full-system render uses %d atoms, want protein %d", st.AtomsPerFrame, counts[pdb.Protein])
+	}
+	s.Unload()
+	if err := s.LoadADASubset(fx.ada, "/traj.xtc", core.TagProtein); err != nil {
+		t.Fatal(err)
+	}
+	st = s.RenderLoaded()
+	if st.AtomsPerFrame != counts[pdb.Protein] {
+		t.Errorf("subset render uses %d atoms", st.AtomsPerFrame)
+	}
+	if st.Frames != 2 {
+		t.Errorf("frames = %d", st.Frames)
+	}
+}
+
+func TestReplayChargesRepeatedly(t *testing.T) {
+	fx := newFixture(t, 300, 2, nil)
+	env := sim.NewEnv()
+	s := NewSession(env, 0, ComputeCost{})
+	if err := s.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadADASubset(fx.ada, "/traj.xtc", core.TagProtein); err != nil {
+		t.Fatal(err)
+	}
+	s.RenderLoaded()
+	one := env.Profile.Get("compute.cpu.render")
+	s.Replay(3)
+	if got := env.Profile.Get("compute.cpu.render"); math.Abs(got-4*one) > 1e-12 {
+		t.Errorf("render after 3 replays = %v, want %v", got, 4*one)
+	}
+}
+
+func TestOOMKill(t *testing.T) {
+	fx := newFixture(t, 300, 4, nil)
+	natoms := fx.sys.Structure.NAtoms()
+	raw := int64(fx.frames) * xtc.RawFrameSize(natoms)
+	// Capacity fits compressed file + half the raw frames: the C path must
+	// die mid-decompression, exactly like XFS on the fat node.
+	s := NewSession(nil, int64(len(fx.traj))+raw/2, ComputeCost{})
+	if err := s.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.LoadCompressed(fx.fs, "/data/traj.xtc")
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// The ADA protein path fits in the same capacity.
+	s2 := NewSession(nil, int64(len(fx.traj))+raw/2, ComputeCost{})
+	if err := s2.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LoadADASubset(fx.ada, "/traj.xtc", core.TagProtein); err != nil {
+		t.Errorf("ADA subset load should fit: %v", err)
+	}
+}
+
+func TestLoadDCD(t *testing.T) {
+	fx := newFixture(t, 300, 3, nil)
+	// Convert the raw trajectory to DCD on the same FS.
+	frames, err := xtc.NewReader(bytes.NewReader(fx.rawTraj)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := dcd.NewWriter(&buf, dcd.Header{NFrames: len(frames), HasUnitCell: true, DeltaPS: 10})
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fx.fs, "/data/traj.dcd", buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	env := sim.NewEnv()
+	s := NewSession(env, 0, ComputeCost{})
+	if err := s.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadDCD(fx.fs, "/data/traj.dcd"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Frames() != 3 {
+		t.Fatalf("frames = %d", s.Frames())
+	}
+	if env.Profile.Get("compute.cpu.decompress") != 0 {
+		t.Error("DCD load charged decompression")
+	}
+	if env.Profile.Get("compute.cpu.scan") <= 0 {
+		t.Error("DCD load did not charge scanning")
+	}
+	// Coordinates agree with the raw XTC load within conversion error.
+	s2 := NewSession(nil, 0, ComputeCost{})
+	if err := s2.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LoadRaw(fx.fs, "/data/traj.raw.xtc"); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		for i := range s.Frame(k).Coords {
+			for d := 0; d < 3; d++ {
+				diff := math.Abs(float64(s.Frame(k).Coords[i][d] - s2.Frame(k).Coords[i][d]))
+				if diff > 1e-4 {
+					t.Fatalf("frame %d atom %d: diff %g", k, i, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestUnloadReleasesMemory(t *testing.T) {
+	fx := newFixture(t, 300, 2, nil)
+	s := NewSession(nil, 0, ComputeCost{})
+	if err := s.MolNew(fx.fs, "/data/sys.pdb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadCompressed(fx.fs, "/data/traj.xtc"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mem.Used() == 0 {
+		t.Fatal("nothing allocated")
+	}
+	s.Unload()
+	if s.Mem.Used() != 0 {
+		t.Errorf("used after Unload = %d", s.Mem.Used())
+	}
+	if s.Frames() != 0 {
+		t.Errorf("frames after Unload = %d", s.Frames())
+	}
+}

@@ -1,0 +1,133 @@
+package xdr
+
+import "fmt"
+
+// BitWriter packs values of arbitrary bit width into a byte stream,
+// most-significant bit first, matching the packing order used by the
+// GROMACS trajectory compressor.
+type BitWriter struct {
+	buf    []byte
+	cur    uint32 // bits accumulated, left-aligned within lastbits
+	nbits  uint   // number of valid bits in cur (0..7 between calls)
+	closed bool
+}
+
+// NewBitWriter returns a BitWriter with the given initial byte capacity.
+func NewBitWriter(capacity int) *BitWriter {
+	return &BitWriter{buf: make([]byte, 0, capacity)}
+}
+
+// WriteBits appends the low nbits bits of v, MSB first.
+// nbits must be in [0, 32].
+func (w *BitWriter) WriteBits(v uint32, nbits uint) {
+	if nbits > 32 {
+		panic(fmt.Sprintf("xdr: WriteBits width %d out of range", nbits))
+	}
+	if nbits < 32 {
+		v &= (1 << nbits) - 1
+	}
+	for nbits > 0 {
+		take := 8 - w.nbits
+		if take > nbits {
+			take = nbits
+		}
+		w.cur = (w.cur << take) | (v >> (nbits - take) & ((1 << take) - 1))
+		w.nbits += take
+		nbits -= take
+		if w.nbits == 8 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur, w.nbits = 0, 0
+		}
+	}
+}
+
+// WriteBitsBig appends a value wider than 32 bits expressed as a slice of
+// bytes in big-endian order, using exactly nbits bits.
+func (w *BitWriter) WriteBitsBig(bytes []byte, nbits uint) {
+	rem := nbits % 8
+	idx := 0
+	if rem != 0 {
+		w.WriteBits(uint32(bytes[0]), rem)
+		idx = 1
+	}
+	for ; idx < len(bytes); idx++ {
+		w.WriteBits(uint32(bytes[idx]), 8)
+	}
+}
+
+// Bytes flushes any partial byte (zero-padded on the right) and returns the
+// packed buffer. After Bytes the writer must not be written to again.
+func (w *BitWriter) Bytes() []byte {
+	if !w.closed {
+		if w.nbits > 0 {
+			w.buf = append(w.buf, byte(w.cur<<(8-w.nbits)))
+			w.cur, w.nbits = 0, 0
+		}
+		w.closed = true
+	}
+	return w.buf
+}
+
+// BitLen returns the number of bits written so far.
+func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.nbits) }
+
+// BitReader unpacks values written by BitWriter.
+type BitReader struct {
+	buf   []byte
+	off   int  // byte offset
+	nbits uint // bits already consumed from buf[off]
+	err   error
+}
+
+// NewBitReader returns a BitReader over p.
+func NewBitReader(p []byte) *BitReader { return &BitReader{buf: p} }
+
+// Err returns the first error encountered.
+func (r *BitReader) Err() error { return r.err }
+
+// ReadBits reads nbits bits (MSB first) and returns them right-aligned.
+// nbits must be in [0, 32]. On underflow it records an error and returns 0.
+func (r *BitReader) ReadBits(nbits uint) uint32 {
+	if nbits > 32 {
+		panic(fmt.Sprintf("xdr: ReadBits width %d out of range", nbits))
+	}
+	var v uint32
+	for nbits > 0 {
+		if r.err != nil {
+			return 0
+		}
+		if r.off >= len(r.buf) {
+			r.err = fmt.Errorf("%w: bit read past end (%d bytes)", ErrShortBuffer, len(r.buf))
+			return 0
+		}
+		avail := 8 - r.nbits
+		take := avail
+		if take > nbits {
+			take = nbits
+		}
+		chunk := uint32(r.buf[r.off]) >> (avail - take) & ((1 << take) - 1)
+		v = (v << take) | chunk
+		r.nbits += take
+		nbits -= take
+		if r.nbits == 8 {
+			r.off++
+			r.nbits = 0
+		}
+	}
+	return v
+}
+
+// ReadBitsBig reads nbits bits into dst in big-endian byte order.
+// dst must have at least (nbits+7)/8 bytes.
+func (r *BitReader) ReadBitsBig(dst []byte, nbits uint) {
+	n := int((nbits + 7) / 8)
+	rem := nbits % 8
+	idx := 0
+	if rem != 0 {
+		dst[0] = byte(r.ReadBits(rem))
+		idx = 1
+	}
+	for ; idx < n; idx++ {
+		dst[idx] = byte(r.ReadBits(8))
+	}
+}

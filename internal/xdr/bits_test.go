@@ -1,0 +1,125 @@
+package xdr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterSingleBits(t *testing.T) {
+	w := NewBitWriter(4)
+	// 1010 1100 -> 0xAC
+	for _, b := range []uint32{1, 0, 1, 0, 1, 1, 0, 0} {
+		w.WriteBits(b, 1)
+	}
+	got := w.Bytes()
+	if len(got) != 1 || got[0] != 0xAC {
+		t.Errorf("bytes = %v, want [0xAC]", got)
+	}
+}
+
+func TestBitWriterPartialFlush(t *testing.T) {
+	w := NewBitWriter(4)
+	w.WriteBits(0b101, 3)
+	got := w.Bytes()
+	// 101 padded to 1010_0000
+	if len(got) != 1 || got[0] != 0xA0 {
+		t.Errorf("bytes = %v, want [0xA0]", got)
+	}
+}
+
+func TestBitRoundTripFixed(t *testing.T) {
+	widths := []uint{1, 3, 5, 7, 8, 9, 13, 16, 21, 24, 31, 32}
+	vals := []uint32{0, 1, 2, 0x55, 0xff, 0x1234, 0xdeadbeef, 1 << 31}
+	w := NewBitWriter(64)
+	for _, wd := range widths {
+		for _, v := range vals {
+			w.WriteBits(v, wd)
+		}
+	}
+	r := NewBitReader(w.Bytes())
+	for _, wd := range widths {
+		for _, v := range vals {
+			want := v
+			if wd < 32 {
+				want &= (1 << wd) - 1
+			}
+			if got := r.ReadBits(wd); got != want {
+				t.Fatalf("width %d value %#x: got %#x, want %#x", wd, v, got, want)
+			}
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestBitRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%64 + 1
+		widths := make([]uint, count)
+		vals := make([]uint32, count)
+		w := NewBitWriter(256)
+		for i := range widths {
+			widths[i] = uint(rng.Intn(32) + 1)
+			vals[i] = rng.Uint32() & ((1 << widths[i]) - 1)
+			if widths[i] == 32 {
+				vals[i] = rng.Uint32()
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewBitReader(w.Bytes())
+		for i := range widths {
+			if r.ReadBits(widths[i]) != vals[i] {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsBigRoundTrip(t *testing.T) {
+	// A 52-bit value spread over 7 bytes (big-endian, left-trimmed).
+	src := []byte{0x0a, 0xbc, 0xde, 0xf1, 0x23, 0x45, 0x67}
+	const nbits = 52
+	w := NewBitWriter(16)
+	w.WriteBits(0b11, 2) // misalign on purpose
+	w.WriteBitsBig(src, nbits)
+	r := NewBitReader(w.Bytes())
+	if got := r.ReadBits(2); got != 0b11 {
+		t.Fatalf("prefix = %b", got)
+	}
+	dst := make([]byte, len(src))
+	r.ReadBitsBig(dst, nbits)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d = %#x, want %#x (dst=%x)", i, dst[i], src[i], dst)
+		}
+	}
+}
+
+func TestBitReaderUnderflow(t *testing.T) {
+	r := NewBitReader([]byte{0xff})
+	_ = r.ReadBits(8)
+	_ = r.ReadBits(1)
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Errorf("err = %v, want ErrShortBuffer", r.Err())
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewBitWriter(8)
+	w.WriteBits(1, 5)
+	if w.BitLen() != 5 {
+		t.Errorf("BitLen = %d, want 5", w.BitLen())
+	}
+	w.WriteBits(0, 11)
+	if w.BitLen() != 16 {
+		t.Errorf("BitLen = %d, want 16", w.BitLen())
+	}
+}

@@ -1,0 +1,160 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderScalars(t *testing.T) {
+	w := NewWriter(64)
+	w.Uint32(0xdeadbeef)
+	w.Int32(-42)
+	w.Uint64(1 << 40)
+	w.Int64(-(1 << 40))
+	w.Float32(3.5)
+	w.Float64(-2.25)
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Errorf("Uint32 = %#x, want 0xdeadbeef", got)
+	}
+	if got := r.Int32(); got != -42 {
+		t.Errorf("Int32 = %d, want -42", got)
+	}
+	if got := r.Uint64(); got != 1<<40 {
+		t.Errorf("Uint64 = %d, want %d", got, uint64(1)<<40)
+	}
+	if got := r.Int64(); got != -(1 << 40) {
+		t.Errorf("Int64 = %d, want %d", got, -(int64(1) << 40))
+	}
+	if got := r.Float32(); got != 3.5 {
+		t.Errorf("Float32 = %v, want 3.5", got)
+	}
+	if got := r.Float64(); got != -2.25 {
+		t.Errorf("Float64 = %v, want -2.25", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestBigEndianLayout(t *testing.T) {
+	w := NewWriter(4)
+	w.Uint32(0x01020304)
+	want := []byte{1, 2, 3, 4}
+	if !bytes.Equal(w.Bytes(), want) {
+		t.Errorf("layout = %v, want %v", w.Bytes(), want)
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		w := NewWriter(16)
+		data := bytes.Repeat([]byte{0xab}, n)
+		w.Opaque(data)
+		if w.Len()%4 != 0 {
+			t.Errorf("n=%d: opaque len %d not 4-aligned", n, w.Len())
+		}
+		r := NewReader(w.Bytes())
+		got := r.Opaque(n)
+		if !bytes.Equal(got, data) {
+			t.Errorf("n=%d: roundtrip = %v, want %v", n, got, data)
+		}
+		if r.Err() != nil || r.Remaining() != 0 {
+			t.Errorf("n=%d: err=%v remaining=%d", n, r.Err(), r.Remaining())
+		}
+	}
+}
+
+func TestVarOpaqueAndString(t *testing.T) {
+	w := NewWriter(32)
+	w.VarOpaque([]byte("hello"))
+	w.String("xtc")
+	r := NewReader(w.Bytes())
+	if got := string(r.VarOpaque()); got != "hello" {
+		t.Errorf("VarOpaque = %q", got)
+	}
+	if got := r.String(); got != "xtc" {
+		t.Errorf("String = %q", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.Uint32()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Errorf("err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Error is sticky.
+	_ = r.Uint32()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Errorf("sticky err = %v", r.Err())
+	}
+}
+
+func TestVarOpaqueBogusLength(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint32(1 << 30) // absurd length, no data
+	r := NewReader(w.Bytes())
+	if got := r.VarOpaque(); got != nil {
+		t.Errorf("VarOpaque = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Errorf("err = %v, want ErrShortBuffer", r.Err())
+	}
+}
+
+func TestFloatRoundTripQuick(t *testing.T) {
+	f := func(a float32, b float64) bool {
+		w := NewWriter(16)
+		w.Float32(a)
+		w.Float64(b)
+		r := NewReader(w.Bytes())
+		ga, gb := r.Float32(), r.Float64()
+		eq32 := ga == a || (math.IsNaN(float64(a)) && math.IsNaN(float64(ga)))
+		eq64 := gb == b || (math.IsNaN(b) && math.IsNaN(gb))
+		return eq32 && eq64 && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntRoundTripQuick(t *testing.T) {
+	f := func(a uint32, b int32, c uint64, d int64) bool {
+		w := NewWriter(32)
+		w.Uint32(a)
+		w.Int32(b)
+		w.Uint64(c)
+		w.Int64(d)
+		r := NewReader(w.Bytes())
+		return r.Uint32() == a && r.Int32() == b &&
+			r.Uint64() == c && r.Int64() == d && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint32(7)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Errorf("Len after Reset = %d", w.Len())
+	}
+	w.Uint32(9)
+	r := NewReader(w.Bytes())
+	if got := r.Uint32(); got != 9 {
+		t.Errorf("after reset got %d, want 9", got)
+	}
+}

@@ -1,0 +1,350 @@
+package xtc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/xdr"
+)
+
+// Vec3 is a single-precision 3-D coordinate in nanometers.
+type Vec3 [3]float32
+
+// Coordinate quantization limits: quantized values must stay well inside
+// int32 so per-dimension spans fit uint32 arithmetic.
+const (
+	maxQuantized = 1 << 30
+	// maxRunAtoms is the longest delta-coded run following an absolutely
+	// coded atom (8 atoms = 24 ints, matching the XTC 5-bit run field).
+	maxRunAtoms = 8
+)
+
+// ErrPrecision is returned when a coordinate does not fit the quantization
+// range at the requested precision.
+var ErrPrecision = errors.New("xtc: coordinate exceeds quantization range")
+
+// coderState holds the adaptive small-delta width shared by the compressor
+// and decompressor. Both sides must evolve it identically.
+type coderState struct {
+	smallIdx  int
+	minIdx    int
+	maxIdx    int
+	smallNum  int32  // half of magicints[smallIdx]
+	sizeSmall uint32 // magicints[smallIdx]
+	smaller   int32  // half of magicints[smallIdx-1]
+	nbitsRun  uint   // bits for one delta triplet at smallIdx
+}
+
+func newCoderState(smallIdx int) coderState {
+	s := coderState{smallIdx: smallIdx}
+	s.maxIdx = smallIdx + 8
+	if s.maxIdx > lastIdx {
+		s.maxIdx = lastIdx
+	}
+	s.minIdx = s.maxIdx - 8
+	if s.minIdx < firstIdx {
+		s.minIdx = firstIdx
+	}
+	s.refresh()
+	return s
+}
+
+func (s *coderState) refresh() {
+	s.smallNum = int32(magicints[s.smallIdx] / 2)
+	s.sizeSmall = magicints[s.smallIdx]
+	prev := s.smallIdx - 1
+	if prev < firstIdx {
+		prev = firstIdx
+	}
+	s.smaller = int32(magicints[prev] / 2)
+	sizes := [3]uint32{s.sizeSmall, s.sizeSmall, s.sizeSmall}
+	s.nbitsRun = sizeOfInts(sizes[:])
+}
+
+// adjust moves the small index by dir (-1, 0, +1), clamped to the window
+// fixed at frame start.
+func (s *coderState) adjust(dir int) {
+	idx := s.smallIdx + dir
+	if idx < s.minIdx {
+		idx = s.minIdx
+	}
+	if idx > s.maxIdx {
+		idx = s.maxIdx
+	}
+	if idx != s.smallIdx {
+		s.smallIdx = idx
+		s.refresh()
+	}
+}
+
+// fitsSmall reports whether delta d can be coded at the current width:
+// each component offset by smallNum must land in [0, sizeSmall).
+func (s *coderState) fitsSmall(d [3]int32) bool {
+	for _, c := range d {
+		v := c + s.smallNum
+		if v < 0 || uint32(v) >= s.sizeSmall {
+			return false
+		}
+	}
+	return true
+}
+
+// isSmaller reports whether delta d would also fit one table step down.
+func (s *coderState) isSmaller(d [3]int32) bool {
+	for _, c := range d {
+		if c > s.smaller || c < -s.smaller {
+			return false
+		}
+	}
+	return true
+}
+
+// quantize converts coords to integers at the given precision.
+func quantize(coords []Vec3, precision float32, out []int32) error {
+	for i, c := range coords {
+		for d := 0; d < 3; d++ {
+			f := float64(c[d]) * float64(precision)
+			if f >= maxQuantized || f <= -maxQuantized || math.IsNaN(f) {
+				return fmt.Errorf("%w: atom %d dim %d value %g at precision %g",
+					ErrPrecision, i, d, c[d], precision)
+			}
+			if f >= 0 {
+				out[i*3+d] = int32(f + 0.5)
+			} else {
+				out[i*3+d] = int32(f - 0.5)
+			}
+		}
+	}
+	return nil
+}
+
+// initialSmallIdx picks the starting table index so that roughly 60% of
+// consecutive-atom displacements fit the small-delta coder. (The original
+// XTC uses the single smallest displacement, which under-shoots badly when
+// a frame mixes tightly bonded hydrogens with molecule-to-molecule hops;
+// the in-stream adaptation window is anchored at this index, so a robust
+// percentile start compresses noticeably better. See DESIGN.md.)
+func initialSmallIdx(ints []int32) int {
+	n := len(ints) / 3
+	if n < 2 {
+		return firstIdx
+	}
+	// Histogram of the table index each consecutive delta needs.
+	var hist [len(magicints)]int
+	for i := 1; i < n; i++ {
+		var need int64
+		for d := 0; d < 3; d++ {
+			c := int64(ints[i*3+d]) - int64(ints[(i-1)*3+d])
+			if c < 0 {
+				c = -c
+			}
+			if c > need {
+				need = c
+			}
+		}
+		idx := firstIdx
+		for idx < lastIdx && int64(magicints[idx]/2) <= need {
+			idx++
+		}
+		hist[idx]++
+	}
+	target := (n - 1) * 3 / 5
+	cum := 0
+	for idx := firstIdx; idx <= lastIdx; idx++ {
+		cum += hist[idx]
+		if cum > target {
+			return idx
+		}
+	}
+	return lastIdx
+}
+
+// frameBounds computes per-dimension min and span of the quantized coords.
+func frameBounds(ints []int32) (minInt [3]int32, sizeInt [3]uint32) {
+	for d := 0; d < 3; d++ {
+		minInt[d] = math.MaxInt32
+	}
+	var maxInt [3]int32
+	for d := 0; d < 3; d++ {
+		maxInt[d] = math.MinInt32
+	}
+	for i := 0; i < len(ints); i += 3 {
+		for d := 0; d < 3; d++ {
+			v := ints[i+d]
+			if v < minInt[d] {
+				minInt[d] = v
+			}
+			if v > maxInt[d] {
+				maxInt[d] = v
+			}
+		}
+	}
+	if len(ints) == 0 {
+		minInt = [3]int32{}
+		maxInt = [3]int32{}
+	}
+	for d := 0; d < 3; d++ {
+		sizeInt[d] = uint32(int64(maxInt[d]) - int64(minInt[d]) + 1)
+	}
+	return minInt, sizeInt
+}
+
+// compressCoords writes the bit stream for the quantized coordinates.
+// Returns the chosen initial small index (stored in the frame header).
+func compressCoords(ints []int32, minInt [3]int32, sizeInt [3]uint32) (blob []byte, smallIdx int) {
+	natoms := len(ints) / 3
+	smallIdx = initialSmallIdx(ints)
+	st := newCoderState(smallIdx)
+
+	// Absolute-coding widths.
+	bitSize := uint(0)
+	var bitSizeInt [3]uint
+	if sizeInt[0] > 0xffffff || sizeInt[1] > 0xffffff || sizeInt[2] > 0xffffff {
+		for d := 0; d < 3; d++ {
+			bitSizeInt[d] = sizeOfInt(sizeInt[d])
+		}
+	} else {
+		bitSize = sizeOfInts(sizeInt[:])
+	}
+
+	w := xdr.NewBitWriter(natoms*3 + 64)
+	writeAbs := func(i int) {
+		var vals [3]uint32
+		for d := 0; d < 3; d++ {
+			vals[d] = uint32(int64(ints[i*3+d]) - int64(minInt[d]))
+		}
+		if bitSize == 0 {
+			for d := 0; d < 3; d++ {
+				w.WriteBits(vals[d], bitSizeInt[d])
+			}
+		} else {
+			packInts(w, bitSize, sizeInt[:], vals[:])
+		}
+	}
+
+	i := 0
+	for i < natoms {
+		writeAbs(i)
+		prev := [3]int32{ints[i*3], ints[i*3+1], ints[i*3+2]}
+		i++
+
+		// Collect the delta run.
+		var deltas [maxRunAtoms][3]int32
+		run := 0
+		allSmaller := true
+		for i < natoms && run < maxRunAtoms {
+			var d [3]int32
+			for k := 0; k < 3; k++ {
+				d[k] = ints[i*3+k] - prev[k]
+			}
+			if !st.fitsSmall(d) {
+				break
+			}
+			if !st.isSmaller(d) {
+				allSmaller = false
+			}
+			deltas[run] = d
+			for k := 0; k < 3; k++ {
+				prev[k] = ints[i*3+k]
+			}
+			run++
+			i++
+		}
+
+		// Adaptation: full run of strictly smaller deltas tightens; an
+		// empty run loosens for the next group.
+		dir := 0
+		switch {
+		case run == maxRunAtoms && allSmaller && st.smallIdx > st.minIdx:
+			dir = -1
+		case run == 0 && st.smallIdx < st.maxIdx:
+			dir = 1
+		}
+
+		// 5-bit run field: 3*runAtoms + (dir+1), exactly as XTC.
+		w.WriteBits(uint32(3*run+dir+1), 5)
+		sizes := [3]uint32{st.sizeSmall, st.sizeSmall, st.sizeSmall}
+		for k := 0; k < run; k++ {
+			var vals [3]uint32
+			for d := 0; d < 3; d++ {
+				vals[d] = uint32(deltas[k][d] + st.smallNum)
+			}
+			packInts(w, st.nbitsRun, sizes[:], vals[:])
+		}
+		st.adjust(dir)
+	}
+	return w.Bytes(), smallIdx
+}
+
+// decompressCoords is the inverse of compressCoords.
+func decompressCoords(blob []byte, natoms int, minInt [3]int32, sizeInt [3]uint32, smallIdx int, out []int32) error {
+	if smallIdx < firstIdx || smallIdx > lastIdx {
+		return fmt.Errorf("xtc: small index %d out of range [%d,%d]", smallIdx, firstIdx, lastIdx)
+	}
+	st := newCoderState(smallIdx)
+
+	bitSize := uint(0)
+	var bitSizeInt [3]uint
+	if sizeInt[0] > 0xffffff || sizeInt[1] > 0xffffff || sizeInt[2] > 0xffffff {
+		for d := 0; d < 3; d++ {
+			bitSizeInt[d] = sizeOfInt(sizeInt[d])
+		}
+	} else {
+		bitSize = sizeOfInts(sizeInt[:])
+	}
+
+	r := xdr.NewBitReader(blob)
+	readAbs := func(i int) {
+		var vals [3]uint32
+		if bitSize == 0 {
+			for d := 0; d < 3; d++ {
+				vals[d] = r.ReadBits(bitSizeInt[d])
+			}
+		} else {
+			unpackInts(r, bitSize, sizeInt[:], vals[:])
+		}
+		for d := 0; d < 3; d++ {
+			out[i*3+d] = int32(int64(vals[d]) + int64(minInt[d]))
+		}
+	}
+
+	i := 0
+	for i < natoms {
+		readAbs(i)
+		prev := [3]int32{out[i*3], out[i*3+1], out[i*3+2]}
+		i++
+
+		field := r.ReadBits(5)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		dir := int(field%3) - 1
+		run := (int(field) - (dir + 1)) / 3
+		if run < 0 || run > maxRunAtoms || i+run > natoms {
+			return fmt.Errorf("xtc: corrupt run field %d at atom %d/%d", field, i, natoms)
+		}
+		sizes := [3]uint32{st.sizeSmall, st.sizeSmall, st.sizeSmall}
+		for k := 0; k < run; k++ {
+			var vals [3]uint32
+			unpackInts(r, st.nbitsRun, sizes[:], vals[:])
+			for d := 0; d < 3; d++ {
+				prev[d] += int32(vals[d]) - st.smallNum
+				out[i*3+d] = prev[d]
+			}
+			i++
+		}
+		st.adjust(dir)
+	}
+	return r.Err()
+}
+
+// dequantize converts quantized integers back to float coordinates.
+func dequantize(ints []int32, precision float32, out []Vec3) {
+	inv := 1.0 / float64(precision)
+	for i := range out {
+		for d := 0; d < 3; d++ {
+			out[i][d] = float32(float64(ints[i*3+d]) * inv)
+		}
+	}
+}

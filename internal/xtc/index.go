@@ -1,0 +1,138 @@
+package xtc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/xdr"
+)
+
+// Index maps frame numbers to byte offsets in a trajectory stream, enabling
+// the random frame access that interactive playback needs ("replaying the
+// frames back and forth", Section 2.1 of the paper).
+type Index struct {
+	offsets []int64 // offsets[i] = start of frame i
+	sizes   []int64 // encoded byte length of frame i
+	natoms  []int32
+}
+
+// BuildIndex scans a trajectory stream once and records every frame's
+// offset without decompressing coordinate payloads.
+func BuildIndex(r io.ReaderAt, size int64) (*Index, error) {
+	idx := &Index{}
+	var off int64
+	var head [headerLen + 4*10]byte
+	for off < size {
+		n, err := r.ReadAt(head[:headerLen], off)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("xtc: index at offset %d: %w", off, err)
+		}
+		if n < headerLen {
+			return nil, fmt.Errorf("xtc: truncated frame header at offset %d", off)
+		}
+		magic := int32(binary.BigEndian.Uint32(head[0:]))
+		natoms := int32(binary.BigEndian.Uint32(head[4:]))
+		if natoms < 0 {
+			return nil, fmt.Errorf("xtc: negative atom count at offset %d", off)
+		}
+		var frameLen int64
+		switch magic {
+		case MagicRaw:
+			frameLen = headerLen + int64(natoms)*12
+		case MagicCompressed:
+			if natoms <= smallAtomThreshold {
+				frameLen = headerLen + int64(natoms)*12
+				break
+			}
+			// Read the coord metadata to find the blob length.
+			if _, err := r.ReadAt(head[headerLen:headerLen+36], off+headerLen); err != nil {
+				return nil, fmt.Errorf("xtc: index metadata at offset %d: %w", off, err)
+			}
+			blobLen := int64(binary.BigEndian.Uint32(head[headerLen+32:]))
+			padded := blobLen + (4-blobLen%4)%4
+			frameLen = headerLen + 36 + padded
+		default:
+			return nil, fmt.Errorf("%w: %d at offset %d", ErrBadMagic, magic, off)
+		}
+		if off+frameLen > size {
+			return nil, fmt.Errorf("xtc: frame %d overruns stream (%d+%d > %d)",
+				len(idx.offsets), off, frameLen, size)
+		}
+		idx.offsets = append(idx.offsets, off)
+		idx.sizes = append(idx.sizes, frameLen)
+		idx.natoms = append(idx.natoms, natoms)
+		off += frameLen
+	}
+	return idx, nil
+}
+
+// IndexBuilder accumulates an Index while frames are being written, so the
+// writer side can persist it without re-scanning.
+type IndexBuilder struct {
+	idx Index
+	off int64
+}
+
+// Add records the next frame's encoded length and atom count.
+func (b *IndexBuilder) Add(frameLen int64, natoms int) {
+	b.idx.offsets = append(b.idx.offsets, b.off)
+	b.idx.sizes = append(b.idx.sizes, frameLen)
+	b.idx.natoms = append(b.idx.natoms, int32(natoms))
+	b.off += frameLen
+}
+
+// Index returns the built index.
+func (b *IndexBuilder) Index() *Index { return &b.idx }
+
+// Frames returns the number of indexed frames.
+func (x *Index) Frames() int { return len(x.offsets) }
+
+// Offset returns frame i's byte offset.
+func (x *Index) Offset(i int) int64 { return x.offsets[i] }
+
+// Size returns frame i's encoded byte length.
+func (x *Index) Size(i int) int64 { return x.sizes[i] }
+
+// NAtoms returns frame i's atom count.
+func (x *Index) NAtoms(i int) int { return int(x.natoms[i]) }
+
+// TotalBytes returns the stream length covered by the index.
+func (x *Index) TotalBytes() int64 {
+	if len(x.offsets) == 0 {
+		return 0
+	}
+	last := len(x.offsets) - 1
+	return x.offsets[last] + x.sizes[last]
+}
+
+// RandomAccessReader reads individual frames by number.
+type RandomAccessReader struct {
+	r   io.ReaderAt
+	idx *Index
+	buf []byte
+}
+
+// NewRandomAccessReader returns a reader over an indexed stream.
+func NewRandomAccessReader(r io.ReaderAt, idx *Index) *RandomAccessReader {
+	return &RandomAccessReader{r: r, idx: idx}
+}
+
+// Frames returns the frame count.
+func (ra *RandomAccessReader) Frames() int { return ra.idx.Frames() }
+
+// ReadFrameAt decodes frame i.
+func (ra *RandomAccessReader) ReadFrameAt(i int) (*Frame, error) {
+	if i < 0 || i >= ra.idx.Frames() {
+		return nil, fmt.Errorf("xtc: frame %d out of range [0,%d)", i, ra.idx.Frames())
+	}
+	n := ra.idx.Size(i)
+	if int64(cap(ra.buf)) < n {
+		ra.buf = make([]byte, n)
+	}
+	buf := ra.buf[:n]
+	if _, err := ra.r.ReadAt(buf, ra.idx.Offset(i)); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("xtc: read frame %d: %w", i, err)
+	}
+	return DecodeFrame(xdr.NewReader(buf))
+}

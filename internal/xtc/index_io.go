@@ -1,0 +1,55 @@
+package xtc
+
+import (
+	"fmt"
+
+	"repro/internal/xdr"
+)
+
+// indexMagic guards serialized Index blobs.
+const indexMagic = 0x58494458 // "XIDX"
+
+// Marshal serializes the index (ADA stores one per subset dropping so
+// random-access playback never re-scans the trajectory).
+func (x *Index) Marshal() []byte {
+	w := xdr.NewWriter(16 + 20*len(x.offsets))
+	w.Uint32(indexMagic)
+	w.Uint32(uint32(len(x.offsets)))
+	for i := range x.offsets {
+		w.Int64(x.offsets[i])
+		w.Int64(x.sizes[i])
+		w.Int32(x.natoms[i])
+	}
+	return w.Bytes()
+}
+
+// UnmarshalIndex parses a serialized index.
+func UnmarshalIndex(data []byte) (*Index, error) {
+	r := xdr.NewReader(data)
+	if magic := r.Uint32(); magic != indexMagic {
+		return nil, fmt.Errorf("xtc: bad index magic %#x", magic)
+	}
+	n := r.Uint32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if int(n)*20 > r.Remaining() {
+		return nil, fmt.Errorf("xtc: index claims %d frames but only %d bytes remain", n, r.Remaining())
+	}
+	x := &Index{
+		offsets: make([]int64, n),
+		sizes:   make([]int64, n),
+		natoms:  make([]int32, n),
+	}
+	var prevEnd int64
+	for i := uint32(0); i < n; i++ {
+		x.offsets[i] = r.Int64()
+		x.sizes[i] = r.Int64()
+		x.natoms[i] = r.Int32()
+		if x.offsets[i] != prevEnd || x.sizes[i] <= 0 || x.natoms[i] < 0 {
+			return nil, fmt.Errorf("xtc: corrupt index entry %d", i)
+		}
+		prevEnd = x.offsets[i] + x.sizes[i]
+	}
+	return x, r.Err()
+}

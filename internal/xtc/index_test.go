@@ -1,0 +1,131 @@
+package xtc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// buildTrajectory returns an encoded stream plus the original frames.
+func buildTrajectory(t *testing.T, frames int, compressed bool) ([]byte, []*Frame) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if !compressed {
+		w = NewRawWriter(&buf)
+	}
+	var orig []*Frame
+	for i := 0; i < frames; i++ {
+		f := &Frame{
+			Step:      int32(i),
+			Time:      float32(i) * 2,
+			Coords:    makeCluster(rng, 80+i, 5), // varying atom counts
+			Precision: 1000,
+		}
+		orig = append(orig, f)
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes(), orig
+}
+
+func TestBuildIndexCompressed(t *testing.T) {
+	raw, orig := buildTrajectory(t, 9, true)
+	idx, err := BuildIndex(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Frames() != 9 {
+		t.Fatalf("Frames = %d", idx.Frames())
+	}
+	if idx.TotalBytes() != int64(len(raw)) {
+		t.Errorf("TotalBytes = %d, want %d", idx.TotalBytes(), len(raw))
+	}
+	for i := range orig {
+		if idx.NAtoms(i) != orig[i].NAtoms() {
+			t.Errorf("frame %d natoms = %d, want %d", i, idx.NAtoms(i), orig[i].NAtoms())
+		}
+	}
+	// Offsets strictly increase and sizes are positive.
+	for i := 1; i < idx.Frames(); i++ {
+		if idx.Offset(i) != idx.Offset(i-1)+idx.Size(i-1) {
+			t.Errorf("frame %d offset %d not contiguous", i, idx.Offset(i))
+		}
+	}
+}
+
+func TestRandomAccessReader(t *testing.T) {
+	for _, compressed := range []bool{true, false} {
+		raw, orig := buildTrajectory(t, 7, compressed)
+		idx, err := BuildIndex(bytes.NewReader(raw), int64(len(raw)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra := NewRandomAccessReader(bytes.NewReader(raw), idx)
+		// Access out of order, repeatedly.
+		order := []int{3, 0, 6, 3, 1, 5, 2, 4, 6}
+		for _, i := range order {
+			f, err := ra.ReadFrameAt(i)
+			if err != nil {
+				t.Fatalf("compressed=%v frame %d: %v", compressed, i, err)
+			}
+			if f.Step != orig[i].Step || f.NAtoms() != orig[i].NAtoms() {
+				t.Fatalf("compressed=%v frame %d: step=%d natoms=%d", compressed, i, f.Step, f.NAtoms())
+			}
+		}
+		if _, err := ra.ReadFrameAt(-1); err == nil {
+			t.Error("negative frame should fail")
+		}
+		if _, err := ra.ReadFrameAt(7); err == nil {
+			t.Error("past-end frame should fail")
+		}
+	}
+}
+
+func TestBuildIndexErrors(t *testing.T) {
+	raw, _ := buildTrajectory(t, 3, true)
+	// Truncated stream.
+	if _, err := BuildIndex(bytes.NewReader(raw[:len(raw)-4]), int64(len(raw)-4)); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	// Bad magic.
+	bad := append([]byte{9, 9, 9, 9}, raw...)
+	if _, err := BuildIndex(bytes.NewReader(bad), int64(len(bad))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Empty stream indexes cleanly.
+	idx, err := BuildIndex(bytes.NewReader(nil), 0)
+	if err != nil || idx.Frames() != 0 || idx.TotalBytes() != 0 {
+		t.Errorf("empty: %v, %d frames", err, idx.Frames())
+	}
+}
+
+func TestIndexAgreesWithSequentialReader(t *testing.T) {
+	raw, _ := buildTrajectory(t, 12, true)
+	idx, err := BuildIndex(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewReader(bytes.NewReader(raw)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := NewRandomAccessReader(bytes.NewReader(raw), idx)
+	if ra.Frames() != len(seq) {
+		t.Fatalf("frames = %d vs %d", ra.Frames(), len(seq))
+	}
+	for i := range seq {
+		f, err := ra.ReadFrameAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := range f.Coords {
+			if f.Coords[a] != seq[i].Coords[a] {
+				t.Fatalf("frame %d atom %d differs between access paths", i, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package xtc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/xdr"
+)
+
+// Writer appends frames to an underlying io.Writer as a concatenation of
+// self-describing XDR frame blocks, like an .xtc file.
+type Writer struct {
+	w          io.Writer
+	scratch    *xdr.Writer
+	compressed bool
+	frames     int
+	bytes      int64
+}
+
+// NewWriter returns a Writer emitting compressed frames.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, scratch: xdr.NewWriter(4096), compressed: true}
+}
+
+// NewRawWriter returns a Writer emitting uncompressed (raw) frames.
+func NewRawWriter(w io.Writer) *Writer {
+	return &Writer{w: w, scratch: xdr.NewWriter(4096)}
+}
+
+// WriteFrame appends one frame.
+func (w *Writer) WriteFrame(f *Frame) error {
+	w.scratch.Reset()
+	if w.compressed {
+		if err := f.AppendEncoded(w.scratch); err != nil {
+			return err
+		}
+	} else {
+		f.AppendRaw(w.scratch)
+	}
+	n, err := w.w.Write(w.scratch.Bytes())
+	w.bytes += int64(n)
+	if err != nil {
+		return err
+	}
+	w.frames++
+	return nil
+}
+
+// Frames returns the number of frames written.
+func (w *Writer) Frames() int { return w.frames }
+
+// BytesWritten returns the total encoded bytes emitted.
+func (w *Writer) BytesWritten() int64 { return w.bytes }
+
+// Reader decodes frames sequentially from an io.Reader.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewReader returns a streaming frame reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// grow extends r.buf by n bytes filled from the stream and returns the
+// complete buffer so far. The returned slice stays valid until the next
+// ReadFrame call.
+func (r *Reader) grow(n int) ([]byte, error) {
+	old := len(r.buf)
+	if cap(r.buf) < old+n {
+		nb := make([]byte, old, old+n)
+		copy(nb, r.buf)
+		r.buf = nb
+	}
+	r.buf = r.buf[:old+n]
+	if _, err := io.ReadFull(r.br, r.buf[old:]); err != nil {
+		r.buf = r.buf[:old]
+		return nil, err
+	}
+	return r.buf, nil
+}
+
+// headerLen is magic+natoms+step+time+box = 4*(4+9) bytes.
+const headerLen = 4 * (4 + 9)
+
+// ReadFrame decodes the next frame. It returns io.EOF cleanly at the end of
+// the stream and io.ErrUnexpectedEOF for a truncated frame.
+func (r *Reader) ReadFrame() (*Frame, error) {
+	head, err := r.br.Peek(4)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	magic := int32(binary.BigEndian.Uint32(head))
+	r.buf = r.buf[:0]
+	switch magic {
+	case MagicCompressed:
+		whole, err := r.grow(headerLen)
+		if err != nil {
+			return nil, unexpected(err)
+		}
+		natoms := int(int32(binary.BigEndian.Uint32(whole[4:])))
+		if natoms < 0 {
+			return nil, fmt.Errorf("xtc: negative atom count %d", natoms)
+		}
+		if natoms <= smallAtomThreshold {
+			if whole, err = r.grow(natoms * 12); err != nil {
+				return nil, unexpected(err)
+			}
+			return DecodeFrame(xdr.NewReader(whole))
+		}
+		// precision + minint[3] + sizeint[3] + smallidx + bloblen
+		if whole, err = r.grow(4 * 9); err != nil {
+			return nil, unexpected(err)
+		}
+		blobLen := int(binary.BigEndian.Uint32(whole[headerLen+32:]))
+		padded := blobLen + (4-blobLen%4)%4
+		if whole, err = r.grow(padded); err != nil {
+			return nil, unexpected(err)
+		}
+		return DecodeFrame(xdr.NewReader(whole))
+
+	case MagicRaw:
+		whole, err := r.grow(headerLen)
+		if err != nil {
+			return nil, unexpected(err)
+		}
+		natoms := int(int32(binary.BigEndian.Uint32(whole[4:])))
+		if natoms < 0 {
+			return nil, fmt.Errorf("xtc: negative atom count %d", natoms)
+		}
+		if whole, err = r.grow(natoms * 12); err != nil {
+			return nil, unexpected(err)
+		}
+		return DecodeFrame(xdr.NewReader(whole))
+
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadMagic, magic)
+	}
+}
+
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadAll decodes every frame in the stream.
+func (r *Reader) ReadAll() ([]*Frame, error) {
+	var frames []*Frame
+	for {
+		f, err := r.ReadFrame()
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return frames, err
+		}
+		frames = append(frames, f)
+	}
+}
+
+// MaxError returns the worst-case absolute coordinate error introduced by
+// quantizing at the given precision (half a quantum).
+func MaxError(precision float32) float64 {
+	if precision <= 0 {
+		precision = DefaultPrecision
+	}
+	return 0.5 / float64(precision)
+}
+
+// CompressionRatio reports raw/compressed given the two byte sizes,
+// guarding against division by zero.
+func CompressionRatio(rawBytes, compressedBytes int64) float64 {
+	if compressedBytes == 0 {
+		return math.Inf(1)
+	}
+	return float64(rawBytes) / float64(compressedBytes)
+}
+
+// RawFrameSize returns the encoded byte size of an uncompressed frame with
+// the given atom count.
+func RawFrameSize(natoms int) int64 {
+	return int64(headerLen + natoms*12)
+}
