@@ -1,0 +1,31 @@
+# Single entry point for local development and CI (.github/workflows/ci.yml
+# calls these same targets so the two never drift).
+
+GO ?= go
+
+.PHONY: all build test race lint bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint = vet + gofmt cleanliness. gofmt -l prints offending files; the
+# test -z turns any output into a nonzero exit.
+lint:
+	$(GO) vet ./...
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+
+# One iteration of every benchmark — a smoke pass proving the bench
+# harness still runs end to end, not a measurement.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpcr"
 	"repro/internal/mdsim"
+	"repro/internal/metrics"
 	"repro/internal/pdb"
 	"repro/internal/plfs"
 	"repro/internal/rpc"
@@ -238,6 +239,34 @@ var (
 // Select evaluates a VMD-style atom-selection expression ("protein and
 // chain A") against a structure, returning the matching atom index ranges.
 var Select = vmd.Select
+
+// Runtime observability (see internal/metrics): the storage stack —
+// container store, RPC nodes, ingest pipeline, playback cache — records
+// wall-clock counters, latency histograms, and span traces into a shared
+// registry, independent of the virtual-time Env profiles.
+type (
+	// MetricsRegistry is the concurrency-safe runtime metrics registry.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// Metrics returns the process-wide default registry every instrumented
+// component reports into unless configured otherwise. Print a run summary
+// with Metrics().WriteText(os.Stdout), or serve it: cmd/adanode exposes the
+// same registry over HTTP with -metrics-addr.
+func Metrics() *MetricsRegistry { return metrics.Default }
+
+// NewMetricsRegistry returns an isolated registry; wire it through
+// Options.Metrics, ContainerStore.SetMetrics, Session.SetMetrics, or
+// vfs.Instrument to scope collection to one component.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// InstrumentFS wraps a backend file system so every operation, byte, and
+// latency is recorded under prefix in reg (nil = the default registry).
+func InstrumentFS(fsys FS, reg *MetricsRegistry, prefix string) FS {
+	return vfs.Instrument(fsys, reg, prefix)
+}
 
 // Version identifies this reproduction.
 const Version = "1.0.0"

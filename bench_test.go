@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/gpcr"
+	"repro/internal/metrics"
 	"repro/internal/plfs"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -375,6 +376,44 @@ func BenchmarkAblationParallelIngest(b *testing.B) {
 		}
 		b.ReportMetric(vsec, "vsec")
 	})
+}
+
+// BenchmarkIngestOverhead prices the runtime-metrics layer: the same
+// end-to-end ingest over bare MemFS backends ("raw") and with every
+// storage layer instrumented ("instrumented" — vfs.Instrument wrappers on
+// both backends plus container and ingest counters reporting into a
+// private registry). Both variants use a fresh registry for the
+// always-on ingest counters, so the delta isolates the instrumentation
+// tax; the acceptance bar is <5% wall time.
+func BenchmarkIngestOverhead(b *testing.B) {
+	pdbBytes, traj := ablationDataset(b)
+	run := func(b *testing.B, instrumented bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reg := metrics.NewRegistry()
+			mkFS := func(name string) vfs.FS {
+				var fsys vfs.FS = vfs.NewMemFS()
+				if instrumented {
+					fsys = vfs.Instrument(fsys, reg, "fs."+name)
+				}
+				return fsys
+			}
+			store, err := plfs.New(
+				plfs.Backend{Name: "ssd", FS: mkFS("ssd"), Mount: "/m1"},
+				plfs.Backend{Name: "hdd", FS: mkFS("hdd"), Mount: "/m2"},
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store.SetMetrics(reg)
+			a := core.New(store, nil, core.Options{Metrics: reg})
+			if _, err := a.Ingest("/g", pdbBytes, bytes.NewReader(traj)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("raw", func(b *testing.B) { run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkAblationStoreCompressed compares ADA's decompress-on-ingest

@@ -10,12 +10,14 @@
 //	adactl -store /tmp/store manifest -name traj
 //	adactl -store /tmp/store labels -name traj
 //	adactl -store /tmp/store extract -name traj -tag p -out protein.xtc
+//	adactl stats -addr node1:7021
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,11 +37,19 @@ func main() {
 		usage()
 	}
 
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if cmd == "stats" {
+		// stats talks to a running node's metrics endpoint; it needs no
+		// local store.
+		if err := cmdStats(os.Stdout, args); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	a, err := openStore(*store, *fine)
 	if err != nil {
 		fatal(err)
 	}
-	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "ingest":
 		err = cmdIngest(a, args)
@@ -75,7 +85,9 @@ commands:
   analyze  -name NAME [-tag TAG]             per-frame RGyr/RMSD/MSD of a subset
   manifest -name NAME                        show a dataset's subsets
   labels   -name NAME                        show the label ranges
-  extract  -name NAME -tag TAG -out FILE     write one subset as raw frames`)
+  extract  -name NAME -tag TAG -out FILE     write one subset as raw frames
+  stats    -addr HOST:PORT [-json]           fetch a node's runtime metrics
+                                             (adanode -metrics-addr endpoint)`)
 	os.Exit(2)
 }
 
@@ -159,6 +171,37 @@ func cmdIngest(a *core.ADA, args []string) error {
 		fmt.Printf("  subset %-8s: %d bytes\n", tag, n)
 	}
 	return nil
+}
+
+// cmdStats fetches and prints the metrics exposition of a running adanode
+// (its -metrics-addr endpoint): text by default, the JSON snapshot with
+// -json.
+func cmdStats(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addr := fs.String("addr", "", "metrics address (host:port or full URL)")
+	jsonOut := fs.Bool("json", false, "fetch the JSON snapshot instead of text")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("stats needs -addr")
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimSuffix(base, "/") + "/metrics"
+	if *jsonOut {
+		url += ".json"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stats: %s returned %s", url, resp.Status)
+	}
+	_, err = io.Copy(out, resp.Body)
+	return err
 }
 
 func cmdList(a *core.ADA) error {

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func statsServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	reg.Counter("rpc.server.requests").Add(7)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		reg.WriteJSON(w)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestCmdStats(t *testing.T) {
+	ts := statsServer(t)
+	var out bytes.Buffer
+	// Bare host:port form.
+	if err := cmdStats(&out, []string{"-addr", strings.TrimPrefix(ts.URL, "http://")}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "counter rpc.server.requests 7") {
+		t.Errorf("stats output = %q", out.String())
+	}
+	// Full-URL + JSON form.
+	out.Reset()
+	if err := cmdStats(&out, []string{"-addr", ts.URL, "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"rpc.server.requests": 7`) {
+		t.Errorf("stats -json output = %q", out.String())
+	}
+}
+
+func TestCmdStatsErrors(t *testing.T) {
+	if err := cmdStats(&bytes.Buffer{}, nil); err == nil {
+		t.Error("missing -addr accepted")
+	}
+	ts := httptest.NewServer(http.NotFoundHandler())
+	defer ts.Close()
+	if err := cmdStats(&bytes.Buffer{}, []string{"-addr", ts.URL}); err == nil {
+		t.Error("404 endpoint accepted")
+	}
+}

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	adanode -listen :7020 -dir /data/ssd-node
+//	adanode -listen :7020 -dir /data/ssd-node -metrics-addr :7021
+//
+// With -metrics-addr set, the node serves its runtime metrics over HTTP:
+// GET /metrics is the line-oriented text form, GET /metrics.json the JSON
+// snapshot. After an ingest the RPC and FS counters (rpc.server.*,
+// fs.node.*) show exactly what the storage side paid.
 //
 // On the client side, connect the node as a backend:
 //
@@ -15,34 +20,97 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 
+	"repro/internal/metrics"
 	"repro/internal/osfs"
 	"repro/internal/rpc"
+	"repro/internal/vfs"
 )
 
-func main() {
-	listen := flag.String("listen", "127.0.0.1:7020", "TCP listen address")
-	dir := flag.String("dir", "adanode-data", "directory to serve")
-	quiet := flag.Bool("quiet", false, "disable request logging")
-	flag.Parse()
+// config is the parsed command line.
+type config struct {
+	listen      string
+	dir         string
+	quiet       bool
+	metricsAddr string
+}
 
-	fsys, err := osfs.New(*dir)
-	if err != nil {
-		fatal(err)
+// parseFlags parses args (without the program name). It returns
+// flag.ErrHelp or a usage error without exiting, so main stays testable.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("adanode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:7020", "TCP listen address")
+	fs.StringVar(&cfg.dir, "dir", "adanode-data", "directory to serve")
+	fs.BoolVar(&cfg.quiet, "quiet", false, "disable request logging")
+	fs.StringVar(&cfg.metricsAddr, "metrics-addr", "",
+		"HTTP address for /metrics and /metrics.json (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
-	ln, err := net.Listen("tcp", *listen)
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+// metricsMux serves the registry over HTTP.
+func metricsMux(reg *metrics.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	return mux
+}
+
+func run(cfg *config, stdout io.Writer) error {
+	base, err := osfs.New(cfg.dir)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	// Every byte and op the node serves is accounted under fs.node.*.
+	fsys := vfs.Instrument(base, metrics.Default, "fs.node")
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
 	}
 	var logger *log.Logger
-	if !*quiet {
+	if !cfg.quiet {
 		logger = log.New(os.Stderr, "adanode: ", log.LstdFlags)
 	}
-	fmt.Printf("adanode serving %s on %s\n", fsys.Root(), ln.Addr())
-	if err := rpc.NewServer(fsys, logger).Serve(ln); err != nil {
+	if cfg.metricsAddr != "" {
+		mln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Fprintf(stdout, "adanode metrics on http://%s/metrics\n", mln.Addr())
+		go http.Serve(mln, metricsMux(metrics.Default))
+	}
+	fmt.Fprintf(stdout, "adanode serving %s on %s\n", base.Root(), ln.Addr())
+	return rpc.NewServer(fsys, logger).Serve(ln)
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fatal(err)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
 		fatal(err)
 	}
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+	"repro/internal/vfs"
+)
+
+func newLocalListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.listen != "127.0.0.1:7020" || cfg.dir != "adanode-data" ||
+		cfg.quiet || cfg.metricsAddr != "" {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestParseFlagsMetricsAddr(t *testing.T) {
+	cfg, err := parseFlags([]string{"-metrics-addr", ":7021", "-quiet", "-listen", ":9999"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.metricsAddr != ":7021" {
+		t.Errorf("metricsAddr = %q", cfg.metricsAddr)
+	}
+	if !cfg.quiet || cfg.listen != ":9999" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := parseFlags([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	// The usage text must document the new flag.
+	if !strings.Contains(buf.String(), "-metrics-addr") {
+		t.Errorf("usage missing -metrics-addr:\n%s", buf.String())
+	}
+	buf.Reset()
+	if _, err := parseFlags([]string{"positional"}, &buf); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	if _, err := parseFlags([]string{"-h"}, io.Discard); err != flag.ErrHelp {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestMetricsEndpoint drives RPC traffic through an instrumented FS and
+// checks both exposition endpoints show the nonzero RPC and FS counters.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	store := vfs.Instrument(vfs.NewMemFS(), reg, "fs.node")
+	srv := rpc.NewServer(store, nil)
+	srv.SetMetrics(reg)
+
+	// Serve RPC traffic over a loopback listener.
+	ts := httptest.NewServer(metricsMux(reg))
+	defer ts.Close()
+	ln := newLocalListener(t)
+	go srv.Serve(ln)
+	defer ln.Close()
+	c, err := rpc.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetMetrics(metrics.NewRegistry())
+	if err := vfs.WriteFile(c, "/ingest/subset.p", []byte("protein bytes")); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{"counter rpc.server.requests", "counter fs.node.bytes_written"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "counter rpc.server.requests 0\n") {
+		t.Error("rpc.server.requests is zero after traffic")
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !bytes.Contains(body, []byte(`"rpc.server.requests"`)) {
+		t.Errorf("/metrics.json missing rpc counters:\n%s", body)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"io"
 	"path"
 	"strings"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/pdb"
 	"repro/internal/plfs"
 	"repro/internal/rangelist"
@@ -60,6 +62,8 @@ type Options struct {
 	// user-described one (the paper's "dynamic data categorizing and
 	// labeling interface"). Schema placement entries override Placement.
 	Schema *Schema
+	// Metrics selects the runtime metrics registry (nil = metrics.Default).
+	Metrics *metrics.Registry
 }
 
 // ADA is one middleware instance bound to a PLFS-style container store.
@@ -68,6 +72,35 @@ type ADA struct {
 	env        *sim.Env
 	opts       Options
 	defaultBE  string
+	reg        *metrics.Registry
+	im         ingestMetrics
+}
+
+// ingestMetrics are the real-time (wall-clock) handles for the ingest
+// pipeline's stages; the sim.Env charges model virtual hardware, these
+// measure the Go process itself.
+type ingestMetrics struct {
+	ingests         *metrics.Counter
+	frames          *metrics.Counter
+	bytesCompressed *metrics.Counter
+	bytesRaw        *metrics.Counter
+	bytesWritten    *metrics.Counter
+	decodeNS        *metrics.Histogram // per-frame decompress+decode
+	writeNS         *metrics.Histogram // per-frame categorize+split+write
+	queueHWM        *metrics.Gauge     // IngestParallel channel high-water mark
+}
+
+func newIngestMetrics(reg *metrics.Registry) ingestMetrics {
+	return ingestMetrics{
+		ingests:         reg.Counter("ingest.runs"),
+		frames:          reg.Counter("ingest.frames"),
+		bytesCompressed: reg.Counter("ingest.bytes.compressed"),
+		bytesRaw:        reg.Counter("ingest.bytes.raw"),
+		bytesWritten:    reg.Counter("ingest.bytes.written"),
+		decodeNS:        reg.Histogram("ingest.decode.ns"),
+		writeNS:         reg.Histogram("ingest.write.ns"),
+		queueHWM:        reg.Gauge("ingest.queue_depth_hwm"),
+	}
 }
 
 // New returns an ADA instance. env may be nil to disable time accounting.
@@ -79,13 +112,22 @@ func New(containers *plfs.FS, env *sim.Env, opts Options) *ADA {
 	if opts.Cost == (StorageCost{}) {
 		opts.Cost = DefaultStorageCost()
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
 	return &ADA{
 		containers: containers,
 		env:        env,
 		opts:       opts,
 		defaultBE:  backends[len(backends)-1],
+		reg:        reg,
+		im:         newIngestMetrics(reg),
 	}
 }
+
+// Metrics returns the registry this instance instruments against.
+func (a *ADA) Metrics() *metrics.Registry { return a.reg }
 
 // Granularity returns the configured categorizer granularity.
 func (a *ADA) Granularity() Granularity { return a.opts.Granularity }
@@ -148,6 +190,8 @@ func (a *ADA) Ingest(logical string, pdbData []byte, traj io.Reader) (*IngestRep
 	if a.env != nil {
 		start = a.env.Clock.Now()
 	}
+	span := a.reg.StartSpan("ingest.total")
+	defer span.End()
 	st, err := a.prepareIngest(logical, pdbData)
 	if err != nil {
 		return nil, err
@@ -159,10 +203,12 @@ func (a *ADA) Ingest(logical string, pdbData []byte, traj io.Reader) (*IngestRep
 	reader := xtc.NewReader(in)
 	for {
 		before := in.n
+		t0 := time.Now()
 		frame, err := reader.ReadFrame()
 		if err == io.EOF {
 			break
 		}
+		a.im.decodeNS.Observe(time.Since(t0).Nanoseconds())
 		if err != nil {
 			st.closeAll()
 			return nil, fmt.Errorf("core: ingest %s frame %d: %w", logical, st.report.Frames, err)
@@ -170,10 +216,12 @@ func (a *ADA) Ingest(logical string, pdbData []byte, traj io.Reader) (*IngestRep
 		frameCompressed := in.n - before
 		a.chargeCPU("decompress", a.opts.Cost.decompressTime(frameCompressed))
 		a.chargeCPU("categorize", a.opts.Cost.categorizeTime(xtc.RawFrameSize(frame.NAtoms())))
+		t1 := time.Now()
 		if err := st.writeFrame(frame, frameCompressed); err != nil {
 			st.closeAll()
 			return nil, err
 		}
+		a.im.writeNS.Observe(time.Since(t1).Nanoseconds())
 	}
 	st.closeAll()
 	return st.finish(start)
@@ -353,6 +401,13 @@ func (st *ingestState) finish(start float64) (*IngestReport, error) {
 	}
 	if a.env != nil {
 		st.report.Elapsed = a.env.Clock.Now() - start
+	}
+	a.im.ingests.Inc()
+	a.im.frames.Add(int64(st.report.Frames))
+	a.im.bytesCompressed.Add(st.report.Compressed)
+	a.im.bytesRaw.Add(st.report.Raw)
+	for _, n := range st.report.Subsets {
+		a.im.bytesWritten.Add(n)
 	}
 	return st.report, nil
 }

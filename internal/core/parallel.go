@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/xtc"
 )
@@ -32,6 +33,8 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 	if a.env != nil {
 		start = a.env.Clock.Now()
 	}
+	span := a.reg.StartSpan("ingest.total")
+	defer span.End()
 	st, err := a.prepareIngest(logical, pdbData)
 	if err != nil {
 		return nil, err
@@ -66,6 +69,7 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 		go func(i int, sw *subsetWriter) {
 			defer wg.Done()
 			for msg := range chans[i] {
+				t0 := time.Now()
 				if err := sw.writeFrame(msg.frame); err != nil {
 					fail(sw.tag, fmt.Errorf("core: ingest %s: %w", logical, err))
 					// Keep draining so the producer never blocks.
@@ -73,6 +77,7 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 					}
 					return
 				}
+				a.im.writeNS.Observe(time.Since(t0).Nanoseconds())
 				categorizeSec[i] += a.opts.Cost.categorizeTime(xtc.RawFrameSize(sw.natoms))
 			}
 		}(i, sw)
@@ -92,10 +97,12 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 		seq := 0
 		for {
 			before := in.n
+			t0 := time.Now()
 			frame, err := reader.ReadFrame()
 			if err == io.EOF {
 				return
 			}
+			a.im.decodeNS.Observe(time.Since(t0).Nanoseconds())
 			if err != nil {
 				fail("decode", fmt.Errorf("core: ingest %s frame %d: %w", logical, seq, err))
 				return
@@ -113,6 +120,7 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 			for _, ch := range chans {
 				select {
 				case ch <- msg:
+					a.im.queueHWM.SetMax(int64(len(ch)))
 				case <-abort:
 					return
 				}

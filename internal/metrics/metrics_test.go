@@ -1,0 +1,270 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Error("Counter not idempotent")
+	}
+
+	g := r.Gauge("q.depth")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge = %d, want 2", got)
+	}
+	g.SetMax(10)
+	g.SetMax(7) // lower: no effect
+	if got := g.Value(); got != 10 {
+		t.Errorf("gauge after SetMax = %d, want 10", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	r.StartSpan("x").End()
+	if n := len(r.Spans()); n != 0 {
+		t.Errorf("nil registry has %d spans", n)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	var sp *Span
+	sp.End() // must not panic
+}
+
+func TestBucketLayout(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is ≥ the value
+	// and within 12.5% relative error.
+	for _, v := range []int64{0, 1, 7, 8, 9, 15, 16, 17, 100, 1023, 1 << 20, 1<<40 + 12345, math.MaxInt64} {
+		idx := bucketIndex(v)
+		up := bucketUpper(idx)
+		if up < v && idx != numBuckets-1 {
+			t.Errorf("value %d: bucket upper %d below value", v, up)
+		}
+		if v >= 8 && idx != numBuckets-1 {
+			if err := float64(up-v) / float64(v); err > 0.125 {
+				t.Errorf("value %d: relative error %.3f > 0.125", v, err)
+			}
+		}
+	}
+	// Buckets must be monotonically increasing.
+	for i := 1; i < numBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucket %d upper %d not increasing", i, bucketUpper(i))
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 500500 {
+		t.Errorf("sum = %d", h.Sum())
+	}
+	checks := []struct {
+		q    float64
+		want int64
+	}{{0.50, 500}, {0.95, 950}, {0.99, 990}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if err := math.Abs(float64(got-c.want)) / float64(c.want); err > 0.13 {
+			t.Errorf("p%v = %d, want ~%d (err %.3f)", c.q*100, got, c.want, err)
+		}
+	}
+	// Quantiles clamp to observed extremes.
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("p100 = %d, want 1000", got)
+	}
+	h2 := r.Histogram("single")
+	h2.Observe(42)
+	for _, q := range []float64{0.5, 0.99} {
+		if got := h2.Quantile(q); got != 42 {
+			t.Errorf("single-sample q%.2f = %d, want 42", q, got)
+		}
+	}
+}
+
+func TestSpans(t *testing.T) {
+	r := NewRegistry()
+	base := time.Unix(1000, 0)
+	step := 0
+	now = func() time.Time {
+		step++
+		return base.Add(time.Duration(step) * time.Millisecond)
+	}
+	defer func() { now = time.Now }()
+
+	sp := r.StartSpan("ingest.total")
+	d := sp.End()
+	if d != time.Millisecond {
+		t.Errorf("span duration = %v", d)
+	}
+	if d2 := sp.End(); d2 != 0 {
+		t.Error("double End recorded again")
+	}
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Name != "ingest.total" || spans[0].DurNanos != int64(time.Millisecond) {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if got := r.Histogram("ingest.total.ns").Count(); got != 1 {
+		t.Errorf("span histogram count = %d", got)
+	}
+	// The ring stays bounded and keeps the newest records.
+	for i := 0; i < defaultSpanRing*2; i++ {
+		r.StartSpan("loop").End()
+	}
+	spans = r.Spans()
+	if len(spans) != defaultSpanRing {
+		t.Fatalf("ring size = %d, want %d", len(spans), defaultSpanRing)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].StartUnix < spans[i-1].StartUnix {
+			t.Fatal("ring not oldest-first")
+		}
+	}
+}
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(2)
+	r.Counter("a.first").Inc()
+	r.Gauge("depth").Set(3)
+	r.Histogram("lat.ns").Observe(100)
+	r.StartSpan("op").End()
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"counter a.first 1\n",
+		"counter z.last 2\n",
+		"gauge depth 3\n",
+		"hist lat.ns count=1 sum=100 min=100 max=100",
+		"span op start=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text exposition missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Index(text, "a.first") > strings.Index(text, "z.last") {
+		t.Error("counters not sorted")
+	}
+
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON exposition invalid: %v", err)
+	}
+	if snap.Counters["a.first"] != 1 || snap.Histograms["lat.ns"].Count != 1 {
+		t.Errorf("JSON snapshot = %+v", snap)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.StartSpan("s").End()
+	r.Reset()
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 || len(s.Spans) != 0 {
+		t.Errorf("after Reset: %+v", s)
+	}
+}
+
+// TestConcurrentHammer exercises parallel Inc/Observe/span traffic against
+// concurrent snapshots; run under -race this is the registry's safety proof.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var writers, scrapers sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent scrapers race every reader path against the writers.
+	for i := 0; i < 2; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.Snapshot()
+					_ = r.WriteText(devNull{})
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			c := r.Counter("hammer.count")
+			g := r.Gauge("hammer.depth")
+			h := r.Histogram("hammer.lat")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.SetMax(int64(i))
+				h.Observe(int64(i % 1024))
+				if i%64 == 0 {
+					r.StartSpan("hammer.span").End()
+				}
+				// Exercise the get-or-create path too.
+				r.Counter("hammer.count").Add(1)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	s := r.Snapshot()
+	if s.Counters["hammer.count"] != workers*iters*2 {
+		t.Errorf("count = %d, want %d", s.Counters["hammer.count"], workers*iters*2)
+	}
+	if s.Histograms["hammer.lat"].Count != workers*iters {
+		t.Errorf("observations = %d, want %d", s.Histograms["hammer.lat"].Count, workers*iters)
+	}
+	if s.Gauges["hammer.depth"] != iters-1 {
+		t.Errorf("gauge hwm = %d, want %d", s.Gauges["hammer.depth"], iters-1)
+	}
+}
+
+// devNull is a minimal sink for the scraper goroutines.
+type devNull struct{}
+
+func (devNull) Write(p []byte) (int, error) { return len(p), nil }

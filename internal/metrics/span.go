@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultSpanRing bounds the completed-span trace buffer.
+const defaultSpanRing = 256
+
+// now is swappable for deterministic tests.
+var now = time.Now
+
+// SpanRecord is one completed span in the trace ring.
+type SpanRecord struct {
+	Name      string `json:"name"`
+	StartUnix int64  `json:"start_unix_nano"`
+	DurNanos  int64  `json:"dur_nanos"`
+}
+
+// Span is a lightweight in-flight timer. End records its duration into the
+// histogram named after the span and appends it to the registry's bounded
+// trace ring.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+	done  bool
+}
+
+// StartSpan begins timing a named operation (e.g. "ingest.total",
+// "read.subset"). Safe on a nil registry (End becomes a no-op).
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, start: now()}
+}
+
+// End stops the span. Calling End more than once records only the first.
+func (s *Span) End() time.Duration {
+	if s == nil || s.done {
+		return 0
+	}
+	s.done = true
+	d := now().Sub(s.start)
+	s.r.Histogram(s.name + ".ns").Observe(d.Nanoseconds())
+	s.r.spans.add(SpanRecord{
+		Name:      s.name,
+		StartUnix: s.start.UnixNano(),
+		DurNanos:  d.Nanoseconds(),
+	})
+	return d
+}
+
+// Spans returns the completed spans currently in the ring, oldest first.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	return r.spans.list()
+}
+
+// spanRing is a bounded FIFO of completed spans.
+type spanRing struct {
+	mu    sync.Mutex
+	cap   int
+	buf   []SpanRecord
+	start int // index of the oldest record
+}
+
+func (sr *spanRing) add(rec SpanRecord) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.cap <= 0 {
+		sr.cap = defaultSpanRing
+	}
+	if len(sr.buf) < sr.cap {
+		sr.buf = append(sr.buf, rec)
+		return
+	}
+	sr.buf[sr.start] = rec
+	sr.start = (sr.start + 1) % sr.cap
+}
+
+func (sr *spanRing) list() []SpanRecord {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if len(sr.buf) == 0 {
+		return nil
+	}
+	out := make([]SpanRecord, 0, len(sr.buf))
+	for i := 0; i < len(sr.buf); i++ {
+		out = append(out, sr.buf[(sr.start+i)%len(sr.buf)])
+	}
+	return out
+}
+
+func (sr *spanRing) reset() {
+	sr.mu.Lock()
+	sr.buf = nil
+	sr.start = 0
+	sr.mu.Unlock()
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/vfs"
 )
 
@@ -45,6 +46,7 @@ type FS struct {
 	mu       sync.Mutex
 	backends []Backend
 	byName   map[string]*Backend
+	reg      *metrics.Registry
 }
 
 // New returns a container store over the given backends. Backend names must
@@ -53,7 +55,7 @@ func New(backends ...Backend) (*FS, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("plfs: no backends")
 	}
-	p := &FS{byName: map[string]*Backend{}}
+	p := &FS{byName: map[string]*Backend{}, reg: metrics.Default}
 	for i := range backends {
 		b := backends[i]
 		if b.FS == nil {
@@ -68,6 +70,18 @@ func New(backends ...Backend) (*FS, error) {
 	}
 	return p, nil
 }
+
+// SetMetrics points the store's dispatch counters at reg (metrics.Default
+// by default; nil disables collection). Call before serving traffic.
+func (p *FS) SetMetrics(reg *metrics.Registry) { p.reg = reg }
+
+// count bumps one dispatch counter, namespaced per backend so the paper's
+// SSD-vs-HDD steering is visible at runtime:
+//
+//	plfs.backend.<name>.droppings_created
+//	plfs.backend.<name>.droppings_opened
+//	plfs.containers_created / plfs.containers_removed
+func (p *FS) count(name string) { p.reg.Counter("plfs." + name).Inc() }
 
 // Backends returns the backend names in configuration order.
 func (p *FS) Backends() []string {
@@ -94,6 +108,7 @@ func (p *FS) CreateContainer(logical string) error {
 			return fmt.Errorf("plfs: create container on %s: %w", b.Name, err)
 		}
 	}
+	p.count("containers_created")
 	return p.writeIndexLocked(logical, nil)
 }
 
@@ -138,6 +153,7 @@ func (p *FS) CreateDropping(logical, dropping, backend string) (vfs.File, error)
 		f.Close()
 		return nil, err
 	}
+	p.count("backend." + backend + ".droppings_created")
 	return f, nil
 }
 
@@ -161,6 +177,7 @@ func (p *FS) OpenDropping(logical, dropping string) (vfs.File, error) {
 	if owner == nil {
 		return nil, fmt.Errorf("%w: dropping %q in container %q", vfs.ErrNotExist, dropping, logical)
 	}
+	p.count("backend." + owner.Name + ".droppings_opened")
 	return owner.FS.Open(path.Join(containerPath(owner, logical), dropping))
 }
 
@@ -266,6 +283,7 @@ func (p *FS) RemoveContainer(logical string) error {
 			return fmt.Errorf("plfs: remove container dir on %s: %w", b.Name, err)
 		}
 	}
+	p.count("containers_removed")
 	return nil
 }
 

@@ -5,16 +5,50 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/vfs"
 	"repro/internal/xdr"
 )
 
 // Client is a vfs.FS backed by a remote storage node. It is safe for
 // concurrent use; requests are serialized over the single connection.
+//
+// A dialed client (Dial, as opposed to NewClient over an existing
+// connection) transparently redials once when the transport fails
+// mid-call and retries the request: the server's file-handle table is
+// per-process, not per-connection, so open handles stay valid across a
+// reconnect to the same node. Retries are counted under
+// "rpc.client.retries".
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+	addr string // non-empty iff dialed (enables redial retry)
+	m    clientMetrics
+}
+
+// clientMetrics are the client-side request/response/error/retry handles.
+type clientMetrics struct {
+	requests  *metrics.Counter
+	responses *metrics.Counter
+	errors    *metrics.Counter
+	retries   *metrics.Counter
+	bytesOut  *metrics.Counter
+	bytesIn   *metrics.Counter
+	latency   *metrics.Histogram
+}
+
+func newClientMetrics(reg *metrics.Registry) clientMetrics {
+	return clientMetrics{
+		requests:  reg.Counter("rpc.client.requests"),
+		responses: reg.Counter("rpc.client.responses"),
+		errors:    reg.Counter("rpc.client.errors"),
+		retries:   reg.Counter("rpc.client.retries"),
+		bytesOut:  reg.Counter("rpc.client.bytes_sent"),
+		bytesIn:   reg.Counter("rpc.client.bytes_received"),
+		latency:   reg.Histogram("rpc.client.call.ns"),
+	}
 }
 
 var _ vfs.FS = (*Client)(nil)
@@ -25,11 +59,17 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, addr: addr, m: newClientMetrics(metrics.Default)}, nil
 }
 
 // NewClient wraps an existing connection (useful for tests over pipes).
-func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, m: newClientMetrics(metrics.Default)}
+}
+
+// SetMetrics points the client's counters at reg (metrics.Default by
+// default; nil disables collection). Call before issuing requests.
+func (c *Client) SetMetrics(reg *metrics.Registry) { c.m = newClientMetrics(reg) }
 
 // Close shuts the connection down.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -38,18 +78,52 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) call(req *xdr.Writer) (*xdr.Reader, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, req.Bytes()); err != nil {
-		return nil, fmt.Errorf("rpc: send: %w", err)
-	}
-	payload, err := readFrame(c.conn)
+	c.m.requests.Inc()
+	start := time.Now()
+	payload, err := c.exchange(req.Bytes())
 	if err != nil {
-		return nil, fmt.Errorf("rpc: receive: %w", err)
+		c.m.errors.Inc()
+		return nil, err
 	}
+	c.m.responses.Inc()
+	c.m.latency.Observe(time.Since(start).Nanoseconds())
 	r := xdr.NewReader(payload)
 	if err := decodeStatus(r); err != nil {
+		c.m.errors.Inc()
 		return nil, err
 	}
 	return r, nil
+}
+
+// exchange performs one framed round trip, redialing once on transport
+// failure when the client owns its dial address. Callers hold c.mu.
+func (c *Client) exchange(req []byte) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		sendErr := writeFrame(c.conn, req)
+		var payload []byte
+		var recvErr error
+		if sendErr == nil {
+			c.m.bytesOut.Add(int64(len(req)) + 4)
+			payload, recvErr = readFrame(c.conn)
+			if recvErr == nil {
+				c.m.bytesIn.Add(int64(len(payload)) + 4)
+				return payload, nil
+			}
+		}
+		if c.addr == "" || attempt > 0 {
+			if sendErr != nil {
+				return nil, fmt.Errorf("rpc: send: %w", sendErr)
+			}
+			return nil, fmt.Errorf("rpc: receive: %w", recvErr)
+		}
+		conn, dialErr := net.Dial("tcp", c.addr)
+		if dialErr != nil {
+			return nil, fmt.Errorf("rpc: redial %s: %w", c.addr, dialErr)
+		}
+		c.conn.Close()
+		c.conn = conn
+		c.m.retries.Inc()
+	}
 }
 
 func request(op uint32) *xdr.Writer {

@@ -1,0 +1,150 @@
+package rpc
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// startMeteredNode serves fsys on a loopback listener, closing the first accepted
+// connection immediately when flakyFirst is set (to exercise the client's
+// redial retry).
+func startMeteredNode(t *testing.T, fsys vfs.FS, reg *metrics.Registry, flakyFirst bool) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(fsys, nil)
+	srv.SetMetrics(reg)
+	var dropped atomic.Bool
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if flakyFirst && dropped.CompareAndSwap(false, true) {
+				conn.Close()
+				continue
+			}
+			go srv.handleConn(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func TestClientServerMetrics(t *testing.T) {
+	sreg := metrics.NewRegistry()
+	creg := metrics.NewRegistry()
+	addr, stop := startMeteredNode(t, vfs.NewMemFS(), sreg, false)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetMetrics(creg)
+
+	if err := vfs.WriteFile(c, "/d/f.bin", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := vfs.ReadFile(c, "/d/f.bin"); err != nil || string(data) != "payload" {
+		t.Fatalf("read back = %q, %v", data, err)
+	}
+	if _, err := c.Open("/missing"); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+
+	cs := creg.Snapshot()
+	if cs.Counters["rpc.client.requests"] == 0 {
+		t.Error("no client requests counted")
+	}
+	if cs.Counters["rpc.client.responses"] != cs.Counters["rpc.client.requests"] {
+		t.Errorf("responses %d != requests %d (transport was healthy)",
+			cs.Counters["rpc.client.responses"], cs.Counters["rpc.client.requests"])
+	}
+	if cs.Counters["rpc.client.errors"] != 1 {
+		t.Errorf("client errors = %d, want 1", cs.Counters["rpc.client.errors"])
+	}
+	if cs.Counters["rpc.client.retries"] != 0 {
+		t.Errorf("client retries = %d, want 0", cs.Counters["rpc.client.retries"])
+	}
+	if cs.Counters["rpc.client.bytes_sent"] == 0 || cs.Counters["rpc.client.bytes_received"] == 0 {
+		t.Error("client byte counters empty")
+	}
+	if cs.Histograms["rpc.client.call.ns"].Count == 0 {
+		t.Error("client latency histogram empty")
+	}
+
+	ss := sreg.Snapshot()
+	if ss.Counters["rpc.server.requests"] != cs.Counters["rpc.client.requests"] {
+		t.Errorf("server requests %d != client requests %d",
+			ss.Counters["rpc.server.requests"], cs.Counters["rpc.client.requests"])
+	}
+	if ss.Counters["rpc.server.op.create"] == 0 || ss.Counters["rpc.server.op.write"] == 0 ||
+		ss.Counters["rpc.server.op.read"] == 0 {
+		t.Errorf("per-op counters missing: %+v", ss.Counters)
+	}
+	if ss.Counters["rpc.server.errors"] != 1 {
+		t.Errorf("server errors = %d, want 1", ss.Counters["rpc.server.errors"])
+	}
+	if ss.Counters["rpc.server.connections"] != 1 {
+		t.Errorf("server connections = %d, want 1", ss.Counters["rpc.server.connections"])
+	}
+}
+
+// TestClientRetry drops the client's first connection at the server and
+// verifies the dialed client transparently redials, retries, and counts it.
+func TestClientRetry(t *testing.T) {
+	creg := metrics.NewRegistry()
+	addr, stop := startMeteredNode(t, vfs.NewMemFS(), metrics.NewRegistry(), true)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetMetrics(creg)
+
+	// First call rides the connection the server already dropped; the
+	// client must redial and succeed.
+	if err := c.MkdirAll("/survives"); err != nil {
+		t.Fatalf("call after dropped connection: %v", err)
+	}
+	if ok := vfs.Exists(c, "/survives"); !ok {
+		t.Error("directory missing after retried call")
+	}
+	cs := creg.Snapshot()
+	if cs.Counters["rpc.client.retries"] != 1 {
+		t.Errorf("retries = %d, want 1", cs.Counters["rpc.client.retries"])
+	}
+	if cs.Counters["rpc.client.errors"] != 0 {
+		t.Errorf("errors = %d, want 0 (retry hid the transport blip)", cs.Counters["rpc.client.errors"])
+	}
+}
+
+// TestPipeClientNoRetry: a client over an existing connection (NewClient)
+// must fail fast rather than redial.
+func TestPipeClientNoRetry(t *testing.T) {
+	creg := metrics.NewRegistry()
+	cliConn, srvConn := net.Pipe()
+	srvConn.Close()
+	c := NewClient(cliConn)
+	c.SetMetrics(creg)
+	if err := c.MkdirAll("/x"); err == nil {
+		t.Fatal("call over closed pipe succeeded")
+	}
+	cs := creg.Snapshot()
+	if cs.Counters["rpc.client.retries"] != 0 {
+		t.Errorf("pipe client retried %d times", cs.Counters["rpc.client.retries"])
+	}
+	if cs.Counters["rpc.client.errors"] != 1 {
+		t.Errorf("errors = %d, want 1", cs.Counters["rpc.client.errors"])
+	}
+}

@@ -1,12 +1,15 @@
 package rpc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/vfs"
 	"repro/internal/xdr"
 )
@@ -15,17 +18,68 @@ import (
 type Server struct {
 	fsys   vfs.FS
 	logger *log.Logger
+	m      serverMetrics
 
 	mu      sync.Mutex
 	nextFD  uint32
 	handles map[uint32]vfs.File
 }
 
+// serverMetrics are the node-side request/response/error handles, plus a
+// per-opcode request breakdown.
+type serverMetrics struct {
+	requests    *metrics.Counter
+	responses   *metrics.Counter
+	errors      *metrics.Counter
+	connections *metrics.Counter
+	bytesIn     *metrics.Counter
+	bytesOut    *metrics.Counter
+	latency     *metrics.Histogram
+	perOp       [opSize + 1]*metrics.Counter
+}
+
+// opName names an opcode for metrics and logs.
+func opName(op uint32) string {
+	names := [...]string{
+		opCreate: "create", opOpen: "open", opRead: "read", opWrite: "write",
+		opClose: "close", opStat: "stat", opReadDir: "readdir",
+		opMkdirAll: "mkdirall", opRemove: "remove", opSize: "size",
+	}
+	if op < uint32(len(names)) && names[op] != "" {
+		return names[op]
+	}
+	return "unknown"
+}
+
+func newServerMetrics(reg *metrics.Registry) serverMetrics {
+	m := serverMetrics{
+		requests:    reg.Counter("rpc.server.requests"),
+		responses:   reg.Counter("rpc.server.responses"),
+		errors:      reg.Counter("rpc.server.errors"),
+		connections: reg.Counter("rpc.server.connections"),
+		bytesIn:     reg.Counter("rpc.server.bytes_received"),
+		bytesOut:    reg.Counter("rpc.server.bytes_sent"),
+		latency:     reg.Histogram("rpc.server.dispatch.ns"),
+	}
+	for op := opCreate; op <= opSize; op++ {
+		m.perOp[op] = reg.Counter("rpc.server.op." + opName(op))
+	}
+	return m
+}
+
 // NewServer returns a server over fsys. logger may be nil to disable
 // logging.
 func NewServer(fsys vfs.FS, logger *log.Logger) *Server {
-	return &Server{fsys: fsys, logger: logger, handles: map[uint32]vfs.File{}}
+	return &Server{
+		fsys: fsys, logger: logger,
+		m:       newServerMetrics(metrics.Default),
+		handles: map[uint32]vfs.File{},
+	}
 }
+
+// SetMetrics points the server's counters at reg (metrics.Default by
+// default; nil disables collection). Call before Serve.
+func (s *Server) SetMetrics(reg *metrics.Registry) { s.m = newServerMetrics(reg) }
 
 func (s *Server) logf(format string, args ...interface{}) {
 	if s.logger != nil {
@@ -46,6 +100,7 @@ func (s *Server) Serve(ln net.Listener) error {
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	s.m.connections.Inc()
 	s.logf("rpc: client %s connected", conn.RemoteAddr())
 	for {
 		payload, err := readFrame(conn)
@@ -55,11 +110,26 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
+		s.m.bytesIn.Add(int64(len(payload)) + 4)
+		s.m.requests.Inc()
+		if len(payload) >= 4 {
+			if op := binary.BigEndian.Uint32(payload); op <= opSize {
+				s.m.perOp[op].Inc()
+			}
+		}
+		start := time.Now()
 		resp := s.dispatch(payload)
+		s.m.latency.Observe(time.Since(start).Nanoseconds())
+		// Response status word: 0 = OK, anything else = error reply.
+		if len(resp) >= 4 && binary.BigEndian.Uint32(resp) != 0 {
+			s.m.errors.Inc()
+		}
 		if err := writeFrame(conn, resp); err != nil {
 			s.logf("rpc: client %s write: %v", conn.RemoteAddr(), err)
 			return
 		}
+		s.m.bytesOut.Add(int64(len(resp)) + 4)
+		s.m.responses.Inc()
 	}
 }
 

@@ -1,0 +1,55 @@
+package vmd
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/xtc"
+)
+
+// TestCacheRegistryMetrics verifies the playback cache mirrors its stats
+// into the session's metrics registry.
+func TestCacheRegistryMetrics(t *testing.T) {
+	_, src, _ := playbackFixture(t, 6)
+	reg := metrics.NewRegistry()
+	s := NewSession(nil, 0, ComputeCost{})
+	s.SetMetrics(reg)
+
+	// Budget for exactly 2 frames, then sweep back and forth to force
+	// hits, misses, and evictions.
+	f0, err := src.ReadFrameAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 2 * xtc.RawFrameSize(f0.NAtoms())
+	cache := s.NewFrameCache(src, budget)
+	for _, i := range BackAndForth(6, 2) {
+		if _, err := cache.Frame(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	snap := reg.Snapshot()
+	if snap.Counters["vmd.cache.hits"] != st.Hits {
+		t.Errorf("hits: registry %d, stats %d", snap.Counters["vmd.cache.hits"], st.Hits)
+	}
+	if snap.Counters["vmd.cache.misses"] != st.Misses {
+		t.Errorf("misses: registry %d, stats %d", snap.Counters["vmd.cache.misses"], st.Misses)
+	}
+	if snap.Counters["vmd.cache.evictions"] != st.Evictions {
+		t.Errorf("evictions: registry %d, stats %d", snap.Counters["vmd.cache.evictions"], st.Evictions)
+	}
+	if snap.Counters["vmd.cache.bytes_loaded"] != st.BytesLoaded {
+		t.Errorf("bytes: registry %d, stats %d", snap.Counters["vmd.cache.bytes_loaded"], st.BytesLoaded)
+	}
+	if st.Misses == 0 || st.Evictions == 0 || st.Hits == 0 {
+		t.Errorf("fixture did not exercise the cache: %+v", st)
+	}
+	if got := snap.Gauges["vmd.cache.resident_frames"]; got != int64(cache.Len()) {
+		t.Errorf("resident_frames = %d, want %d", got, cache.Len())
+	}
+	cache.Release()
+	if got := reg.Gauge("vmd.cache.resident_frames").Value(); got != 0 {
+		t.Errorf("resident_frames after Release = %d", got)
+	}
+}

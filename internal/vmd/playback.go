@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/metrics"
 	"repro/internal/xtc"
 )
 
@@ -45,6 +46,28 @@ type FrameCache struct {
 	lru    *list.List            // front = most recent; values are cacheEntry
 	lookup map[int]*list.Element // frame number -> element
 	stats  CacheStats
+	cm     cacheMetrics
+}
+
+// cacheMetrics mirror CacheStats into the runtime registry under
+// vmd.cache.* so a long-lived viewer process is observable without polling
+// Stats().
+type cacheMetrics struct {
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+	bytes     *metrics.Counter
+	resident  *metrics.Gauge // cached frames right now
+}
+
+func newCacheMetrics(reg *metrics.Registry) cacheMetrics {
+	return cacheMetrics{
+		hits:      reg.Counter("vmd.cache.hits"),
+		misses:    reg.Counter("vmd.cache.misses"),
+		evictions: reg.Counter("vmd.cache.evictions"),
+		bytes:     reg.Counter("vmd.cache.bytes_loaded"),
+		resident:  reg.Gauge("vmd.cache.resident_frames"),
+	}
 }
 
 type cacheEntry struct {
@@ -66,6 +89,7 @@ func (s *Session) NewFrameCache(src FrameSource, budget int64) *FrameCache {
 		budget: budget,
 		lru:    list.New(),
 		lookup: map[int]*list.Element{},
+		cm:     newCacheMetrics(s.metrics),
 	}
 }
 
@@ -89,9 +113,11 @@ func (c *FrameCache) Frame(i int) (*xtc.Frame, error) {
 	if e, ok := c.lookup[i]; ok {
 		c.lru.MoveToFront(e)
 		c.stats.Hits++
+		c.cm.hits.Inc()
 		return e.Value.(cacheEntry).frame, nil
 	}
 	c.stats.Misses++
+	c.cm.misses.Inc()
 	f, err := c.src.ReadFrameAt(i)
 	if err != nil {
 		return nil, fmt.Errorf("vmd: playback frame %d: %w", i, err)
@@ -100,6 +126,7 @@ func (c *FrameCache) Frame(i int) (*xtc.Frame, error) {
 	if c.budget > 0 && size > c.budget {
 		// Frame larger than the whole budget: serve it uncached.
 		c.stats.BytesLoaded += size
+		c.cm.bytes.Add(size)
 		return f, nil
 	}
 	// Evict until the frame fits the budget and the session memory.
@@ -111,6 +138,7 @@ func (c *FrameCache) Frame(i int) (*xtc.Frame, error) {
 			// Nothing left to evict: hand the frame out uncached rather
 			// than failing playback.
 			c.stats.BytesLoaded += size
+			c.cm.bytes.Add(size)
 			return f, nil
 		}
 		c.evictOldest()
@@ -118,6 +146,8 @@ func (c *FrameCache) Frame(i int) (*xtc.Frame, error) {
 	e := c.lru.PushFront(cacheEntry{frame: f, num: i, bytes: size})
 	c.lookup[i] = e
 	c.stats.BytesLoaded += size
+	c.cm.bytes.Add(size)
+	c.cm.resident.Set(int64(c.lru.Len()))
 	return f, nil
 }
 
@@ -131,6 +161,8 @@ func (c *FrameCache) evictOldest() {
 	delete(c.lookup, entry.num)
 	c.mem.Free(memPlayback, entry.bytes)
 	c.stats.Evictions++
+	c.cm.evictions.Inc()
+	c.cm.resident.Set(int64(c.lru.Len()))
 }
 
 // Release drops every cached frame and returns the memory.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dcd"
+	"repro/internal/metrics"
 	"repro/internal/pdb"
 	"repro/internal/rangelist"
 	"repro/internal/sim"
@@ -66,9 +67,10 @@ const (
 
 // Session is one VMD process on a compute node.
 type Session struct {
-	env  *sim.Env
-	Mem  *Memory
-	cost ComputeCost
+	env     *sim.Env
+	Mem     *Memory
+	cost    ComputeCost
+	metrics *metrics.Registry
 
 	structure *pdb.Structure
 	selection *rangelist.List // the protein selection rendered by default
@@ -82,8 +84,13 @@ func NewSession(env *sim.Env, memCapacity int64, cost ComputeCost) *Session {
 	if cost == (ComputeCost{}) {
 		cost = DefaultComputeCost()
 	}
-	return &Session{env: env, Mem: NewMemory(memCapacity), cost: cost}
+	return &Session{env: env, Mem: NewMemory(memCapacity), cost: cost, metrics: metrics.Default}
 }
+
+// SetMetrics points the session's runtime counters (playback cache) at reg
+// (metrics.Default by default; nil disables collection). Call before
+// creating frame caches.
+func (s *Session) SetMetrics(reg *metrics.Registry) { s.metrics = reg }
 
 func (s *Session) charge(bucket string, sec float64) {
 	if s.env != nil && sec > 0 {
