@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench clean
+.PHONY: all build test race lint bench bench-decode clean
 
 all: build lint test
 
@@ -24,8 +24,14 @@ lint:
 
 # One iteration of every benchmark — a smoke pass proving the bench
 # harness still runs end to end, not a measurement.
-bench:
+bench: bench-decode
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Decode/prefetch benchmarks rendered to BENCH_decode.json (ns/op, MB/s,
+# allocs/op, vstall) for the CI artifact and regression tracking.
+bench-decode:
+	$(GO) test -run '^$$' -bench 'ParallelDecode|XTCDecode|PlaybackPrefetch' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_decode.json
 
 clean:
 	$(GO) clean ./...

@@ -10,6 +10,7 @@ package ada_test
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/plfs"
 	"repro/internal/sim"
 	"repro/internal/vfs"
+	"repro/internal/vmd"
 	"repro/internal/xdr"
 	"repro/internal/xtc"
 )
@@ -179,6 +181,141 @@ func BenchmarkXTCPrecision(b *testing.B) {
 			}
 			b.ReportMetric(float64(w.Len()*8)/float64(f.NAtoms()), "bpa")
 		})
+	}
+}
+
+// --- Parallel decode + prefetch benches ----------------------------------
+
+// decodeStream builds a jittered multi-frame compressed stream once per
+// process, plus its total raw coordinate payload for MB/s reporting.
+var (
+	decOnce   sync.Once
+	decStream []byte
+	decRaw    int64
+	decErr    error
+)
+
+func parallelDecodeStream(b *testing.B) ([]byte, int64) {
+	b.Helper()
+	decOnce.Do(func() {
+		sys, err := gpcr.Scaled(4).Build()
+		if err != nil {
+			decErr = err
+			return
+		}
+		f := sys.InitialFrame()
+		rng := rand.New(rand.NewSource(5))
+		var buf bytes.Buffer
+		w := xtc.NewWriter(&buf)
+		const frames = 24
+		for k := 0; k < frames; k++ {
+			f.Step = int32(k)
+			for i := range f.Coords {
+				for d := 0; d < 3; d++ {
+					f.Coords[i][d] += float32(rng.NormFloat64() * 0.005)
+				}
+			}
+			if err := w.WriteFrame(f); err != nil {
+				decErr = err
+				return
+			}
+		}
+		decStream = buf.Bytes()
+		decRaw = int64(frames * f.NAtoms() * 12)
+	})
+	if decErr != nil {
+		b.Fatal(decErr)
+	}
+	return decStream, decRaw
+}
+
+// BenchmarkParallelDecode measures multi-frame stream decode throughput:
+// the serial Reader baseline against ParallelReader at 1/2/4/8 workers.
+// MB/s is raw coordinate payload; the issue's acceptance bar is >=2x over
+// serial at 4 workers.
+func BenchmarkParallelDecode(b *testing.B) {
+	stream, raw := parallelDecodeStream(b)
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(raw)
+		for i := 0; i < b.N; i++ {
+			if _, err := xtc.NewReader(bytes.NewReader(stream)).ReadAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(raw)
+			for i := 0; i < b.N; i++ {
+				pr := xtc.NewParallelReader(bytes.NewReader(stream), workers)
+				if _, err := pr.ReadAll(); err != nil {
+					b.Fatal(err)
+				}
+				pr.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkPlaybackPrefetch prices the prefetch decorator on the viewer's
+// replay patterns: virtual stall seconds (vstall) with and without
+// prediction, over a cache deliberately too small for the working set.
+func BenchmarkPlaybackPrefetch(b *testing.B) {
+	stream, _ := parallelDecodeStream(b)
+	idx, err := xtc.BuildIndex(bytes.NewReader(stream), int64(len(stream)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ra := xtc.NewRandomAccessReader(bytes.NewReader(stream), idx)
+	n := ra.Frames()
+	f0, err := ra.ReadFrameAt(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := 3 * xtc.RawFrameSize(f0.NAtoms())
+	patterns := []struct {
+		name    string
+		pattern []int
+	}{
+		{"sequential", vmd.Sequential(n)},
+		{"back-and-forth", vmd.BackAndForth(n, 3)},
+	}
+	for _, pat := range patterns {
+		for _, prefetch := range []bool{false, true} {
+			name := pat.name + "/plain"
+			if prefetch {
+				name = pat.name + "/prefetch"
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				var stall float64
+				for i := 0; i < b.N; i++ {
+					env := sim.NewEnv()
+					s := vmd.NewSession(env, 0, vmd.ComputeCost{})
+					var src vmd.FrameSource
+					var pf *vmd.PrefetchSource
+					if prefetch {
+						pf = s.NewPrefetchSource(ra, idx, 4, 8)
+						src = pf
+					} else {
+						src = s.ChargeDecompression(ra, idx)
+					}
+					cache := s.NewFrameCache(src, budget)
+					st, err := s.Play(cache, pat.pattern)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if pf != nil {
+						pf.Stop()
+					}
+					cache.Release()
+					stall = st.StallSec
+				}
+				b.ReportMetric(stall, "vstall")
+			})
+		}
 	}
 }
 

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkParallelDecode/workers-4-8   \t 50\t  21565178 ns/op\t 145.23 MB/s\t 3517820 B/op\t     146 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "BenchmarkParallelDecode/workers-4-8" || r.Iterations != 50 {
+		t.Fatalf("header parse: %+v", r)
+	}
+	if r.NsPerOp != 21565178 || r.MBPerS != 145.23 || r.BytesPerOp != 3517820 || r.AllocsPerOp != 146 {
+		t.Fatalf("unit parse: %+v", r)
+	}
+
+	r, ok = parseLine("BenchmarkPlaybackPrefetch/sequential/prefetch 	       1	  21863671 ns/op	         0.0003489 vstall")
+	if !ok {
+		t.Fatal("custom-metric line rejected")
+	}
+	if r.Metrics["vstall"] != 0.0003489 {
+		t.Fatalf("custom metric: %+v", r.Metrics)
+	}
+
+	for _, bad := range []string{"", "PASS", "ok  \trepro\t1.2s", "goos: linux", "BenchmarkX notanumber 3 ns/op"} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -64,6 +64,9 @@ type Options struct {
 	Schema *Schema
 	// Metrics selects the runtime metrics registry (nil = metrics.Default).
 	Metrics *metrics.Registry
+	// DecodeWorkers bounds IngestParallel's decode pool (<=0 selects
+	// xtc.DefaultWorkers: min of NumCPU and GOMAXPROCS).
+	DecodeWorkers int
 }
 
 // ADA is one middleware instance bound to a PLFS-style container store.
@@ -178,6 +181,23 @@ type IngestReport struct {
 	Raw        int64            // bytes after decompression
 	Subsets    map[string]int64 // tag -> stored subset bytes
 	Elapsed    float64          // virtual seconds spent in ingest
+	// Parallel describes the decode worker pool; nil for serial Ingest.
+	Parallel *ParallelIngestReport
+}
+
+// ParallelIngestReport describes how IngestParallel's decode pool behaved.
+type ParallelIngestReport struct {
+	// DecodeWorkers is the size of the decode pool.
+	DecodeWorkers int
+	// WorkerDecodeSec is the virtual decompression time charged to each
+	// pool worker (frames assigned round-robin); the stage's wall-time
+	// contribution is the maximum entry, not the sum.
+	WorkerDecodeSec []float64
+	// WorkerBusyNS is each worker's real wall-clock decode time.
+	WorkerBusyNS []int64
+	// WorkerUtilization is each worker's real busy time relative to the
+	// busiest worker (1.0 = as busy as the bottleneck worker).
+	WorkerUtilization []float64
 }
 
 // Ingest runs the full ADA write path for one dataset: parse the structure

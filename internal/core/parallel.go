@@ -16,15 +16,19 @@ type frameMsg struct {
 	seq        int
 }
 
-// IngestParallel is Ingest with the storage node's cores pipelined: one
-// goroutine decompresses frames while one goroutine per tagged subset
-// splits and writes its dropping. Output is byte-identical to Ingest —
-// each subset still receives every frame in order — but the virtual wall
-// time of the CPU stages is the slowest stage rather than their sum,
-// modeling a multi-core storage node. Device I/O time is still charged as
-// the writes happen (the backends are shared).
+// IngestParallel is Ingest with the storage node's cores pipelined: an
+// xtc.ParallelReader decompresses frames on a bounded worker pool (frame
+// boundaries found by a cheap scanner, blobs fanned out, results
+// re-sequenced) while one goroutine per tagged subset splits and writes its
+// dropping. Output is byte-identical to Ingest — each subset still receives
+// every frame in order — but the virtual wall time of the CPU stages is the
+// slowest stage rather than their sum, and the decode stage itself is
+// charged as a concurrent pool: its wall time is the busiest worker's share
+// of the decompression, not the serial sum. Device I/O time is still charged
+// as the writes happen (the backends are shared).
 //
-// queue is the per-stage channel depth (<=0 selects a small default).
+// queue is the per-stage channel depth (<=0 selects a small default); the
+// decode pool size comes from Options.DecodeWorkers.
 func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, queue int) (*IngestReport, error) {
 	if queue <= 0 {
 		queue = 4
@@ -41,8 +45,12 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 	}
 
 	// Per-stage virtual CPU accumulators (applied as one concurrent charge
-	// at the end: the pipeline's wall time is its slowest stage).
-	var decompressSec float64
+	// at the end: the pipeline's wall time is its slowest stage). The decode
+	// stage is itself a pool: per-frame decompression time is dealt
+	// round-robin onto the virtual workers and only the busiest one
+	// contributes wall time.
+	workers := xtc.DefaultWorkers(a.opts.DecodeWorkers)
+	decodeSec := make([]float64, workers)
 	categorizeSec := make([]float64, len(st.writers))
 
 	type result struct {
@@ -83,7 +91,13 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 		}(i, sw)
 	}
 
-	// Decoder: decompress frames and fan them out.
+	pr := xtc.NewParallelReader(traj, workers)
+	pr.Observe = a.im.decodeNS.Observe
+	pr.SetMetrics(a.reg)
+	defer pr.Close()
+
+	// Feeder: pull re-sequenced frames off the decode pool and fan them out
+	// to the subset writers.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -92,17 +106,12 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 				close(ch)
 			}
 		}()
-		in := &countingReader{r: traj}
-		reader := xtc.NewReader(in)
 		seq := 0
 		for {
-			before := in.n
-			t0 := time.Now()
-			frame, err := reader.ReadFrame()
+			frame, compressed, err := pr.ReadFrameSize()
 			if err == io.EOF {
 				return
 			}
-			a.im.decodeNS.Observe(time.Since(t0).Nanoseconds())
 			if err != nil {
 				fail("decode", fmt.Errorf("core: ingest %s frame %d: %w", logical, seq, err))
 				return
@@ -112,8 +121,7 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 					logical, seq, frame.NAtoms(), st.structure.NAtoms()))
 				return
 			}
-			compressed := in.n - before
-			decompressSec += a.opts.Cost.decompressTime(compressed)
+			decodeSec[seq%workers] += a.opts.Cost.decompressTime(compressed)
 			st.report.Compressed += compressed
 			st.report.Raw += xtc.RawFrameSize(frame.NAtoms())
 			msg := frameMsg{frame: frame, compressed: compressed, seq: seq}
@@ -139,11 +147,40 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 		}
 	}
 
+	// Worker pool telemetry: real busy time per decode worker, and the
+	// round-robin virtual charge.
+	busy := pr.WorkerBusy()
+	par := &ParallelIngestReport{
+		DecodeWorkers:     workers,
+		WorkerDecodeSec:   decodeSec,
+		WorkerBusyNS:      make([]int64, workers),
+		WorkerUtilization: make([]float64, workers),
+	}
+	var busiest int64
+	for i, d := range busy {
+		par.WorkerBusyNS[i] = d.Nanoseconds()
+		if d.Nanoseconds() > busiest {
+			busiest = d.Nanoseconds()
+		}
+	}
+	for i := range par.WorkerUtilization {
+		if busiest > 0 {
+			par.WorkerUtilization[i] = float64(par.WorkerBusyNS[i]) / float64(busiest)
+		}
+	}
+	st.report.Parallel = par
+
 	// Wall time = slowest CPU stage; every stage's work appears in the
-	// profile.
+	// profile. Decode workers charge into the shared decompress bucket, so
+	// the profile total equals the serial path's.
 	if a.env != nil {
-		worst := decompressSec
-		a.env.ChargeConcurrent("storage.cpu.decompress", decompressSec)
+		var worst float64
+		for _, sec := range decodeSec {
+			a.env.ChargeConcurrent("storage.cpu.decompress", sec)
+			if sec > worst {
+				worst = sec
+			}
+		}
 		for i := range categorizeSec {
 			a.env.ChargeConcurrent("storage.cpu.categorize", categorizeSec[i])
 			if categorizeSec[i] > worst {

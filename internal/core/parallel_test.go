@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"repro/internal/plfs"
@@ -72,11 +73,11 @@ func TestIngestParallelPipelinedTimeIsMaxOfStages(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Same total CPU work appears in both profiles (within subset-header
-	// rounding on the categorize side) ...
+	// Same total CPU work appears in both profiles (within float
+	// reassociation: the parallel path sums per-worker partials) ...
 	sd := envS.Profile.Get("storage.cpu.decompress")
 	pd := envP.Profile.Get("storage.cpu.decompress")
-	if sd != pd {
+	if diff := math.Abs(sd - pd); diff > 1e-9*math.Max(sd, 1) {
 		t.Errorf("decompress charge: serial %v vs parallel %v", sd, pd)
 	}
 	// ... but the parallel clock advanced by less than the serial one:
@@ -84,6 +85,61 @@ func TestIngestParallelPipelinedTimeIsMaxOfStages(t *testing.T) {
 	if envP.Clock.Now() >= envS.Clock.Now() {
 		t.Errorf("parallel ingest clock %.6f not faster than serial %.6f",
 			envP.Clock.Now(), envS.Clock.Now())
+	}
+}
+
+func TestIngestParallelWorkerReport(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 100, 7)
+	env := sim.NewEnv()
+	a, _, _ := newADA(t, env, Options{DecodeWorkers: 3})
+	rep, err := a.IngestParallel("/ds", pdbBytes, bytes.NewReader(traj), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := rep.Parallel
+	if par == nil {
+		t.Fatal("IngestParallel report has no Parallel section")
+	}
+	if par.DecodeWorkers != 3 {
+		t.Errorf("DecodeWorkers = %d, want 3", par.DecodeWorkers)
+	}
+	if len(par.WorkerDecodeSec) != 3 || len(par.WorkerBusyNS) != 3 || len(par.WorkerUtilization) != 3 {
+		t.Fatalf("per-worker slices sized %d/%d/%d, want 3",
+			len(par.WorkerDecodeSec), len(par.WorkerBusyNS), len(par.WorkerUtilization))
+	}
+	// The virtual decode charge is dealt round-robin: its sum must equal
+	// the serial decompress total, and with 7 frames over 3 workers every
+	// worker got at least two frames of work.
+	var sum float64
+	for w, sec := range par.WorkerDecodeSec {
+		if sec <= 0 {
+			t.Errorf("worker %d charged %v virtual seconds", w, sec)
+		}
+		sum += sec
+	}
+	if total := env.Profile.Get("storage.cpu.decompress"); math.Abs(sum-total) > 1e-12*math.Max(total, 1) {
+		t.Errorf("per-worker virtual decode sums to %v, profile has %v", sum, total)
+	}
+	maxUtil := 0.0
+	for w, u := range par.WorkerUtilization {
+		if u < 0 || u > 1 {
+			t.Errorf("worker %d utilization %v out of [0,1]", w, u)
+		}
+		if u > maxUtil {
+			maxUtil = u
+		}
+	}
+	if maxUtil != 1 {
+		t.Errorf("busiest worker utilization = %v, want 1", maxUtil)
+	}
+	// Serial ingest reports no pool.
+	b, _, _ := newADA(t, nil, Options{})
+	srep, err := b.Ingest("/s", pdbBytes, bytes.NewReader(traj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.Parallel != nil {
+		t.Errorf("serial ingest unexpectedly reported a decode pool: %+v", srep.Parallel)
 	}
 }
 

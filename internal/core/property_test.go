@@ -131,3 +131,42 @@ func TestQuickIngestRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQuickParallelReaderMatchesSerial: for random datasets and random worker
+// counts, xtc.ParallelReader yields frame-for-frame exactly what the serial
+// xtc.Reader yields.
+func TestQuickParallelReaderMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, _, _, traj, err := randomDataset(rng)
+		if err != nil {
+			return false
+		}
+		want, err := xtc.NewReader(bytes.NewReader(traj)).ReadAll()
+		if err != nil {
+			return false
+		}
+		pr := xtc.NewParallelReader(bytes.NewReader(traj), rng.Intn(8)+1)
+		defer pr.Close()
+		got, err := pr.ReadAll()
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			g, w := got[k], want[k]
+			if g.Step != w.Step || g.Time != w.Time || g.Box != w.Box ||
+				g.Precision != w.Precision || len(g.Coords) != len(w.Coords) {
+				return false
+			}
+			for i := range w.Coords {
+				if g.Coords[i] != w.Coords[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

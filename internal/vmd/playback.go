@@ -45,6 +45,7 @@ type FrameCache struct {
 	budget int64
 	lru    *list.List            // front = most recent; values are cacheEntry
 	lookup map[int]*list.Element // frame number -> element
+	used   int64                 // bytes currently cached (maintained on insert/evict)
 	stats  CacheStats
 	cm     cacheMetrics
 }
@@ -99,14 +100,10 @@ func (c *FrameCache) Stats() CacheStats { return c.stats }
 // Len returns the number of cached frames.
 func (c *FrameCache) Len() int { return c.lru.Len() }
 
-// usedBytes returns the bytes currently held.
-func (c *FrameCache) usedBytes() int64 {
-	var n int64
-	for e := c.lru.Front(); e != nil; e = e.Next() {
-		n += e.Value.(cacheEntry).bytes
-	}
-	return n
-}
+// usedBytes returns the bytes currently held. It is a running counter
+// maintained on insert and evict, not a walk of the LRU list — the walk made
+// every cache miss O(cached frames).
+func (c *FrameCache) usedBytes() int64 { return c.used }
 
 // Frame returns frame i, loading and caching it on a miss.
 func (c *FrameCache) Frame(i int) (*xtc.Frame, error) {
@@ -145,6 +142,7 @@ func (c *FrameCache) Frame(i int) (*xtc.Frame, error) {
 	}
 	e := c.lru.PushFront(cacheEntry{frame: f, num: i, bytes: size})
 	c.lookup[i] = e
+	c.used += size
 	c.stats.BytesLoaded += size
 	c.cm.bytes.Add(size)
 	c.cm.resident.Set(int64(c.lru.Len()))
@@ -159,6 +157,7 @@ func (c *FrameCache) evictOldest() {
 	entry := e.Value.(cacheEntry)
 	c.lru.Remove(e)
 	delete(c.lookup, entry.num)
+	c.used -= entry.bytes
 	c.mem.Free(memPlayback, entry.bytes)
 	c.stats.Evictions++
 	c.cm.evictions.Inc()

@@ -1,0 +1,354 @@
+package vmd
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/xtc"
+)
+
+// PrefetchStats reports a PrefetchSource's behavior.
+type PrefetchStats struct {
+	Hits   int64 // demand reads served by a prefetched (or in-flight) decode
+	Misses int64 // demand reads that had to decode synchronously
+	Issued int64 // background decodes scheduled
+	Wasted int64 // prefetched frames evicted before any demand read
+}
+
+// prefetchMetrics mirror PrefetchStats into the runtime registry under
+// vmd.prefetch.*.
+type prefetchMetrics struct {
+	hits   *metrics.Counter
+	misses *metrics.Counter
+	issued *metrics.Counter
+	wasted *metrics.Counter
+	ready  *metrics.Gauge // decoded-ahead frames currently buffered
+}
+
+func newPrefetchMetrics(reg *metrics.Registry) prefetchMetrics {
+	return prefetchMetrics{
+		hits:   reg.Counter("vmd.prefetch.hits"),
+		misses: reg.Counter("vmd.prefetch.misses"),
+		issued: reg.Counter("vmd.prefetch.issued"),
+		wasted: reg.Counter("vmd.prefetch.wasted"),
+		ready:  reg.Gauge("vmd.prefetch.ready_frames"),
+	}
+}
+
+// concurrentSource marks FrameSources whose ReadFrameAt is safe to call from
+// several goroutines at once (xtc.RandomAccessReader and readers built on
+// it). Sources without the marker are serialized behind a mutex.
+type concurrentSource interface {
+	ConcurrentFrameReads() bool
+}
+
+// prefetched is one background decode's outcome.
+type prefetched struct {
+	frame *xtc.Frame
+	err   error
+}
+
+// PrefetchSource decorates a FrameSource with playback-pattern prediction:
+// it watches the sequence of demand reads, predicts the next frames of a
+// sequential or back-and-forth sweep (predictions bounce off the trajectory
+// ends, which is exactly the §2.1 replay pattern), and decodes them ahead on
+// background workers. A demand read of a predicted frame then finds it
+// decoded — the cache miss above turns into an overlapped load.
+//
+// Virtual-time accounting is deterministic: a predicted frame's
+// decompression is charged concurrently (it overlapped the rendering of
+// earlier frames, so the clock does not advance — no stall), while an
+// unpredicted frame charges the session's decompression rate on the demand
+// path, exactly like ChargeDecompression. Whether a frame counts as
+// predicted depends only on the access sequence, never on worker timing.
+//
+// ReadFrameAt is for one playback goroutine; the decorator is not a shared
+// frontend.
+type PrefetchSource struct {
+	src     FrameSource
+	s       *Session
+	idx     *xtc.Index // nil = no decompression charging (already-raw subset)
+	depth   int
+	pm      prefetchMetrics
+	srcMu   *sync.Mutex // non-nil when src must be serialized
+	maxHeld int
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals workers that tasks or stopping changed
+	ready    map[int]prefetched
+	order    []int // issue order of undelivered prefetches (for eviction)
+	inflight map[int]chan struct{}
+	tasks    []int // pending background decodes (unbounded; issue never blocks)
+	stats    PrefetchStats
+	stopping bool
+
+	last int // previous demand frame (-1 before the first)
+	dir  int // playback direction guess (+1 / -1)
+
+	wg sync.WaitGroup
+}
+
+// NewPrefetchSource wraps src with readahead on `workers` background decode
+// goroutines (<=0 selects xtc.DefaultWorkers) predicting `depth` frames
+// ahead (<=0 selects 2×workers). idx, when non-nil, gives per-frame encoded
+// sizes so prefetched loads charge the session's decompression rate
+// concurrently instead of on the demand path; pass the same index used with
+// ChargeDecompression, or nil for subsets stored raw.
+func (s *Session) NewPrefetchSource(src FrameSource, idx *xtc.Index, workers, depth int) *PrefetchSource {
+	workers = xtc.DefaultWorkers(workers)
+	if depth <= 0 {
+		depth = 2 * workers
+	}
+	p := &PrefetchSource{
+		src:      src,
+		s:        s,
+		idx:      idx,
+		depth:    depth,
+		pm:       newPrefetchMetrics(s.metrics),
+		maxHeld:  2*depth + 2,
+		ready:    map[int]prefetched{},
+		inflight: map[int]chan struct{}{},
+		last:     -1,
+		dir:      1,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	if cs, ok := src.(concurrentSource); !ok || !cs.ConcurrentFrameReads() {
+		p.srcMu = &sync.Mutex{}
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Frames returns the underlying source's frame count.
+func (p *PrefetchSource) Frames() int { return p.src.Frames() }
+
+// Stats returns the accumulated prefetch statistics.
+func (p *PrefetchSource) Stats() PrefetchStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Stop terminates the background workers. Buffered frames stay readable;
+// further prediction ceases. Idempotent.
+func (p *PrefetchSource) Stop() {
+	p.mu.Lock()
+	p.stopping = true
+	p.cond.Broadcast()
+	// Cancel undelivered prefetches so a later demand read never waits on a
+	// worker that has exited.
+	for i, ch := range p.inflight {
+		delete(p.inflight, i)
+		close(ch)
+	}
+	p.tasks = nil
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *PrefetchSource) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.tasks) == 0 && !p.stopping {
+			p.cond.Wait()
+		}
+		if p.stopping {
+			p.mu.Unlock()
+			return
+		}
+		i := p.tasks[0]
+		p.tasks = p.tasks[1:]
+		p.mu.Unlock()
+
+		f, err := p.readSrc(i)
+
+		p.mu.Lock()
+		if ch, ok := p.inflight[i]; ok {
+			delete(p.inflight, i)
+			p.ready[i] = prefetched{frame: f, err: err}
+			p.pm.ready.Set(int64(len(p.ready)))
+			close(ch)
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *PrefetchSource) readSrc(i int) (*xtc.Frame, error) {
+	if p.srcMu != nil {
+		p.srcMu.Lock()
+		defer p.srcMu.Unlock()
+	}
+	return p.src.ReadFrameAt(i)
+}
+
+// chargeDecode attributes frame i's decompression to the session:
+// concurrently (overlapped, no clock advance) when the frame was prefetched,
+// serially when it was a demand load.
+func (p *PrefetchSource) chargeDecode(i int, overlapped bool) {
+	if p.idx == nil || p.s.cost.DecompressBps <= 0 {
+		return
+	}
+	sec := float64(p.idx.Size(i)) / (p.s.cost.DecompressBps * p.s.cost.factor())
+	if overlapped {
+		if p.s.env != nil {
+			p.s.env.ChargeConcurrent("compute.cpu.decompress", sec)
+		}
+		return
+	}
+	p.s.charge("decompress", sec)
+}
+
+// predict schedules background decodes for the frames a sequential or
+// back-and-forth sweep would visit after i. Must be called with p.mu held.
+func (p *PrefetchSource) predict(i int) {
+	n := p.src.Frames()
+	if n < 2 {
+		return
+	}
+	pos, dir := i, p.dir
+	for k := 0; k < p.depth; k++ {
+		pos += dir
+		// Bounce off the ends: a sweep that hits frame n-1 turns around,
+		// which is the paper's back-and-forth replay.
+		if pos >= n {
+			pos, dir = n-2, -1
+		} else if pos < 0 {
+			pos, dir = 1, 1
+		}
+		p.issue(pos)
+	}
+}
+
+// issue schedules one background decode if the frame is not already decoded
+// or in flight. Must be called with p.mu held.
+func (p *PrefetchSource) issue(i int) {
+	if _, ok := p.ready[i]; ok {
+		return
+	}
+	if _, ok := p.inflight[i]; ok {
+		return
+	}
+	if p.stopping {
+		return
+	}
+	p.evictFor(i)
+	p.inflight[i] = make(chan struct{})
+	p.order = append(p.order, i)
+	p.stats.Issued++
+	p.pm.issued.Inc()
+	p.tasks = append(p.tasks, i)
+	p.cond.Signal()
+}
+
+// evictFor caps the readahead buffer: the oldest undelivered prefetch is
+// dropped (and counted wasted) once ready+inflight reach maxHeld. Eviction
+// order depends only on issue order, keeping hit/miss behavior independent
+// of worker timing. Must be called with p.mu held.
+func (p *PrefetchSource) evictFor(i int) {
+	for len(p.ready)+len(p.inflight) >= p.maxHeld && len(p.order) > 0 {
+		victim := p.order[0]
+		p.order = p.order[1:]
+		if _, ok := p.ready[victim]; ok {
+			delete(p.ready, victim)
+			p.pm.ready.Set(int64(len(p.ready)))
+			p.stats.Wasted++
+			p.pm.wasted.Inc()
+			continue
+		}
+		if ch, ok := p.inflight[victim]; ok {
+			// Deleting the inflight entry tells the worker to discard its
+			// result.
+			delete(p.inflight, victim)
+			close(ch)
+			p.stats.Wasted++
+			p.pm.wasted.Inc()
+		}
+	}
+}
+
+// take removes frame i from the issue-order queue. Must be called with p.mu
+// held.
+func (p *PrefetchSource) take(i int) {
+	for k, v := range p.order {
+		if v == i {
+			p.order = append(p.order[:k], p.order[k+1:]...)
+			return
+		}
+	}
+}
+
+// ReadFrameAt returns frame i, preferring the readahead buffer. Pattern
+// state updates and the next predictions are issued on every call.
+func (p *PrefetchSource) ReadFrameAt(i int) (*xtc.Frame, error) {
+	p.mu.Lock()
+	// Update the direction guess: a unit step sets it, a repeat keeps it,
+	// a jump leaves prediction to the next unit step.
+	step := false
+	if p.last >= 0 {
+		switch d := i - p.last; d {
+		case 1, -1:
+			p.dir = d
+			step = true
+		case 0:
+			step = true
+		}
+	} else if i == 0 {
+		// First access at the head of the trajectory: assume a forward
+		// sweep is starting.
+		p.dir, step = 1, true
+	}
+	p.last = i
+
+	if f, ok := p.ready[i]; ok {
+		delete(p.ready, i)
+		p.pm.ready.Set(int64(len(p.ready)))
+		p.take(i)
+		p.stats.Hits++
+		p.pm.hits.Inc()
+		if step {
+			p.predict(i)
+		}
+		p.mu.Unlock()
+		p.chargeDecode(i, true)
+		return f.frame, f.err
+	}
+	if ch, ok := p.inflight[i]; ok {
+		// Already decoding in the background: wait for it. The decode was
+		// issued ahead of the demand, so it still charges as overlapped.
+		p.stats.Hits++
+		p.pm.hits.Inc()
+		if step {
+			p.predict(i)
+		}
+		p.mu.Unlock()
+		<-ch
+		p.mu.Lock()
+		f, ok := p.ready[i]
+		if ok {
+			delete(p.ready, i)
+			p.pm.ready.Set(int64(len(p.ready)))
+			p.take(i)
+		}
+		p.mu.Unlock()
+		if ok {
+			p.chargeDecode(i, true)
+			return f.frame, f.err
+		}
+		// Evicted between the wake-up and the lock: fall through to a
+		// demand load (still charged as overlapped — the decode ran).
+		p.chargeDecode(i, true)
+		return p.readSrc(i)
+	}
+	p.stats.Misses++
+	p.pm.misses.Inc()
+	if step {
+		p.predict(i)
+	}
+	p.mu.Unlock()
+	p.chargeDecode(i, false)
+	return p.readSrc(i)
+}

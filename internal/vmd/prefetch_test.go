@@ -1,0 +1,220 @@
+package vmd
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/xtc"
+)
+
+// walkUsedBytes recomputes the cache's held bytes the slow way, as the
+// original usedBytes did.
+func walkUsedBytes(c *FrameCache) int64 {
+	var n int64
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		n += e.Value.(cacheEntry).bytes
+	}
+	return n
+}
+
+// TestFrameCacheUsedBytesCounter is the regression test for the running
+// `used` counter: across misses, evictions, and a full release it must
+// always equal the LRU walk.
+func TestFrameCacheUsedBytesCounter(t *testing.T) {
+	_, src, _ := playbackFixture(t, 8)
+	s := NewSession(nil, 0, ComputeCost{})
+	f0, err := src.ReadFrameAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := s.NewFrameCache(src, 3*xtc.RawFrameSize(f0.NAtoms()))
+	check := func(when string) {
+		t.Helper()
+		if got, want := cache.usedBytes(), walkUsedBytes(cache); got != want {
+			t.Fatalf("%s: usedBytes = %d, walk = %d", when, got, want)
+		}
+	}
+	check("empty")
+	for _, i := range BackAndForth(8, 3) {
+		if _, err := cache.Frame(i); err != nil {
+			t.Fatal(err)
+		}
+		check("during playback")
+	}
+	if cache.Stats().Evictions == 0 {
+		t.Fatal("fixture never evicted; counter path untested")
+	}
+	cache.Release()
+	check("after release")
+	if cache.usedBytes() != 0 {
+		t.Errorf("released cache holds %d bytes", cache.usedBytes())
+	}
+}
+
+// TestPrefetchSequentialAndBackAndForthReduceStalls is the decorator's
+// headline property: predicted loads charge decompression concurrently, so
+// the virtual stall time shrinks versus the undecorated compressed source.
+func TestPrefetchSequentialAndBackAndForthReduceStalls(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		pattern func(frames int) []int
+	}{
+		{"sequential", func(n int) []int { return Sequential(n) }},
+		{"back-and-forth", func(n int) []int { return BackAndForth(n, 3) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const frames = 8
+			_, ra, idx := playbackFixture(t, frames)
+			pattern := tc.pattern(frames)
+			f0, err := ra.ReadFrameAt(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tight := 3 * xtc.RawFrameSize(f0.NAtoms())
+
+			run := func(prefetch bool) PlayStats {
+				env := sim.NewEnv()
+				s := NewSession(env, 0, ComputeCost{})
+				var src FrameSource
+				var pf *PrefetchSource
+				if prefetch {
+					pf = s.NewPrefetchSource(ra, idx, 2, 4)
+					src = pf
+				} else {
+					src = s.ChargeDecompression(ra, idx)
+				}
+				cache := s.NewFrameCache(src, tight)
+				st, err := s.Play(cache, pattern)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pf != nil {
+					pf.Stop()
+				}
+				cache.Release()
+				return st
+			}
+
+			plain := run(false)
+			pre := run(true)
+			if plain.StallSec <= 0 {
+				t.Fatalf("undecorated playback did not stall (%.6f)", plain.StallSec)
+			}
+			if pre.StallSec >= plain.StallSec {
+				t.Errorf("prefetch StallSec = %.6f, undecorated = %.6f; want reduction",
+					pre.StallSec, plain.StallSec)
+			}
+			if pre.Cache.Misses != plain.Cache.Misses {
+				t.Errorf("cache misses differ: prefetch %d vs plain %d (decorator must be transparent)",
+					pre.Cache.Misses, plain.Cache.Misses)
+			}
+		})
+	}
+}
+
+// TestPrefetchServesIdenticalFrames: the decorator must be a pure
+// pass-through for frame content.
+func TestPrefetchServesIdenticalFrames(t *testing.T) {
+	const frames = 6
+	_, ra, idx := playbackFixture(t, frames)
+	s := NewSession(nil, 0, ComputeCost{})
+	pf := s.NewPrefetchSource(ra, idx, 3, 4)
+	defer pf.Stop()
+	if pf.Frames() != frames {
+		t.Fatalf("Frames() = %d, want %d", pf.Frames(), frames)
+	}
+	for _, i := range BackAndForth(frames, 2) {
+		want, err := ra.ReadFrameAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pf.ReadFrameAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NAtoms() != want.NAtoms() || got.Step != want.Step {
+			t.Fatalf("frame %d header mismatch: got step %d/%d atoms, want %d/%d",
+				i, got.Step, got.NAtoms(), want.Step, want.NAtoms())
+		}
+		for a := range want.Coords {
+			if got.Coords[a] != want.Coords[a] {
+				t.Fatalf("frame %d atom %d: %v != %v", i, a, got.Coords[a], want.Coords[a])
+			}
+		}
+	}
+	st := pf.Stats()
+	if st.Hits == 0 {
+		t.Error("sweep playback produced no prefetch hits")
+	}
+	if st.Issued == 0 {
+		t.Error("no background decodes issued")
+	}
+}
+
+// TestPrefetchDeterministicStats: hit/miss/issue counts depend only on the
+// access sequence, not worker scheduling.
+func TestPrefetchDeterministicStats(t *testing.T) {
+	const frames = 8
+	_, ra, idx := playbackFixture(t, frames)
+	pattern := BackAndForth(frames, 4)
+	run := func() PrefetchStats {
+		s := NewSession(nil, 0, ComputeCost{})
+		pf := s.NewPrefetchSource(ra, idx, 4, 3)
+		defer pf.Stop()
+		for _, i := range pattern {
+			if _, err := pf.ReadFrameAt(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return pf.Stats()
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		if got := run(); got != first {
+			t.Fatalf("trial %d stats %+v differ from first %+v", trial, got, first)
+		}
+	}
+	if first.Hits+first.Misses != int64(len(pattern)) {
+		t.Errorf("hits+misses = %d, want %d accesses", first.Hits+first.Misses, len(pattern))
+	}
+}
+
+// TestPrefetchRandomAccessStaysCorrect: a jumpy pattern gives prediction
+// nothing to work with but must stay correct and deadlock-free.
+func TestPrefetchRandomAccessStaysCorrect(t *testing.T) {
+	const frames = 8
+	_, ra, idx := playbackFixture(t, frames)
+	s := NewSession(nil, 0, ComputeCost{})
+	pf := s.NewPrefetchSource(ra, idx, 2, 3)
+	defer pf.Stop()
+	for _, i := range RandomAccess(frames, 64, 42) {
+		f, err := pf.ReadFrameAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.NAtoms() == 0 {
+			t.Fatal("empty frame")
+		}
+	}
+	st := pf.Stats()
+	if st.Hits+st.Misses != 64 {
+		t.Errorf("hits+misses = %d, want 64", st.Hits+st.Misses)
+	}
+}
+
+// TestPrefetchStopIdempotent: Stop twice, and reads after Stop still work
+// (they just decode on demand).
+func TestPrefetchStopIdempotent(t *testing.T) {
+	_, ra, idx := playbackFixture(t, 4)
+	s := NewSession(nil, 0, ComputeCost{})
+	pf := s.NewPrefetchSource(ra, idx, 2, 2)
+	if _, err := pf.ReadFrameAt(0); err != nil {
+		t.Fatal(err)
+	}
+	pf.Stop()
+	pf.Stop()
+	f, err := pf.ReadFrameAt(3)
+	if err != nil || f == nil {
+		t.Fatalf("read after Stop: %v %v", f, err)
+	}
+}

@@ -91,6 +91,15 @@ type Reader struct {
 // NewReader returns a Reader over p. The Reader does not copy p.
 func NewReader(p []byte) *Reader { return &Reader{buf: p} }
 
+// Reset rewinds the Reader onto p, clearing any sticky error. It lets one
+// Reader decode many buffers without reallocating (the codec hot path keeps
+// a pool of them).
+func (r *Reader) Reset(p []byte) {
+	r.buf = p
+	r.off = 0
+	r.err = nil
+}
+
 // Err returns the first error encountered, if any.
 func (r *Reader) Err() error { return r.err }
 

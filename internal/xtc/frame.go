@@ -62,7 +62,8 @@ func (f *Frame) AppendEncoded(w *xdr.Writer) error {
 	if prec <= 0 {
 		prec = DefaultPrecision
 	}
-	ints := make([]int32, natoms*3)
+	ints := getInts(natoms * 3)
+	defer putInts(ints)
 	if err := quantize(f.Coords, prec, ints); err != nil {
 		return err
 	}
@@ -156,7 +157,8 @@ func DecodeFrame(r *xdr.Reader) (*Frame, error) {
 		if f.Precision <= 0 {
 			return nil, fmt.Errorf("xtc: invalid precision %g", f.Precision)
 		}
-		ints := make([]int32, natoms*3)
+		ints := getInts(natoms * 3)
+		defer putInts(ints)
 		if err := decompressCoords(blob, natoms, minInt, sizeInt, smallIdx, ints); err != nil {
 			return nil, err
 		}

@@ -4,8 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-
-	"repro/internal/xdr"
 )
 
 // Index maps frame numbers to byte offsets in a trajectory stream, enabling
@@ -106,11 +104,13 @@ func (x *Index) TotalBytes() int64 {
 	return x.offsets[last] + x.sizes[last]
 }
 
-// RandomAccessReader reads individual frames by number.
+// RandomAccessReader reads individual frames by number. ReadFrameAt is safe
+// for concurrent use (io.ReaderAt is concurrency-safe by contract and the
+// scratch buffers are pooled), which lets playback prefetchers decode ahead
+// on background workers.
 type RandomAccessReader struct {
 	r   io.ReaderAt
 	idx *Index
-	buf []byte
 }
 
 // NewRandomAccessReader returns a reader over an indexed stream.
@@ -121,18 +121,20 @@ func NewRandomAccessReader(r io.ReaderAt, idx *Index) *RandomAccessReader {
 // Frames returns the frame count.
 func (ra *RandomAccessReader) Frames() int { return ra.idx.Frames() }
 
+// ConcurrentFrameReads reports that ReadFrameAt may be called from multiple
+// goroutines at once.
+func (ra *RandomAccessReader) ConcurrentFrameReads() bool { return true }
+
 // ReadFrameAt decodes frame i.
 func (ra *RandomAccessReader) ReadFrameAt(i int) (*Frame, error) {
 	if i < 0 || i >= ra.idx.Frames() {
 		return nil, fmt.Errorf("xtc: frame %d out of range [0,%d)", i, ra.idx.Frames())
 	}
 	n := ra.idx.Size(i)
-	if int64(cap(ra.buf)) < n {
-		ra.buf = make([]byte, n)
-	}
-	buf := ra.buf[:n]
+	buf := getBytes(int(n))
+	defer putBytes(buf)
 	if _, err := ra.r.ReadAt(buf, ra.idx.Offset(i)); err != nil && err != io.EOF {
 		return nil, fmt.Errorf("xtc: read frame %d: %w", i, err)
 	}
-	return DecodeFrame(xdr.NewReader(buf))
+	return decodeBytes(buf)
 }

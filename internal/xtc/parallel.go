@@ -1,0 +1,262 @@
+package xtc
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ParallelReader decodes a frame stream with a pool of worker goroutines and
+// re-sequences the results, so output is frame-for-frame identical to Reader
+// while the expensive 3dfcoord decompression runs on every core. A single
+// Scanner goroutine finds frame boundaries (cheap: header + blob length) and
+// hands each raw blob to the next free worker; the consumer side reorders by
+// sequence number.
+//
+// ParallelReader is for one consumer goroutine; ReadFrame itself must not be
+// called concurrently.
+type ParallelReader struct {
+	r       io.Reader
+	workers int
+
+	// Observe, when set before the first read, receives the wall-clock
+	// nanoseconds of every frame decode (in worker goroutines; the target
+	// must be concurrency-safe, like a metrics.Histogram).
+	Observe func(ns int64)
+
+	pm pdMetrics
+
+	started bool
+	work    chan scanItem
+	results chan decodeItem
+	quit    chan struct{}
+	once    sync.Once
+	pending map[int]decodeItem
+	next    int
+	err     error // sticky terminal error (including io.EOF)
+	busy    []atomic.Int64
+}
+
+type scanItem struct {
+	seq  int
+	blob []byte
+	size int64
+}
+
+type decodeItem struct {
+	seq   int
+	frame *Frame
+	size  int64
+	err   error
+}
+
+// pdMetrics are the optional xtc.decode.* runtime metrics.
+type pdMetrics struct {
+	frames  *metrics.Counter
+	ns      *metrics.Histogram
+	workers *metrics.Gauge
+}
+
+// DefaultWorkers is the worker count selected for n <= 0: bounded by the
+// machine's cores and by GOMAXPROCS (so a capped scheduler caps the pool).
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	n = runtime.NumCPU()
+	if p := runtime.GOMAXPROCS(0); p < n {
+		n = p
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewParallelReader returns a reader over r decoding on `workers` goroutines
+// (<=0 selects DefaultWorkers).
+func NewParallelReader(r io.Reader, workers int) *ParallelReader {
+	workers = DefaultWorkers(workers)
+	return &ParallelReader{
+		r:       r,
+		workers: workers,
+		pending: make(map[int]decodeItem),
+		busy:    make([]atomic.Int64, workers),
+	}
+}
+
+// SetMetrics records xtc.decode.* runtime metrics into reg. Call before the
+// first ReadFrame.
+func (p *ParallelReader) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p.pm = pdMetrics{
+		frames:  reg.Counter("xtc.decode.frames"),
+		ns:      reg.Histogram("xtc.decode.ns"),
+		workers: reg.Gauge("xtc.decode.workers"),
+	}
+}
+
+// Workers returns the size of the decode pool.
+func (p *ParallelReader) Workers() int { return p.workers }
+
+// WorkerBusy returns each worker's accumulated wall-clock decode time. It is
+// safe to call at any point; mid-stream values are snapshots.
+func (p *ParallelReader) WorkerBusy() []time.Duration {
+	out := make([]time.Duration, len(p.busy))
+	for i := range p.busy {
+		out[i] = time.Duration(p.busy[i].Load())
+	}
+	return out
+}
+
+func (p *ParallelReader) start() {
+	p.started = true
+	p.work = make(chan scanItem, p.workers)
+	p.results = make(chan decodeItem, p.workers+1)
+	p.quit = make(chan struct{})
+	p.pm.workers.Set(int64(p.workers))
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := range p.work {
+				t0 := time.Now()
+				f, err := decodeBytes(it.blob)
+				ns := time.Since(t0).Nanoseconds()
+				putBytes(it.blob)
+				p.busy[w].Add(ns)
+				if p.Observe != nil {
+					p.Observe(ns)
+				}
+				p.pm.ns.Observe(ns)
+				p.pm.frames.Inc()
+				select {
+				case p.results <- decodeItem{seq: it.seq, frame: f, size: it.size, err: err}:
+				case <-p.quit:
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Scanner: frame boundaries only; the terminal error (io.EOF included)
+	// travels through the results channel with its sequence number, so the
+	// consumer surfaces it only after every preceding frame.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sc := NewScanner(p.r)
+		seq := 0
+		for {
+			blob, err := sc.Next()
+			if err != nil {
+				close(p.work)
+				select {
+				case p.results <- decodeItem{seq: seq, err: err}:
+				case <-p.quit:
+				}
+				return
+			}
+			owned := getBytes(len(blob))
+			copy(owned, blob)
+			select {
+			case p.work <- scanItem{seq: seq, blob: owned, size: int64(len(blob))}:
+			case <-p.quit:
+				close(p.work)
+				return
+			}
+			seq++
+		}
+	}()
+
+	go func() {
+		wg.Wait()
+		close(p.results)
+	}()
+}
+
+// ReadFrameSize decodes the next frame and reports its encoded byte length.
+// Semantics match Reader.ReadFrame: io.EOF at a clean end of stream,
+// io.ErrUnexpectedEOF for truncation. After any error the reader is done and
+// returns that error forever.
+func (p *ParallelReader) ReadFrameSize() (*Frame, int64, error) {
+	if p.err != nil {
+		return nil, 0, p.err
+	}
+	if !p.started {
+		p.start()
+	}
+	for {
+		if d, ok := p.pending[p.next]; ok {
+			delete(p.pending, p.next)
+			if d.err != nil {
+				p.err = d.err
+				p.Close()
+				return nil, 0, d.err
+			}
+			p.next++
+			return d.frame, d.size, nil
+		}
+		d, ok := <-p.results
+		if !ok {
+			p.err = fmt.Errorf("xtc: parallel reader closed mid-stream")
+			return nil, 0, p.err
+		}
+		p.pending[d.seq] = d
+	}
+}
+
+// ReadFrame decodes the next frame, identically to Reader.ReadFrame.
+func (p *ParallelReader) ReadFrame() (*Frame, error) {
+	f, _, err := p.ReadFrameSize()
+	return f, err
+}
+
+// ReadAll decodes every frame in the stream.
+func (p *ParallelReader) ReadAll() ([]*Frame, error) {
+	var frames []*Frame
+	for {
+		f, err := p.ReadFrame()
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return frames, err
+		}
+		frames = append(frames, f)
+	}
+}
+
+// Close stops the scanner and the worker pool. It is idempotent and safe to
+// call mid-stream; subsequent reads return an error.
+func (p *ParallelReader) Close() error {
+	if !p.started {
+		p.started = true
+		if p.err == nil {
+			p.err = fmt.Errorf("xtc: parallel reader closed")
+		}
+		return nil
+	}
+	p.once.Do(func() {
+		close(p.quit)
+		// Drain so the closer goroutine's wg.Wait can finish even if
+		// workers were blocked sending.
+		go func() {
+			for range p.results {
+			}
+		}()
+	})
+	if p.err == nil {
+		p.err = fmt.Errorf("xtc: parallel reader closed")
+	}
+	return nil
+}

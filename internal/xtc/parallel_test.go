@@ -1,0 +1,211 @@
+package xtc
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// mixedStream interleaves compressed and raw frames (plus one small-atom
+// compressed frame, which the codec stores uncompressed inside a compressed
+// envelope) into a single stream, exercising every framing path the scanner
+// knows.
+func mixedStream(t *testing.T, frames int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	var buf bytes.Buffer
+	cw := NewWriter(&buf)
+	rw := NewRawWriter(&buf)
+	for k := 0; k < frames; k++ {
+		natoms := 30 + rng.Intn(20)
+		if k == frames/2 {
+			natoms = smallAtomThreshold // small system: raw-inside-compressed path
+		}
+		coords := make([]Vec3, natoms)
+		for i := range coords {
+			coords[i] = Vec3{rng.Float32() * 5, rng.Float32() * 5, rng.Float32() * 5}
+		}
+		f := &Frame{Step: int32(k), Time: float32(k) * 0.5, Precision: 1000, Coords: coords}
+		w := cw
+		if k%3 == 2 {
+			w = rw
+		}
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func framesEqual(t *testing.T, got, want []*Frame) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("frame count %d, want %d", len(got), len(want))
+	}
+	for k := range want {
+		g, w := got[k], want[k]
+		if g.Step != w.Step || g.Time != w.Time || g.Precision != w.Precision ||
+			g.Box != w.Box || len(g.Coords) != len(w.Coords) {
+			t.Fatalf("frame %d header mismatch: %+v vs %+v", k, g, w)
+		}
+		for i := range w.Coords {
+			if g.Coords[i] != w.Coords[i] {
+				t.Fatalf("frame %d atom %d: %v != %v", k, i, g.Coords[i], w.Coords[i])
+			}
+		}
+	}
+}
+
+// TestParallelReaderMatchesSerial: byte-identical semantics at every worker
+// count, including more workers than frames.
+func TestParallelReaderMatchesSerial(t *testing.T) {
+	stream := mixedStream(t, 9)
+	want, err := NewReader(bytes.NewReader(stream)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 9 {
+		t.Fatalf("serial read %d frames", len(want))
+	}
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		pr := NewParallelReader(bytes.NewReader(stream), workers)
+		got, err := pr.ReadAll()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		framesEqual(t, got, want)
+		if pr.Workers() != workers {
+			t.Errorf("Workers() = %d, want %d", pr.Workers(), workers)
+		}
+		pr.Close()
+	}
+}
+
+// TestParallelReaderFrameSizes: per-frame encoded sizes sum to the stream
+// length (the feed into virtual-time decompression charging).
+func TestParallelReaderFrameSizes(t *testing.T) {
+	stream := mixedStream(t, 6)
+	pr := NewParallelReader(bytes.NewReader(stream), 2)
+	defer pr.Close()
+	var total int64
+	for {
+		_, size, err := pr.ReadFrameSize()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size <= 0 {
+			t.Fatalf("non-positive frame size %d", size)
+		}
+		total += size
+	}
+	if total != int64(len(stream)) {
+		t.Errorf("frame sizes sum to %d, stream is %d bytes", total, len(stream))
+	}
+}
+
+// TestParallelReaderEmptyStream: immediate clean EOF, and EOF is sticky.
+func TestParallelReaderEmptyStream(t *testing.T) {
+	pr := NewParallelReader(bytes.NewReader(nil), 4)
+	defer pr.Close()
+	if frames, err := pr.ReadAll(); err != nil || len(frames) != 0 {
+		t.Fatalf("empty stream: %d frames, %v", len(frames), err)
+	}
+	for k := 0; k < 3; k++ {
+		if _, err := pr.ReadFrame(); err != io.EOF {
+			t.Fatalf("read %d after EOF: %v, want io.EOF", k, err)
+		}
+	}
+}
+
+// TestParallelReaderStickyEOF: after the stream ends, every further read
+// returns io.EOF, matching the serial Reader.
+func TestParallelReaderStickyEOF(t *testing.T) {
+	stream := mixedStream(t, 4)
+	pr := NewParallelReader(bytes.NewReader(stream), 2)
+	defer pr.Close()
+	if frames, err := pr.ReadAll(); err != nil || len(frames) != 4 {
+		t.Fatalf("%d frames, %v", len(frames), err)
+	}
+	if _, err := pr.ReadFrame(); err != io.EOF {
+		t.Fatalf("post-EOF read: %v", err)
+	}
+}
+
+// TestParallelReaderCloseMidStream: Close with frames still queued must not
+// deadlock, and later reads fail cleanly.
+func TestParallelReaderCloseMidStream(t *testing.T) {
+	stream := mixedStream(t, 12)
+	pr := NewParallelReader(bytes.NewReader(stream), 2)
+	if _, err := pr.ReadFrame(); err != nil {
+		t.Fatal(err)
+	}
+	pr.Close()
+	pr.Close() // idempotent
+	if _, err := pr.ReadFrame(); err == nil {
+		t.Fatal("read after Close succeeded")
+	}
+}
+
+// TestParallelReaderCloseUnstarted: closing before any read is legal.
+func TestParallelReaderCloseUnstarted(t *testing.T) {
+	pr := NewParallelReader(bytes.NewReader(mixedStream(t, 2)), 2)
+	pr.Close()
+	if _, err := pr.ReadFrame(); err == nil {
+		t.Fatal("read after Close succeeded")
+	}
+}
+
+// TestParallelReaderWorkerBusy: with enough frames, decode time lands on the
+// workers and is visible through WorkerBusy.
+func TestParallelReaderWorkerBusy(t *testing.T) {
+	stream := mixedStream(t, 16)
+	pr := NewParallelReader(bytes.NewReader(stream), 2)
+	defer pr.Close()
+	if _, err := pr.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	busy := pr.WorkerBusy()
+	if len(busy) != 2 {
+		t.Fatalf("WorkerBusy len %d", len(busy))
+	}
+	var total int64
+	for _, d := range busy {
+		total += int64(d)
+	}
+	if total <= 0 {
+		t.Error("no decode time recorded on any worker")
+	}
+}
+
+// TestParallelReaderObserve: the per-decode hook fires once per frame.
+func TestParallelReaderObserve(t *testing.T) {
+	stream := mixedStream(t, 5)
+	pr := NewParallelReader(bytes.NewReader(stream), 1)
+	defer pr.Close()
+	var calls int64
+	pr.Observe = func(ns int64) { calls++ } // 1 worker: no data race
+	if frames, err := pr.ReadAll(); err != nil || len(frames) != 5 {
+		t.Fatalf("%d frames, %v", len(frames), err)
+	}
+	if calls != 5 {
+		t.Errorf("Observe fired %d times, want 5", calls)
+	}
+}
+
+// TestDefaultWorkers pins the selection rule: positive passes through,
+// non-positive derives from the machine but never below 1.
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(3); got != 3 {
+		t.Errorf("DefaultWorkers(3) = %d", got)
+	}
+	if got := DefaultWorkers(0); got < 1 {
+		t.Errorf("DefaultWorkers(0) = %d", got)
+	}
+	if got := DefaultWorkers(-5); got < 1 {
+		t.Errorf("DefaultWorkers(-5) = %d", got)
+	}
+}

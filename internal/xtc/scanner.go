@@ -1,0 +1,118 @@
+package xtc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Scanner walks a concatenated frame stream and yields each frame's complete
+// encoded bytes *without* decoding coordinates. Framing needs only the magic,
+// the atom count, and (for large compressed frames) the blob length, so a
+// scan is orders of magnitude cheaper than a decode — which is what lets
+// ParallelReader decouple cheap framing from expensive decompression and fan
+// the decode out across cores.
+type Scanner struct {
+	br     *bufio.Reader
+	buf    []byte
+	natoms int
+	frames int
+}
+
+// NewScanner returns a Scanner over r.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// grow extends s.buf by n bytes filled from the stream and returns the
+// complete buffer so far.
+func (s *Scanner) grow(n int) ([]byte, error) {
+	old := len(s.buf)
+	if cap(s.buf) < old+n {
+		nb := make([]byte, old, old+n)
+		copy(nb, s.buf)
+		s.buf = nb
+	}
+	s.buf = s.buf[:old+n]
+	if _, err := io.ReadFull(s.br, s.buf[old:]); err != nil {
+		s.buf = s.buf[:old]
+		return nil, err
+	}
+	return s.buf, nil
+}
+
+// Next returns the next frame's encoded bytes. The slice is valid until the
+// following Next call. It returns io.EOF cleanly at the end of the stream
+// and io.ErrUnexpectedEOF for a truncated frame.
+func (s *Scanner) Next() ([]byte, error) {
+	head, err := s.br.Peek(4)
+	if err != nil {
+		if err == io.EOF {
+			if len(head) == 0 {
+				return nil, io.EOF
+			}
+			// A 1-3 byte tail is a torn frame header, not a clean end.
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	magic := int32(binary.BigEndian.Uint32(head))
+	s.buf = s.buf[:0]
+	switch magic {
+	case MagicCompressed:
+		whole, err := s.grow(headerLen)
+		if err != nil {
+			return nil, unexpected(err)
+		}
+		natoms := int(int32(binary.BigEndian.Uint32(whole[4:])))
+		if natoms < 0 {
+			return nil, fmt.Errorf("xtc: negative atom count %d", natoms)
+		}
+		s.natoms = natoms
+		if natoms <= smallAtomThreshold {
+			whole, err = s.grow(natoms * 12)
+			if err != nil {
+				return nil, unexpected(err)
+			}
+			s.frames++
+			return whole, nil
+		}
+		// precision + minint[3] + sizeint[3] + smallidx + bloblen
+		if whole, err = s.grow(4 * 9); err != nil {
+			return nil, unexpected(err)
+		}
+		blobLen := int(binary.BigEndian.Uint32(whole[headerLen+32:]))
+		padded := blobLen + (4-blobLen%4)%4
+		if whole, err = s.grow(padded); err != nil {
+			return nil, unexpected(err)
+		}
+		s.frames++
+		return whole, nil
+
+	case MagicRaw:
+		whole, err := s.grow(headerLen)
+		if err != nil {
+			return nil, unexpected(err)
+		}
+		natoms := int(int32(binary.BigEndian.Uint32(whole[4:])))
+		if natoms < 0 {
+			return nil, fmt.Errorf("xtc: negative atom count %d", natoms)
+		}
+		s.natoms = natoms
+		if whole, err = s.grow(natoms * 12); err != nil {
+			return nil, unexpected(err)
+		}
+		s.frames++
+		return whole, nil
+
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadMagic, magic)
+	}
+}
+
+// NAtoms returns the atom count of the most recently scanned frame.
+func (s *Scanner) NAtoms() int { return s.natoms }
+
+// Frames returns the number of frames scanned so far.
+func (s *Scanner) Frames() int { return s.frames }

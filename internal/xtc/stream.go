@@ -1,9 +1,6 @@
 package xtc
 
 import (
-	"bufio"
-	"encoding/binary"
-	"fmt"
 	"io"
 	"math"
 
@@ -55,33 +52,15 @@ func (w *Writer) Frames() int { return w.frames }
 // BytesWritten returns the total encoded bytes emitted.
 func (w *Writer) BytesWritten() int64 { return w.bytes }
 
-// Reader decodes frames sequentially from an io.Reader.
+// Reader decodes frames sequentially from an io.Reader. It is a Scanner
+// (cheap framing) followed by an in-place decode of each scanned blob.
 type Reader struct {
-	br  *bufio.Reader
-	buf []byte
+	s *Scanner
 }
 
 // NewReader returns a streaming frame reader.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
-}
-
-// grow extends r.buf by n bytes filled from the stream and returns the
-// complete buffer so far. The returned slice stays valid until the next
-// ReadFrame call.
-func (r *Reader) grow(n int) ([]byte, error) {
-	old := len(r.buf)
-	if cap(r.buf) < old+n {
-		nb := make([]byte, old, old+n)
-		copy(nb, r.buf)
-		r.buf = nb
-	}
-	r.buf = r.buf[:old+n]
-	if _, err := io.ReadFull(r.br, r.buf[old:]); err != nil {
-		r.buf = r.buf[:old]
-		return nil, err
-	}
-	return r.buf, nil
+	return &Reader{s: NewScanner(r)}
 }
 
 // headerLen is magic+natoms+step+time+box = 4*(4+9) bytes.
@@ -90,59 +69,11 @@ const headerLen = 4 * (4 + 9)
 // ReadFrame decodes the next frame. It returns io.EOF cleanly at the end of
 // the stream and io.ErrUnexpectedEOF for a truncated frame.
 func (r *Reader) ReadFrame() (*Frame, error) {
-	head, err := r.br.Peek(4)
+	blob, err := r.s.Next()
 	if err != nil {
-		if err == io.EOF {
-			return nil, io.EOF
-		}
 		return nil, err
 	}
-	magic := int32(binary.BigEndian.Uint32(head))
-	r.buf = r.buf[:0]
-	switch magic {
-	case MagicCompressed:
-		whole, err := r.grow(headerLen)
-		if err != nil {
-			return nil, unexpected(err)
-		}
-		natoms := int(int32(binary.BigEndian.Uint32(whole[4:])))
-		if natoms < 0 {
-			return nil, fmt.Errorf("xtc: negative atom count %d", natoms)
-		}
-		if natoms <= smallAtomThreshold {
-			if whole, err = r.grow(natoms * 12); err != nil {
-				return nil, unexpected(err)
-			}
-			return DecodeFrame(xdr.NewReader(whole))
-		}
-		// precision + minint[3] + sizeint[3] + smallidx + bloblen
-		if whole, err = r.grow(4 * 9); err != nil {
-			return nil, unexpected(err)
-		}
-		blobLen := int(binary.BigEndian.Uint32(whole[headerLen+32:]))
-		padded := blobLen + (4-blobLen%4)%4
-		if whole, err = r.grow(padded); err != nil {
-			return nil, unexpected(err)
-		}
-		return DecodeFrame(xdr.NewReader(whole))
-
-	case MagicRaw:
-		whole, err := r.grow(headerLen)
-		if err != nil {
-			return nil, unexpected(err)
-		}
-		natoms := int(int32(binary.BigEndian.Uint32(whole[4:])))
-		if natoms < 0 {
-			return nil, fmt.Errorf("xtc: negative atom count %d", natoms)
-		}
-		if whole, err = r.grow(natoms * 12); err != nil {
-			return nil, unexpected(err)
-		}
-		return DecodeFrame(xdr.NewReader(whole))
-
-	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadMagic, magic)
-	}
+	return decodeBytes(blob)
 }
 
 func unexpected(err error) error {
