@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-decode clean
+.PHONY: all build test race lint bench bench-decode test-faults clean
 
 all: build lint test
 
@@ -15,6 +15,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection matrix: one pass with the fixed seed baked into the
+# tests, then one randomized smoke pass (the chosen seed is logged so any
+# failure is replayable with ADA_FAULT_SEED=<seed>).
+test-faults:
+	$(GO) test -race -count=1 ./internal/faultfs/
+	$(GO) test -race -count=1 -run 'Fault|ServerDrain|ConcurrentClose' ./internal/rpc/
+	ADA_FAULT_SEED=random $(GO) test -race -count=1 -v -run 'FaultWorkloadSeed' ./internal/rpc/
 
 # lint = vet + gofmt cleanliness. gofmt -l prints offending files; the
 # test -z turns any output into a nonzero exit.

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/gpcr"
 	"repro/internal/mdsim"
 	"repro/internal/metrics"
@@ -194,6 +195,69 @@ func ServeStorageNode(ln net.Listener, fsys FS, logger *log.Logger) error {
 // DialStorageNode connects to a remote storage node; the returned client
 // implements FS and can be used as a container-store backend.
 func DialStorageNode(addr string) (*rpc.Client, error) { return rpc.Dial(addr) }
+
+// Transport resilience (see DESIGN.md "Failure model").
+type (
+	// RetryPolicy bounds a storage-node client's deadlines, retries, and
+	// backoff; retries are idempotency-aware.
+	RetryPolicy = rpc.RetryPolicy
+	// NodeDialer customizes how a storage-node client connects (e.g. to
+	// wrap the transport with a FaultInjector).
+	NodeDialer = rpc.Dialer
+	// FaultInjector deterministically injects transport and file-system
+	// faults for resilience testing.
+	FaultInjector = faultfs.Injector
+	// FaultRule is one fault clause of an injector.
+	FaultRule = faultfs.Rule
+)
+
+// Resilience errors.
+var (
+	// ErrBackendDown marks a backend whose retry budget is exhausted;
+	// the container store degrades instead of hanging.
+	ErrBackendDown = vfs.ErrBackendDown
+	// ErrClientClosed is returned by storage-node calls issued after Close.
+	ErrClientClosed = rpc.ErrClientClosed
+	// ErrServerClosed is how a storage node's Serve reports a graceful
+	// shutdown.
+	ErrServerClosed = rpc.ErrServerClosed
+	// ErrFaultInjected marks an error synthesized by a FaultInjector.
+	ErrFaultInjected = faultfs.ErrInjected
+)
+
+// DefaultRetryPolicy returns the production retry defaults used by
+// DialStorageNode.
+func DefaultRetryPolicy() RetryPolicy { return rpc.DefaultRetryPolicy() }
+
+// DialStorageNodeWith connects to a storage node through a custom dialer
+// (nil means plain TCP) under an explicit retry policy.
+func DialStorageNodeWith(addr string, dialer NodeDialer, policy RetryPolicy) (*rpc.Client, error) {
+	return rpc.DialWith(addr, dialer, policy)
+}
+
+// ParseFaultSpec builds a fault injector from its textual form, e.g.
+// "seed=42; drop:conn.read:every=3; slow:read:delay=50ms" (the adanode
+// -fault-spec grammar).
+func ParseFaultSpec(spec string) (*FaultInjector, error) { return faultfs.Parse(spec) }
+
+// InjectFaults wraps a backend file system so the injector's rules apply
+// to its operations.
+func InjectFaults(fsys FS, in *FaultInjector) FS { return faultfs.Wrap(fsys, in) }
+
+// InjectConnFaults wraps a network connection so the injector's conn.read
+// and conn.write rules apply; combine with a NodeDialer to fault a
+// storage-node client's transport:
+//
+//	dialer := func(addr string) (net.Conn, error) {
+//		conn, err := net.Dial("tcp", addr)
+//		if err != nil {
+//			return nil, err
+//		}
+//		return ada.InjectConnFaults(conn, in), nil
+//	}
+func InjectConnFaults(conn net.Conn, in *FaultInjector) net.Conn {
+	return faultfs.WrapConn(conn, in)
+}
 
 // Extension types (see DESIGN.md "extensions"):
 type (

@@ -21,11 +21,15 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/osfs"
 	"repro/internal/plfs"
+	"repro/internal/rpc"
+	"repro/internal/vfs"
 	"repro/internal/xtc"
 )
 
@@ -42,6 +46,13 @@ func main() {
 		// stats talks to a running node's metrics endpoint; it needs no
 		// local store.
 		if err := cmdStats(os.Stdout, args); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if cmd == "ping" {
+		// ping probes a node's storage protocol directly; no local store.
+		if err := cmdPing(os.Stdout, args); err != nil {
 			fatal(err)
 		}
 		return
@@ -87,7 +98,9 @@ commands:
   labels   -name NAME                        show the label ranges
   extract  -name NAME -tag TAG -out FILE     write one subset as raw frames
   stats    -addr HOST:PORT [-json]           fetch a node's runtime metrics
-                                             (adanode -metrics-addr endpoint)`)
+                                             (adanode -metrics-addr endpoint)
+  ping     -addr HOST:PORT [-count N]        probe a node over the storage
+           [-timeout D] [-attempts N]        protocol and report RTT/retries`)
 	os.Exit(2)
 }
 
@@ -202,6 +215,52 @@ func cmdStats(out io.Writer, args []string) error {
 	}
 	_, err = io.Copy(out, resp.Body)
 	return err
+}
+
+// cmdPing dials a storage node and issues stat probes under an explicit
+// retry policy, reporting per-probe round-trip time plus the retry and
+// suppression counters the policy recorded. A node that is down surfaces
+// as ErrBackendDown after the bounded retry schedule, never as a hang.
+func cmdPing(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("ping", flag.ExitOnError)
+	addr := fs.String("addr", "", "storage node address (host:port)")
+	count := fs.Int("count", 3, "number of probes")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-attempt call deadline")
+	attempts := fs.Int("attempts", 4, "max attempts per probe")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("ping needs -addr")
+	}
+	pol := rpc.DefaultRetryPolicy()
+	pol.CallTimeout = *timeout
+	pol.MaxAttempts = *attempts
+	c, err := rpc.DialWith(*addr, nil, pol)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	reg := metrics.NewRegistry()
+	c.SetMetrics(reg)
+	failed := 0
+	for i := 1; i <= *count; i++ {
+		start := time.Now()
+		_, err := c.Stat("/")
+		rtt := float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			failed++
+			fmt.Fprintf(out, "probe %d/%d: %.3fms  %v\n", i, *count, rtt, err)
+			continue
+		}
+		fmt.Fprintf(out, "probe %d/%d: %.3fms  ok\n", i, *count, rtt)
+	}
+	s := reg.Snapshot()
+	fmt.Fprintf(out, "%d probes to %s: %d ok, %d retries, %d suppressed\n",
+		*count, *addr, *count-failed,
+		s.Counters["rpc.client.retries"], s.Counters["rpc.client.retries_suppressed"])
+	if failed == *count {
+		return fmt.Errorf("ping: node %s: %w", *addr, vfs.ErrBackendDown)
+	}
+	return nil
 }
 
 func cmdList(a *core.ADA) error {

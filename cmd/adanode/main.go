@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,7 +26,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"repro/internal/faultfs"
 	"repro/internal/metrics"
 	"repro/internal/osfs"
 	"repro/internal/rpc"
@@ -38,6 +42,7 @@ type config struct {
 	dir         string
 	quiet       bool
 	metricsAddr string
+	faultSpec   string
 }
 
 // parseFlags parses args (without the program name). It returns
@@ -51,6 +56,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&cfg.quiet, "quiet", false, "disable request logging")
 	fs.StringVar(&cfg.metricsAddr, "metrics-addr", "",
 		"HTTP address for /metrics and /metrics.json (empty disables)")
+	fs.StringVar(&cfg.faultSpec, "fault-spec", "",
+		`inject deterministic transport faults on accepted connections, for
+resilience testing (e.g. "seed=42; drop:conn.read:every=3"; see DESIGN.md)`)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -86,6 +94,15 @@ func run(cfg *config, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.faultSpec != "" {
+		in, err := faultfs.Parse(cfg.faultSpec)
+		if err != nil {
+			return fmt.Errorf("-fault-spec: %w", err)
+		}
+		in.SetMetrics(metrics.Default)
+		ln = faultfs.WrapListener(ln, in)
+		fmt.Fprintf(stdout, "adanode injecting faults: %s\n", in)
+	}
 	var logger *log.Logger
 	if !cfg.quiet {
 		logger = log.New(os.Stderr, "adanode: ", log.LstdFlags)
@@ -99,7 +116,22 @@ func run(cfg *config, stdout io.Writer) error {
 		go http.Serve(mln, metricsMux(metrics.Default))
 	}
 	fmt.Fprintf(stdout, "adanode serving %s on %s\n", base.Root(), ln.Addr())
-	return rpc.NewServer(fsys, logger).Serve(ln)
+	srv := rpc.NewServer(fsys, logger)
+	// SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
+	// requests, then exit cleanly.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(stdout, "adanode: %v: draining in-flight requests\n", s)
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); !errors.Is(err, rpc.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "adanode: shut down cleanly")
+	return nil
 }
 
 func main() {

@@ -16,8 +16,13 @@ func TestPlatformsConstruct(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if p.Env == nil || p.ADA == nil || p.Traditional == nil {
+		if p.Env == nil || p.ADA == nil || p.Traditional == nil || p.Containers == nil {
 			t.Errorf("%s: incomplete platform", p.Name)
+		}
+		for name, err := range p.CheckStorage() {
+			if err != nil {
+				t.Errorf("%s: backend %s unhealthy at construction: %v", p.Name, name, err)
+			}
 		}
 		if len(p.Params) == 0 {
 			t.Errorf("%s: missing spec sheet", p.Name)

@@ -1,0 +1,103 @@
+package faultfs
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Conn decorates a net.Conn with fault injection on the transport: the
+// injector sees ops "conn.read" and "conn.write", one per Read/Write call.
+//
+// Kinds map to transport failures as follows:
+//
+//   - err: the call fails with ErrInjected; the connection stays open
+//     (a transient I/O error).
+//   - drop: the connection is closed before any bytes move — a mid-call
+//     connection drop. On a write this models a request that provably
+//     never reached the peer.
+//   - slow: the call sleeps for the delay first; with a deadline set on
+//     the conn, long delays surface as timeouts from the underlying call.
+//   - partial: roughly half the bytes transfer, then the connection is
+//     closed — a torn frame on the wire.
+type Conn struct {
+	net.Conn
+	in *Injector
+}
+
+// WrapConn decorates c with the injector's faults.
+func WrapConn(c net.Conn, in *Injector) net.Conn { return &Conn{Conn: c, in: in} }
+
+func (c *Conn) Read(p []byte) (int, error) {
+	fl, ok := c.in.next("conn.read")
+	if !ok {
+		return c.Conn.Read(p)
+	}
+	switch fl.kind {
+	case KindSlow:
+		time.Sleep(fl.delay)
+		return c.Conn.Read(p)
+	case KindErr:
+		return 0, fmt.Errorf("%w: conn.read", ErrInjected)
+	case KindPartial:
+		if len(p) > 1 {
+			n, err := c.Conn.Read(p[:len(p)/2])
+			c.Conn.Close()
+			if err != nil {
+				return n, err
+			}
+			return n, nil // the torn end surfaces on the next read
+		}
+		fallthrough
+	default: // KindDrop
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection dropped mid-read", ErrInjected)
+	}
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	fl, ok := c.in.next("conn.write")
+	if !ok {
+		return c.Conn.Write(p)
+	}
+	switch fl.kind {
+	case KindSlow:
+		time.Sleep(fl.delay)
+		return c.Conn.Write(p)
+	case KindErr:
+		return 0, fmt.Errorf("%w: conn.write", ErrInjected)
+	case KindPartial:
+		if len(p) > 1 {
+			n, err := c.Conn.Write(p[:len(p)/2])
+			c.Conn.Close()
+			if err != nil {
+				return n, err
+			}
+			return n, fmt.Errorf("%w: connection dropped mid-write", ErrInjected)
+		}
+		fallthrough
+	default: // KindDrop
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection dropped before write", ErrInjected)
+	}
+}
+
+// listener wraps every accepted connection with the injector — the
+// server-side counterpart of WrapConn (adanode -fault-spec).
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+// WrapListener returns a listener whose accepted connections inject faults.
+func WrapListener(ln net.Listener, in *Injector) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(conn, l.in), nil
+}

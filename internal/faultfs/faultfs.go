@@ -1,0 +1,321 @@
+// Package faultfs is a deterministic, seed-driven fault injector for the
+// storage stack: decorators for vfs.FS and net.Conn that inject errors,
+// latency, partial transfers, and mid-call connection drops according to a
+// compact rule spec. The same injector drives unit tests (fault-matrix
+// tables over the RPC path) and live processes (adanode -fault-spec), so a
+// failure mode observed in production can be replayed byte-for-byte in a
+// test by reusing its seed and spec.
+//
+// A spec is a semicolon-separated list of clauses:
+//
+//	seed=42; drop:conn.read:every=3; slow:read:delay=50ms; err:write:nth=2
+//
+// Each fault clause is "kind[:op][:key=val[,key=val...]]" where kind is one
+// of err, drop, slow, partial; op names the operation the rule matches
+// ("create", "open", "stat", "readdir", "mkdirall", "remove", "read",
+// "write", "close" for file systems, "conn.read" / "conn.write" for
+// connections; empty matches every op); and the selector keys are:
+//
+//	every=N   fire on every Nth matching operation
+//	nth=N     fire on exactly the Nth matching operation
+//	prob=P    fire with probability P per matching operation (seed-driven)
+//	delay=D   injected latency (required for slow, e.g. 50ms)
+//
+// A rule with no selector fires on every matching operation. Injections are
+// counted under faultfs.injected.* in the metrics registry.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ErrInjected marks every fault this package injects, so tests and callers
+// can tell injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Kind is the class of fault a rule injects.
+type Kind uint8
+
+// The fault kinds.
+const (
+	// KindErr returns ErrInjected from the operation without side effects
+	// (a transient failure; connections stay usable).
+	KindErr Kind = iota + 1
+	// KindDrop severs the transport: connections are closed mid-call with
+	// nothing transferred; file-system ops fail like KindErr.
+	KindDrop
+	// KindSlow sleeps for the rule's Delay before performing the operation
+	// (long enough delays push calls past their deadline).
+	KindSlow
+	// KindPartial transfers roughly half the requested bytes and then
+	// fails: partial file writes, or a half frame on the wire followed by
+	// a connection drop.
+	KindPartial
+)
+
+// String names the kind as it appears in specs.
+func (k Kind) String() string {
+	switch k {
+	case KindErr:
+		return "err"
+	case KindDrop:
+		return "drop"
+	case KindSlow:
+		return "slow"
+	case KindPartial:
+		return "partial"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Rule selects which operations to fault and how.
+type Rule struct {
+	Kind  Kind
+	Op    string        // operation name; "" matches every op
+	Every int           // fire on every Nth matching op
+	Nth   int           // fire on exactly the Nth matching op
+	Prob  float64       // fire with probability Prob per matching op
+	Delay time.Duration // injected latency (KindSlow)
+}
+
+// selectorless reports whether the rule has no firing condition (and so
+// fires on every matching op).
+func (r Rule) selectorless() bool { return r.Every == 0 && r.Nth == 0 && r.Prob == 0 }
+
+// fault is one injection decision.
+type fault struct {
+	kind  Kind
+	delay time.Duration
+}
+
+// Injector decides, per operation, whether to inject a fault. It is safe
+// for concurrent use and deterministic for a given (seed, rules, operation
+// sequence) triple. A disabled injector passes every operation through
+// without counting it, so tests can set up state fault-free and then arm
+// the rules.
+type Injector struct {
+	seed    int64
+	spec    string
+	enabled atomic.Bool
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []Rule
+	counts []int64 // matching-op count per rule
+
+	m injectorMetrics
+}
+
+type injectorMetrics struct {
+	ops      *metrics.Counter
+	errors   *metrics.Counter
+	drops    *metrics.Counter
+	slow     *metrics.Counter
+	partials *metrics.Counter
+	delayNS  *metrics.Counter
+}
+
+func newInjectorMetrics(reg *metrics.Registry) injectorMetrics {
+	return injectorMetrics{
+		ops:      reg.Counter("faultfs.ops"),
+		errors:   reg.Counter("faultfs.injected.errors"),
+		drops:    reg.Counter("faultfs.injected.drops"),
+		slow:     reg.Counter("faultfs.injected.slow"),
+		partials: reg.Counter("faultfs.injected.partials"),
+		delayNS:  reg.Counter("faultfs.injected.delay_ns"),
+	}
+}
+
+// New returns an armed injector over the rules, with all randomness (prob
+// selectors) drawn from seed.
+func New(seed int64, rules ...Rule) (*Injector, error) {
+	for i, r := range rules {
+		if r.Kind < KindErr || r.Kind > KindPartial {
+			return nil, fmt.Errorf("faultfs: rule %d: unknown kind", i)
+		}
+		if r.Kind == KindSlow && r.Delay <= 0 {
+			return nil, fmt.Errorf("faultfs: rule %d: slow requires delay", i)
+		}
+		if r.Every < 0 || r.Nth < 0 || r.Prob < 0 || r.Prob > 1 {
+			return nil, fmt.Errorf("faultfs: rule %d: invalid selector", i)
+		}
+	}
+	in := &Injector{
+		seed:   seed,
+		rng:    rand.New(rand.NewSource(seed)),
+		rules:  rules,
+		counts: make([]int64, len(rules)),
+		m:      newInjectorMetrics(metrics.Default),
+	}
+	in.enabled.Store(true)
+	return in, nil
+}
+
+// MustNew is New for static rule sets known to be valid (tests, examples).
+func MustNew(seed int64, rules ...Rule) *Injector {
+	in, err := New(seed, rules...)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Parse builds an injector from its spec string form (see the package
+// comment for the grammar). The seed defaults to 1 when no seed clause is
+// given, keeping unseeded specs deterministic.
+func Parse(spec string) (*Injector, error) {
+	seed := int64(1)
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultfs: bad seed %q", v)
+			}
+			seed = n
+			continue
+		}
+		rule, err := parseRule(clause)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultfs: spec %q has no fault rules", spec)
+	}
+	in, err := New(seed, rules...)
+	if err != nil {
+		return nil, err
+	}
+	in.spec = spec
+	return in, nil
+}
+
+// parseRule parses one "kind[:op][:k=v,...]" clause.
+func parseRule(clause string) (Rule, error) {
+	var rule Rule
+	for i, tok := range strings.Split(clause, ":") {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case i == 0:
+			switch tok {
+			case "err":
+				rule.Kind = KindErr
+			case "drop":
+				rule.Kind = KindDrop
+			case "slow":
+				rule.Kind = KindSlow
+			case "partial":
+				rule.Kind = KindPartial
+			default:
+				return Rule{}, fmt.Errorf("faultfs: unknown fault kind %q in %q", tok, clause)
+			}
+		case !strings.Contains(tok, "="):
+			if rule.Op != "" {
+				return Rule{}, fmt.Errorf("faultfs: two op names in %q", clause)
+			}
+			rule.Op = tok
+		default:
+			for _, kv := range strings.Split(tok, ",") {
+				key, val, _ := strings.Cut(kv, "=")
+				var err error
+				switch key {
+				case "every":
+					rule.Every, err = strconv.Atoi(val)
+				case "nth":
+					rule.Nth, err = strconv.Atoi(val)
+				case "prob":
+					rule.Prob, err = strconv.ParseFloat(val, 64)
+				case "delay":
+					rule.Delay, err = time.ParseDuration(val)
+				default:
+					return Rule{}, fmt.Errorf("faultfs: unknown selector %q in %q", key, clause)
+				}
+				if err != nil {
+					return Rule{}, fmt.Errorf("faultfs: bad %s value %q in %q", key, val, clause)
+				}
+			}
+		}
+	}
+	return rule, nil
+}
+
+// SetMetrics points the injector's counters at reg (metrics.Default by
+// default; nil disables collection).
+func (in *Injector) SetMetrics(reg *metrics.Registry) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.m = newInjectorMetrics(reg)
+}
+
+// SetEnabled arms or disarms the injector. While disarmed, operations pass
+// through uncounted, so nth/every selectors are relative to arming.
+func (in *Injector) SetEnabled(on bool) { in.enabled.Store(on) }
+
+// Seed returns the injector's seed, for logging reproduction lines.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// String renders the injector for startup banners.
+func (in *Injector) String() string {
+	if in.spec != "" {
+		return fmt.Sprintf("faultfs(seed=%d): %s", in.seed, in.spec)
+	}
+	return fmt.Sprintf("faultfs(seed=%d): %d rules", in.seed, len(in.rules))
+}
+
+// next records one operation and returns the fault to inject, if any. The
+// first rule that fires wins, but every matching rule's count advances, so
+// rule order does not perturb later selectors.
+func (in *Injector) next(op string) (fault, bool) {
+	if !in.enabled.Load() {
+		return fault{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.m.ops.Inc()
+	var hit *Rule
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		in.counts[i]++
+		n := in.counts[i]
+		fired := r.selectorless() ||
+			(r.Every > 0 && n%int64(r.Every) == 0) ||
+			(r.Nth > 0 && n == int64(r.Nth)) ||
+			(r.Prob > 0 && in.rng.Float64() < r.Prob)
+		if fired && hit == nil {
+			hit = r
+		}
+	}
+	if hit == nil {
+		return fault{}, false
+	}
+	switch hit.Kind {
+	case KindErr:
+		in.m.errors.Inc()
+	case KindDrop:
+		in.m.drops.Inc()
+	case KindSlow:
+		in.m.slow.Inc()
+		in.m.delayNS.Add(hit.Delay.Nanoseconds())
+	case KindPartial:
+		in.m.partials.Inc()
+	}
+	return fault{kind: hit.Kind, delay: hit.Delay}, true
+}

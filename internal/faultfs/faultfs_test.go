@@ -1,0 +1,252 @@
+package faultfs
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+func TestParseSpec(t *testing.T) {
+	in, err := Parse("seed=42; drop:conn.read:every=3; slow:read:delay=50ms; err:write:nth=2; partial:prob=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 42 {
+		t.Errorf("seed = %d, want 42", in.Seed())
+	}
+	want := []Rule{
+		{Kind: KindDrop, Op: "conn.read", Every: 3},
+		{Kind: KindSlow, Op: "read", Delay: 50 * time.Millisecond},
+		{Kind: KindErr, Op: "write", Nth: 2},
+		{Kind: KindPartial, Prob: 0.5},
+	}
+	if len(in.rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(in.rules), len(want))
+	}
+	for i, r := range in.rules {
+		if r != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	if s := in.String(); !strings.Contains(s, "seed=42") {
+		t.Errorf("String() = %q, want the seed echoed", s)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                      // no rules
+		"seed=7",                // seed only
+		"explode:read",          // unknown kind
+		"err:read:count=3",      // unknown selector
+		"slow:read",             // slow without delay
+		"err:read:every=x",      // bad int
+		"drop:a:b:every=1",      // two op names
+		"seed=abc;drop:read",    // bad seed
+		"err:read:prob=1.5",     // prob out of range
+		"err:read:every=-1",     // negative selector
+		"slow:read:delay=50xyz", // bad duration
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestDeterministicProb(t *testing.T) {
+	fire := func(seed int64) []bool {
+		in := MustNew(seed, Rule{Kind: KindErr, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			_, out[i] = in.next("op")
+		}
+		return out
+	}
+	a, b := fire(7), fire(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := fire(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical firing patterns")
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	in := MustNew(1,
+		Rule{Kind: KindErr, Op: "a", Every: 3},
+		Rule{Kind: KindDrop, Op: "b", Nth: 2},
+	)
+	var aFired, bFired []int
+	for i := 1; i <= 9; i++ {
+		if _, ok := in.next("a"); ok {
+			aFired = append(aFired, i)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		if _, ok := in.next("b"); ok {
+			bFired = append(bFired, i)
+		}
+	}
+	if len(aFired) != 3 || aFired[0] != 3 || aFired[1] != 6 || aFired[2] != 9 {
+		t.Errorf("every=3 fired at %v, want [3 6 9]", aFired)
+	}
+	if len(bFired) != 1 || bFired[0] != 2 {
+		t.Errorf("nth=2 fired at %v, want [2]", bFired)
+	}
+}
+
+func TestDisabledPassesThrough(t *testing.T) {
+	in := MustNew(1, Rule{Kind: KindErr, Nth: 1})
+	in.SetEnabled(false)
+	for i := 0; i < 5; i++ {
+		if _, ok := in.next("op"); ok {
+			t.Fatal("disabled injector fired")
+		}
+	}
+	// Arming resets nothing, but disabled ops were not counted: the first
+	// armed op is the rule's Nth=1.
+	in.SetEnabled(true)
+	if _, ok := in.next("op"); !ok {
+		t.Error("nth=1 did not fire on the first armed op")
+	}
+}
+
+func TestFSInjection(t *testing.T) {
+	reg := metrics.NewRegistry()
+	in := MustNew(1, Rule{Kind: KindErr, Op: "stat", Every: 2})
+	in.SetMetrics(reg)
+	fsys := Wrap(vfs.NewMemFS(), in)
+	if err := fsys.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat("/d"); err != nil {
+		t.Fatalf("first stat: %v", err)
+	}
+	if _, err := fsys.Stat("/d"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second stat = %v, want ErrInjected", err)
+	}
+	if got := reg.Snapshot().Counters["faultfs.injected.errors"]; got != 1 {
+		t.Errorf("injected.errors = %d, want 1", got)
+	}
+}
+
+func TestFilePartialWrite(t *testing.T) {
+	in := MustNew(1, Rule{Kind: KindPartial, Op: "write", Nth: 1})
+	fsys := Wrap(vfs.NewMemFS(), in)
+	f, err := fsys.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	if n != 5 {
+		t.Errorf("partial write landed %d bytes, want 5", n)
+	}
+	in.SetEnabled(false)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := vfs.ReadFile(fsys, "/f")
+	if err != nil || string(data) != "01234" {
+		t.Errorf("file holds %q, %v; want the torn half", data, err)
+	}
+}
+
+func TestFileSlow(t *testing.T) {
+	in := MustNew(1, Rule{Kind: KindSlow, Op: "read", Delay: 20 * time.Millisecond})
+	fsys := Wrap(vfs.NewMemFS(), in)
+	if err := vfs.WriteFile(fsys, "/f", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	buf := make([]byte, 3)
+	if _, err := f.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("slow read took %v, want >= ~20ms", d)
+	}
+}
+
+func TestConnDrop(t *testing.T) {
+	reg := metrics.NewRegistry()
+	in := MustNew(1, Rule{Kind: KindDrop, Op: "conn.write", Nth: 2})
+	in.SetMetrics(reg)
+	a, b := net.Pipe()
+	defer b.Close()
+	wrapped := WrapConn(a, in)
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := wrapped.Write([]byte("one")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := wrapped.Write([]byte("two"))
+	if n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped write = %d, %v; want 0, ErrInjected", n, err)
+	}
+	// The drop closed the underlying conn.
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Error("underlying conn still open after drop")
+	}
+	if got := reg.Snapshot().Counters["faultfs.injected.drops"]; got != 1 {
+		t.Errorf("injected.drops = %d, want 1", got)
+	}
+}
+
+func TestWrapListener(t *testing.T) {
+	in := MustNew(1, Rule{Kind: KindErr, Op: "conn.read", Nth: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	wrapped := WrapListener(ln, in)
+	done := make(chan error, 1)
+	go func() {
+		conn, err := wrapped.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, err = conn.Read(make([]byte, 4))
+		done <- err
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Write([]byte("ping"))
+	if err := <-done; !errors.Is(err, ErrInjected) {
+		t.Errorf("accepted conn read = %v, want ErrInjected", err)
+	}
+}

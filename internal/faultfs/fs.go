@@ -1,0 +1,156 @@
+package faultfs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// FS decorates a vfs.FS with fault injection. Operation names seen by the
+// injector are the lowercase method names ("create", "open", "stat",
+// "readdir", "mkdirall", "remove") plus file-level "read", "write", and
+// "close".
+type FS struct {
+	fsys vfs.FS
+	in   *Injector
+}
+
+// Wrap decorates fsys with the injector's faults.
+func Wrap(fsys vfs.FS, in *Injector) *FS { return &FS{fsys: fsys, in: in} }
+
+var _ vfs.FS = (*FS)(nil)
+
+// Unwrap returns the underlying FS.
+func (f *FS) Unwrap() vfs.FS { return f.fsys }
+
+// fsFault resolves one injection decision for a file-system op: slow faults
+// sleep and let the op proceed; every other kind replaces the op with an
+// injected error (a file system has no connection to drop).
+func (f *FS) fsFault(op string) error {
+	fl, ok := f.in.next(op)
+	if !ok {
+		return nil
+	}
+	if fl.kind == KindSlow {
+		time.Sleep(fl.delay)
+		return nil
+	}
+	return fmt.Errorf("%w: %s (%s)", ErrInjected, op, fl.kind)
+}
+
+// Create implements vfs.FS.
+func (f *FS) Create(name string) (vfs.File, error) {
+	if err := f.fsFault("create"); err != nil {
+		return nil, err
+	}
+	file, err := f.fsys.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, in: f.in}, nil
+}
+
+// Open implements vfs.FS.
+func (f *FS) Open(name string) (vfs.File, error) {
+	if err := f.fsFault("open"); err != nil {
+		return nil, err
+	}
+	file, err := f.fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, in: f.in}, nil
+}
+
+// Stat implements vfs.FS.
+func (f *FS) Stat(name string) (vfs.FileInfo, error) {
+	if err := f.fsFault("stat"); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return f.fsys.Stat(name)
+}
+
+// ReadDir implements vfs.FS.
+func (f *FS) ReadDir(name string) ([]vfs.FileInfo, error) {
+	if err := f.fsFault("readdir"); err != nil {
+		return nil, err
+	}
+	return f.fsys.ReadDir(name)
+}
+
+// MkdirAll implements vfs.FS.
+func (f *FS) MkdirAll(name string) error {
+	if err := f.fsFault("mkdirall"); err != nil {
+		return err
+	}
+	return f.fsys.MkdirAll(name)
+}
+
+// Remove implements vfs.FS.
+func (f *FS) Remove(name string) error {
+	if err := f.fsFault("remove"); err != nil {
+		return err
+	}
+	return f.fsys.Remove(name)
+}
+
+// faultFile injects on file-level reads, writes, and closes.
+type faultFile struct {
+	vfs.File
+	in *Injector
+}
+
+func (f *faultFile) fileFault(op string, p []byte) (partial []byte, err error) {
+	fl, ok := f.in.next(op)
+	if !ok {
+		return nil, nil
+	}
+	switch fl.kind {
+	case KindSlow:
+		time.Sleep(fl.delay)
+		return nil, nil
+	case KindPartial:
+		if len(p) > 1 {
+			return p[:len(p)/2], fmt.Errorf("%w: partial %s", ErrInjected, op)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s (%s)", ErrInjected, op, fl.kind)
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if _, err := f.fileFault("read", nil); err != nil {
+		return 0, err
+	}
+	return f.File.Read(p)
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if _, err := f.fileFault("read", nil); err != nil {
+		return 0, err
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	partial, err := f.fileFault("write", p)
+	if err != nil {
+		if partial == nil {
+			return 0, err
+		}
+		// Half the bytes land before the failure, like a torn write.
+		n, werr := f.File.Write(partial)
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Close() error {
+	if _, err := f.fileFault("close", nil); err != nil {
+		return err
+	}
+	return f.File.Close()
+}

@@ -1,0 +1,97 @@
+package plfs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/vfs"
+)
+
+// Backend health. A backend whose FS surfaces vfs.ErrBackendDown — the
+// rpc client does so once its retry budget is exhausted — is marked down,
+// and every later dispatch to it fails fast with a typed error instead of
+// re-running the transport's whole backoff schedule (or, pre-retry-policy,
+// hanging). The mark is advisory: ReviveBackend or a successful Probe
+// clears it, so an operator can bring a restarted storage node back
+// without rebuilding the container store.
+
+// downErrLocked is the fail-fast error for a marked backend. It wraps
+// vfs.ErrBackendDown so callers can errors.Is across layers, and keeps the
+// original transport error for the log line.
+func (p *FS) downErrLocked(b *Backend) error {
+	return fmt.Errorf("plfs: backend %q down (marked after: %v): %w",
+		b.Name, p.down[b.Name], vfs.ErrBackendDown)
+}
+
+// checkLocked fails fast when b is marked down. Callers hold p.mu.
+func (p *FS) checkLocked(b *Backend) error {
+	if _, bad := p.down[b.Name]; bad {
+		return p.downErrLocked(b)
+	}
+	return nil
+}
+
+// noteLocked inspects an error from b's FS and marks the backend down on
+// vfs.ErrBackendDown, bumping plfs.backend.<name>.down. Callers hold p.mu.
+func (p *FS) noteLocked(b *Backend, err error) {
+	if err == nil || !errors.Is(err, vfs.ErrBackendDown) {
+		return
+	}
+	if _, already := p.down[b.Name]; already {
+		return
+	}
+	p.down[b.Name] = err
+	p.count("backend." + b.Name + ".down")
+}
+
+// note is noteLocked for callers that have released p.mu.
+func (p *FS) note(b *Backend, err error) {
+	p.mu.Lock()
+	p.noteLocked(b, err)
+	p.mu.Unlock()
+}
+
+// BackendHealth snapshots the down marks: a nil entry means healthy, a
+// non-nil one holds the transport error that took the backend out.
+func (p *FS) BackendHealth() map[string]error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]error, len(p.backends))
+	for _, b := range p.backends {
+		out[b.Name] = p.down[b.Name]
+	}
+	return out
+}
+
+// ReviveBackend clears a down mark, re-admitting the backend to dispatch.
+func (p *FS) ReviveBackend(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.byName[name]; !ok {
+		return fmt.Errorf("plfs: unknown backend %q", name)
+	}
+	delete(p.down, name)
+	return nil
+}
+
+// Probe issues one cheap stat against the backend's mount and updates the
+// health mark from the outcome: success (or any non-transport error, e.g.
+// the mount not existing yet) revives it, a transport failure marks it
+// down. It returns the probe's transport error, if any.
+func (p *FS) Probe(name string) error {
+	p.mu.Lock()
+	b, ok := p.byName[name]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("plfs: unknown backend %q", name)
+	}
+	_, err := b.FS.Stat(b.Mount)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil && errors.Is(err, vfs.ErrBackendDown) {
+		p.noteLocked(b, err)
+		return err
+	}
+	delete(p.down, name)
+	return nil
+}

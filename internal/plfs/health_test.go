@@ -1,0 +1,136 @@
+package plfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// flakyFS delegates to a MemFS until failed is set, then surfaces a
+// transport-down error from every op — the shape an rpc client takes once
+// its retry budget is spent.
+type flakyFS struct {
+	*vfs.MemFS
+	failed bool
+}
+
+func (f *flakyFS) err() error {
+	return fmt.Errorf("rpc: stat failed after 4 attempts: %w: connection refused", vfs.ErrBackendDown)
+}
+
+func (f *flakyFS) Create(name string) (vfs.File, error) {
+	if f.failed {
+		return nil, f.err()
+	}
+	return f.MemFS.Create(name)
+}
+
+func (f *flakyFS) Open(name string) (vfs.File, error) {
+	if f.failed {
+		return nil, f.err()
+	}
+	return f.MemFS.Open(name)
+}
+
+func (f *flakyFS) Stat(name string) (vfs.FileInfo, error) {
+	if f.failed {
+		return vfs.FileInfo{}, f.err()
+	}
+	return f.MemFS.Stat(name)
+}
+
+func newHealthFixture(t *testing.T) (*FS, *flakyFS, *metrics.Registry) {
+	t.Helper()
+	good := vfs.NewMemFS()
+	flaky := &flakyFS{MemFS: vfs.NewMemFS()}
+	p, err := New(
+		Backend{Name: "good", FS: good, Mount: "/mnt1"},
+		Backend{Name: "flaky", FS: flaky, Mount: "/mnt2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	p.SetMetrics(reg)
+	if err := p.CreateContainer("/traj"); err != nil {
+		t.Fatal(err)
+	}
+	return p, flaky, reg
+}
+
+func TestBackendDownMarking(t *testing.T) {
+	p, flaky, reg := newHealthFixture(t)
+
+	f, err := p.CreateDropping("/traj", "subset.p", "flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Kill the backend: the next dispatch to it marks it down...
+	flaky.failed = true
+	if _, err := p.StatDropping("/traj", "subset.p"); !errors.Is(err, vfs.ErrBackendDown) {
+		t.Fatalf("stat on dead backend = %v, want ErrBackendDown", err)
+	}
+	// ...and later dispatches fail fast without touching the transport.
+	if _, err := p.CreateDropping("/traj", "more.p", "flaky"); !errors.Is(err, vfs.ErrBackendDown) {
+		t.Fatalf("create on marked backend = %v, want fail-fast ErrBackendDown", err)
+	}
+	if _, err := p.OpenDropping("/traj", "subset.p"); !errors.Is(err, vfs.ErrBackendDown) {
+		t.Fatalf("open on marked backend = %v, want fail-fast ErrBackendDown", err)
+	}
+	if got := reg.Snapshot().Counters["plfs.backend.flaky.down"]; got != 1 {
+		t.Errorf("backend.flaky.down = %d, want 1 (marks are edge-triggered)", got)
+	}
+
+	// The healthy backend keeps serving.
+	g, err := p.CreateDropping("/traj", "other.p", "good")
+	if err != nil {
+		t.Fatalf("healthy backend refused work: %v", err)
+	}
+	g.Close()
+
+	health := p.BackendHealth()
+	if health["good"] != nil {
+		t.Errorf("good marked down: %v", health["good"])
+	}
+	if !errors.Is(health["flaky"], vfs.ErrBackendDown) {
+		t.Errorf("flaky health = %v, want the transport error", health["flaky"])
+	}
+}
+
+func TestProbeAndRevive(t *testing.T) {
+	p, flaky, _ := newHealthFixture(t)
+	flaky.failed = true
+	if err := p.Probe("flaky"); !errors.Is(err, vfs.ErrBackendDown) {
+		t.Fatalf("probe of dead backend = %v, want ErrBackendDown", err)
+	}
+	if p.BackendHealth()["flaky"] == nil {
+		t.Fatal("probe did not mark the backend down")
+	}
+
+	// Node comes back: a probe re-admits it.
+	flaky.failed = false
+	if err := p.Probe("flaky"); err != nil {
+		t.Fatalf("probe of revived backend: %v", err)
+	}
+	if p.BackendHealth()["flaky"] != nil {
+		t.Error("successful probe left the down mark in place")
+	}
+
+	// Manual revive works too.
+	flaky.failed = true
+	p.Probe("flaky")
+	if err := p.ReviveBackend("flaky"); err != nil {
+		t.Fatal(err)
+	}
+	if p.BackendHealth()["flaky"] != nil {
+		t.Error("ReviveBackend left the down mark in place")
+	}
+	if err := p.ReviveBackend("nope"); err == nil {
+		t.Error("ReviveBackend accepted an unknown backend")
+	}
+}

@@ -46,6 +46,7 @@ type FS struct {
 	mu       sync.Mutex
 	backends []Backend
 	byName   map[string]*Backend
+	down     map[string]error // backend name -> transport error that marked it down
 	reg      *metrics.Registry
 }
 
@@ -55,7 +56,7 @@ func New(backends ...Backend) (*FS, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("plfs: no backends")
 	}
-	p := &FS{byName: map[string]*Backend{}, reg: metrics.Default}
+	p := &FS{byName: map[string]*Backend{}, down: map[string]error{}, reg: metrics.Default}
 	for i := range backends {
 		b := backends[i]
 		if b.FS == nil {
@@ -104,7 +105,11 @@ func (p *FS) CreateContainer(logical string) error {
 	defer p.mu.Unlock()
 	for i := range p.backends {
 		b := &p.backends[i]
+		if err := p.checkLocked(b); err != nil {
+			return err
+		}
 		if err := b.FS.MkdirAll(containerPath(b, logical)); err != nil {
+			p.noteLocked(b, err)
 			return fmt.Errorf("plfs: create container on %s: %w", b.Name, err)
 		}
 	}
@@ -130,6 +135,9 @@ func (p *FS) CreateDropping(logical, dropping, backend string) (vfs.File, error)
 	if !ok {
 		return nil, fmt.Errorf("plfs: unknown backend %q", backend)
 	}
+	if err := p.checkLocked(b); err != nil {
+		return nil, err
+	}
 	idx, err := p.readIndexLocked(logical)
 	if err != nil {
 		return nil, err
@@ -139,6 +147,7 @@ func (p *FS) CreateDropping(logical, dropping, backend string) (vfs.File, error)
 	}
 	f, err := b.FS.Create(path.Join(containerPath(b, logical), dropping))
 	if err != nil {
+		p.noteLocked(b, err)
 		return nil, fmt.Errorf("plfs: create dropping: %w", err)
 	}
 	// Record (or re-point) the dropping.
@@ -173,12 +182,23 @@ func (p *FS) OpenDropping(logical, dropping string) (vfs.File, error) {
 			break
 		}
 	}
+	if owner != nil {
+		if err := p.checkLocked(owner); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+	}
 	p.mu.Unlock()
 	if owner == nil {
 		return nil, fmt.Errorf("%w: dropping %q in container %q", vfs.ErrNotExist, dropping, logical)
 	}
 	p.count("backend." + owner.Name + ".droppings_opened")
-	return owner.FS.Open(path.Join(containerPath(owner, logical), dropping))
+	f, err := owner.FS.Open(path.Join(containerPath(owner, logical), dropping))
+	if err != nil {
+		p.note(owner, err)
+		return nil, err
+	}
+	return f, nil
 }
 
 // StatDropping returns index info plus the current size of a dropping.
@@ -194,8 +214,12 @@ func (p *FS) StatDropping(logical, dropping string) (Dropping, error) {
 			continue
 		}
 		b := p.byName[d.Backend]
+		if err := p.checkLocked(b); err != nil {
+			return Dropping{}, err
+		}
 		info, err := b.FS.Stat(path.Join(containerPath(b, logical), dropping))
 		if err != nil {
+			p.noteLocked(b, err)
 			return Dropping{}, err
 		}
 		d.Size = info.Size
@@ -299,14 +323,20 @@ func (p *FS) writeIndexLocked(logical string, idx []Dropping) error {
 		fmt.Fprintf(&sb, "%s\t%s\n", d.Name, d.Backend)
 	}
 	if err := vfs.WriteFile(p.backends[0].FS, p.indexPath(logical), []byte(sb.String())); err != nil {
+		p.noteLocked(&p.backends[0], err)
 		return fmt.Errorf("plfs: write index for %q: %w", logical, err)
 	}
 	return nil
 }
 
 func (p *FS) readIndexLocked(logical string) ([]Dropping, error) {
-	data, err := vfs.ReadFile(p.backends[0].FS, p.indexPath(logical))
+	canon := &p.backends[0]
+	if err := p.checkLocked(canon); err != nil {
+		return nil, err
+	}
+	data, err := vfs.ReadFile(canon.FS, p.indexPath(logical))
 	if err != nil {
+		p.noteLocked(canon, err)
 		return nil, fmt.Errorf("plfs: container %q: %w", logical, err)
 	}
 	var idx []Dropping

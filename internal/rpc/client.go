@@ -1,8 +1,11 @@
 package rpc
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -12,75 +15,149 @@ import (
 	"repro/internal/xdr"
 )
 
+// ErrClientClosed is returned by every call issued after Close.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// Dialer connects to a storage-node address. Custom dialers let tests and
+// the fault harness wrap the transport (e.g. faultfs.WrapConn).
+type Dialer func(addr string) (net.Conn, error)
+
 // Client is a vfs.FS backed by a remote storage node. It is safe for
 // concurrent use; requests are serialized over the single connection.
 //
-// A dialed client (Dial, as opposed to NewClient over an existing
-// connection) transparently redials once when the transport fails
-// mid-call and retries the request: the server's file-handle table is
-// per-process, not per-connection, so open handles stay valid across a
-// reconnect to the same node. Retries are counted under
-// "rpc.client.retries".
+// A dialed client (Dial/DialWith, as opposed to NewClient over an existing
+// connection) runs every call under its RetryPolicy: per-attempt
+// connection deadlines, and redial-and-retry with bounded exponential
+// backoff when that is provably safe (see RetryPolicy for the idempotency
+// rules). The server's file-handle table is per-process, not
+// per-connection, so open handles stay valid across a reconnect to the
+// same node. Retries are counted under "rpc.client.retries", suppressed
+// unsafe retries under "rpc.client.retries_suppressed", and backoff sleeps
+// under the "rpc.client.retry.backoff_ns" histogram.
+//
+// When retries are exhausted (or redial fails) the returned error wraps
+// vfs.ErrBackendDown, so layers above can degrade instead of hanging.
+// Close waits for an in-flight call to finish, then closes the transport;
+// later calls return ErrClientClosed.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	addr string // non-empty iff dialed (enables redial retry)
-	m    clientMetrics
+	mu     sync.Mutex
+	conn   net.Conn // nil after a transport teardown until the next redial
+	addr   string   // non-empty iff dialed (enables redial retry)
+	closed bool
+	policy RetryPolicy
+	dial   Dialer
+	rng    *rand.Rand
+	m      clientMetrics
 }
 
 // clientMetrics are the client-side request/response/error/retry handles.
 type clientMetrics struct {
-	requests  *metrics.Counter
-	responses *metrics.Counter
-	errors    *metrics.Counter
-	retries   *metrics.Counter
-	bytesOut  *metrics.Counter
-	bytesIn   *metrics.Counter
-	latency   *metrics.Histogram
+	requests   *metrics.Counter
+	responses  *metrics.Counter
+	errors     *metrics.Counter
+	retries    *metrics.Counter
+	suppressed *metrics.Counter
+	bytesOut   *metrics.Counter
+	bytesIn    *metrics.Counter
+	latency    *metrics.Histogram
+	backoffNS  *metrics.Histogram
 }
 
 func newClientMetrics(reg *metrics.Registry) clientMetrics {
 	return clientMetrics{
-		requests:  reg.Counter("rpc.client.requests"),
-		responses: reg.Counter("rpc.client.responses"),
-		errors:    reg.Counter("rpc.client.errors"),
-		retries:   reg.Counter("rpc.client.retries"),
-		bytesOut:  reg.Counter("rpc.client.bytes_sent"),
-		bytesIn:   reg.Counter("rpc.client.bytes_received"),
-		latency:   reg.Histogram("rpc.client.call.ns"),
+		requests:   reg.Counter("rpc.client.requests"),
+		responses:  reg.Counter("rpc.client.responses"),
+		errors:     reg.Counter("rpc.client.errors"),
+		retries:    reg.Counter("rpc.client.retries"),
+		suppressed: reg.Counter("rpc.client.retries_suppressed"),
+		bytesOut:   reg.Counter("rpc.client.bytes_sent"),
+		bytesIn:    reg.Counter("rpc.client.bytes_received"),
+		latency:    reg.Histogram("rpc.client.call.ns"),
+		backoffNS:  reg.Histogram("rpc.client.retry.backoff_ns"),
 	}
 }
 
 var _ vfs.FS = (*Client)(nil)
 
-// Dial connects to a storage node.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a storage node with the default retry policy.
+func Dial(addr string) (*Client, error) { return DialWith(addr, nil, DefaultRetryPolicy()) }
+
+// DialWith connects to a storage node through dialer (nil means plain TCP)
+// under the given retry policy.
+func DialWith(addr string, dialer Dialer, policy RetryPolicy) (*Client, error) {
+	if dialer == nil {
+		dialer = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	conn, err := dialer(addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, addr: addr, m: newClientMetrics(metrics.Default)}, nil
+	c := &Client{
+		conn: conn, addr: addr, dial: dialer,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		m:      newClientMetrics(metrics.Default),
+	}
+	return c, nil
 }
 
 // NewClient wraps an existing connection (useful for tests over pipes).
+// The client fails fast on transport errors — with no dial address there
+// is nothing to redial — but still applies the policy's call deadline.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, m: newClientMetrics(metrics.Default)}
+	return &Client{
+		conn:   conn,
+		policy: DefaultRetryPolicy(),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		m:      newClientMetrics(metrics.Default),
+	}
 }
 
 // SetMetrics points the client's counters at reg (metrics.Default by
 // default; nil disables collection). Call before issuing requests.
-func (c *Client) SetMetrics(reg *metrics.Registry) { c.m = newClientMetrics(reg) }
+func (c *Client) SetMetrics(reg *metrics.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = newClientMetrics(reg)
+}
 
-// Close shuts the connection down.
-func (c *Client) Close() error { return c.conn.Close() }
+// SetRetryPolicy replaces the retry policy for subsequent calls.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = p
+}
+
+// Close shuts the client down. It waits for an in-flight call (including
+// its redial/backoff loop) to finish, so it never races the redial path or
+// leaks a freshly dialed connection. Calls issued after Close return
+// ErrClientClosed; so does a second Close.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
 // call sends one request and decodes the status word of the response.
 func (c *Client) call(req *xdr.Writer) (*xdr.Reader, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
 	c.m.requests.Inc()
 	start := time.Now()
-	payload, err := c.exchange(req.Bytes())
+	raw := req.Bytes()
+	payload, err := c.exchange(binary.BigEndian.Uint32(raw), raw)
 	if err != nil {
 		c.m.errors.Inc()
 		return nil, err
@@ -95,35 +172,81 @@ func (c *Client) call(req *xdr.Writer) (*xdr.Reader, error) {
 	return r, nil
 }
 
-// exchange performs one framed round trip, redialing once on transport
-// failure when the client owns its dial address. Callers hold c.mu.
-func (c *Client) exchange(req []byte) ([]byte, error) {
-	for attempt := 0; ; attempt++ {
-		sendErr := writeFrame(c.conn, req)
-		var payload []byte
-		var recvErr error
-		if sendErr == nil {
-			c.m.bytesOut.Add(int64(len(req)) + 4)
-			payload, recvErr = readFrame(c.conn)
-			if recvErr == nil {
-				c.m.bytesIn.Add(int64(len(payload)) + 4)
-				return payload, nil
-			}
+// exchange performs one framed round trip under the retry policy. Failed
+// attempts tear the connection down; when retrying is safe (see
+// RetryPolicy) the next attempt redials. Callers hold c.mu.
+func (c *Client) exchange(op uint32, req []byte) ([]byte, error) {
+	pol := c.policy
+	var backoffSpent time.Duration
+	for attempt := 1; ; attempt++ {
+		sent, payload, err := c.attempt(req)
+		if err == nil {
+			return payload, nil
 		}
-		if c.addr == "" || attempt > 0 {
-			if sendErr != nil {
-				return nil, fmt.Errorf("rpc: send: %w", sendErr)
-			}
-			return nil, fmt.Errorf("rpc: receive: %w", recvErr)
+		if c.conn != nil {
+			// The conn's state is indeterminate mid-frame: discard it.
+			c.conn.Close()
+			c.conn = nil
 		}
-		conn, dialErr := net.Dial("tcp", c.addr)
-		if dialErr != nil {
-			return nil, fmt.Errorf("rpc: redial %s: %w", c.addr, dialErr)
+		if c.addr == "" {
+			return nil, err // wraps an existing conn; nothing to redial
 		}
-		c.conn.Close()
-		c.conn = conn
+		if sent && !idempotentOp(op) {
+			// The full frame reached the kernel and the reply was lost:
+			// the server may have applied the op, so re-sending could
+			// double-apply it. Fail with the outcome unknown.
+			c.m.suppressed.Inc()
+			return nil, fmt.Errorf("rpc: %s reply lost after send; op is not idempotent, not retried: %w",
+				opName(op), err)
+		}
+		if attempt >= pol.MaxAttempts {
+			return nil, fmt.Errorf("rpc: %s failed after %d attempts: %w: %w",
+				opName(op), attempt, vfs.ErrBackendDown, err)
+		}
+		d := c.backoffDelay(attempt)
+		if pol.BackoffBudget > 0 && backoffSpent+d > pol.BackoffBudget {
+			return nil, fmt.Errorf("rpc: %s exhausted its %v backoff budget: %w: %w",
+				opName(op), pol.BackoffBudget, vfs.ErrBackendDown, err)
+		}
+		backoffSpent += d
+		c.m.backoffNS.Observe(int64(d))
+		if d > 0 {
+			time.Sleep(d)
+		}
 		c.m.retries.Inc()
 	}
+}
+
+// attempt performs a single framed round trip, redialing first if the
+// previous attempt tore the connection down. sent reports whether the
+// request frame was completely handed to the transport — when false the
+// server provably never parsed the request, so any op is safe to re-send.
+func (c *Client) attempt(req []byte) (sent bool, payload []byte, err error) {
+	if c.conn == nil {
+		if c.addr == "" {
+			return false, nil, fmt.Errorf("rpc: connection lost: %w", vfs.ErrBackendDown)
+		}
+		conn, derr := c.dial(c.addr)
+		if derr != nil {
+			return false, nil, fmt.Errorf("rpc: redial %s: %w", c.addr, derr)
+		}
+		c.conn = conn
+	}
+	conn := c.conn
+	if t := c.policy.CallTimeout; t > 0 {
+		conn.SetDeadline(time.Now().Add(t))
+		defer conn.SetDeadline(time.Time{})
+	}
+	if werr := writeFrame(conn, req); werr != nil {
+		return false, nil, fmt.Errorf("rpc: send: %w", werr)
+	}
+	c.m.bytesOut.Add(int64(len(req)) + 4)
+	payload, rerr := readFrame(conn)
+	if rerr != nil {
+		return true, nil, fmt.Errorf("rpc: receive: %w", rerr)
+	}
+	c.m.bytesIn.Add(int64(len(payload)) + 4)
+	return true, payload, nil
 }
 
 func request(op uint32) *xdr.Writer {

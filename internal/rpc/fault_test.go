@@ -1,0 +1,493 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/metrics"
+	"repro/internal/plfs"
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// faultPolicy is the fast retry schedule used by the fault tests: real
+// backoff shape, millisecond scale.
+func faultPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:   4,
+		BaseBackoff:   time.Millisecond,
+		MaxBackoff:    4 * time.Millisecond,
+		BackoffBudget: time.Second,
+		CallTimeout:   150 * time.Millisecond,
+	}
+}
+
+// faultDialer wraps every dialed connection in the injector.
+func faultDialer(in *faultfs.Injector) Dialer {
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return faultfs.WrapConn(conn, in), nil
+	}
+}
+
+// startFaultNode serves store on a loopback listener and dials it through
+// the (initially disarmed) injector.
+func startFaultNode(t *testing.T, store vfs.FS, in *faultfs.Injector, pol RetryPolicy) *Client {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, nil)
+	srv.SetMetrics(metrics.NewRegistry())
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+	c, err := DialWith(ln.Addr().String(), faultDialer(in), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestFaultMatrix drives every rpc op through each fault mode and asserts
+// the retry policy's contract:
+//
+//   - A fault before the request frame fully left the client (dropped or
+//     torn send) is retryable for EVERY op — the server provably never
+//     parsed the request — so the call succeeds with retries counted.
+//   - A fault after a complete send (dropped reply, reply slower than the
+//     call deadline) is retried only for idempotent ops; non-idempotent
+//     ops fail with the retry suppressed and counted.
+func TestFaultMatrix(t *testing.T) {
+	faults := []struct {
+		name      string
+		rule      faultfs.Rule
+		counter   string // faultfs metric the firing must land in
+		afterSend bool   // fault hits the reply, not the request
+	}{
+		{"drop-before-send",
+			faultfs.Rule{Kind: faultfs.KindDrop, Op: "conn.write", Nth: 1},
+			"faultfs.injected.drops", false},
+		{"partial-frame",
+			faultfs.Rule{Kind: faultfs.KindPartial, Op: "conn.write", Nth: 1},
+			"faultfs.injected.partials", false},
+		{"drop-after-send",
+			faultfs.Rule{Kind: faultfs.KindDrop, Op: "conn.read", Nth: 1},
+			"faultfs.injected.drops", true},
+		{"slow-read-past-deadline",
+			faultfs.Rule{Kind: faultfs.KindSlow, Op: "conn.read", Nth: 1, Delay: 400 * time.Millisecond},
+			"faultfs.injected.slow", true},
+	}
+
+	ops := []struct {
+		name       string
+		idempotent bool
+		// setup runs with the injector disarmed and returns the faulted op.
+		setup func(t *testing.T, c *Client) func() error
+	}{
+		{"mkdirall", true, func(t *testing.T, c *Client) func() error {
+			return func() error { return c.MkdirAll("/m") }
+		}},
+		{"stat", true, func(t *testing.T, c *Client) func() error {
+			return func() error { _, err := c.Stat("/pre"); return err }
+		}},
+		{"open", true, func(t *testing.T, c *Client) func() error {
+			return func() error { _, err := c.Open("/pre"); return err }
+		}},
+		{"readdir", true, func(t *testing.T, c *Client) func() error {
+			return func() error { _, err := c.ReadDir("/"); return err }
+		}},
+		{"read", true, func(t *testing.T, c *Client) func() error {
+			f, err := c.Open("/pre")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func() error {
+				buf := make([]byte, 5)
+				_, err := f.ReadAt(buf, 0)
+				if err == nil && string(buf) != "hello" {
+					t.Errorf("retried read returned %q, want %q", buf, "hello")
+				}
+				return err
+			}
+		}},
+		{"size", true, func(t *testing.T, c *Client) func() error {
+			f, err := c.Open("/pre")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func() error {
+				if got := f.Size(); got != 5 {
+					t.Errorf("Size = %d, want 5", got)
+				}
+				return nil // Size is best-effort; rpc.client.errors carries the verdict
+			}
+		}},
+		{"create", false, func(t *testing.T, c *Client) func() error {
+			return func() error { _, err := c.Create("/scratch"); return err }
+		}},
+		{"write", false, func(t *testing.T, c *Client) func() error {
+			f, err := c.Create("/scratch")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func() error { _, err := f.Write([]byte("payload")); return err }
+		}},
+		{"close", false, func(t *testing.T, c *Client) func() error {
+			f, err := c.Create("/scratch")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func() error { return f.Close() }
+		}},
+		{"remove", false, func(t *testing.T, c *Client) func() error {
+			return func() error { return c.Remove("/pre") }
+		}},
+	}
+
+	for _, fc := range faults {
+		for _, oc := range ops {
+			t.Run(fc.name+"/"+oc.name, func(t *testing.T) {
+				t.Parallel()
+				store := vfs.NewMemFS()
+				if err := vfs.WriteFile(store, "/pre", []byte("hello")); err != nil {
+					t.Fatal(err)
+				}
+				in := faultfs.MustNew(1, fc.rule)
+				in.SetEnabled(false)
+				freg := metrics.NewRegistry()
+				in.SetMetrics(freg)
+				c := startFaultNode(t, store, in, faultPolicy())
+				creg := metrics.NewRegistry()
+				c.SetMetrics(creg)
+
+				run := oc.setup(t, c)
+				in.SetEnabled(true)
+				err := run()
+				in.SetEnabled(false)
+
+				cs := creg.Snapshot()
+				if got := freg.Snapshot().Counters[fc.counter]; got != 1 {
+					t.Fatalf("%s = %d, want 1 firing", fc.counter, got)
+				}
+				if fc.afterSend && !oc.idempotent {
+					// Outcome unknown: the call must fail without retrying.
+					if err == nil {
+						t.Error("non-idempotent op with lost reply succeeded; it must not be re-sent")
+					}
+					if got := cs.Counters["rpc.client.retries_suppressed"]; got != 1 {
+						t.Errorf("retries_suppressed = %d, want 1", got)
+					}
+					if got := cs.Counters["rpc.client.retries"]; got != 0 {
+						t.Errorf("retries = %d, want 0 (unsafe retry happened)", got)
+					}
+					return
+				}
+				// Every other combination is retryable and must succeed.
+				if err != nil {
+					t.Fatalf("%v (op should have been retried to success)", err)
+				}
+				if got := cs.Counters["rpc.client.errors"]; got != 0 {
+					t.Errorf("rpc.client.errors = %d, want 0", got)
+				}
+				if got := cs.Counters["rpc.client.retries"]; got != 1 {
+					t.Errorf("retries = %d, want exactly 1", got)
+				}
+				if got := cs.Counters["rpc.client.retries_suppressed"]; got != 0 {
+					t.Errorf("retries_suppressed = %d, want 0", got)
+				}
+				if cs.Histograms["rpc.client.retry.backoff_ns"].Count != 1 {
+					t.Error("backoff histogram did not record the retry sleep")
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentCloseRedial races Close against calls stuck in the
+// redial/backoff loop (the server drops every connection at accept). Run
+// under -race this is the regression test for Close mutating c.conn
+// without the lock.
+func TestConcurrentCloseRedial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	pol := RetryPolicy{
+		MaxAttempts:   3,
+		BaseBackoff:   200 * time.Microsecond,
+		MaxBackoff:    time.Millisecond,
+		BackoffBudget: 100 * time.Millisecond,
+		CallTimeout:   50 * time.Millisecond,
+	}
+	c, err := DialWith(ln.Addr().String(), nil, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				c.Stat("/x") // errors expected; the race is the point
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	wg.Wait()
+	if _, err := c.Stat("/x"); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("call after Close = %v, want ErrClientClosed", err)
+	}
+	if err := c.Close(); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("second Close = %v, want ErrClientClosed", err)
+	}
+}
+
+// slowStatFS stretches Stat so a request is reliably in flight when the
+// server shuts down.
+type slowStatFS struct {
+	vfs.FS
+	delay time.Duration
+}
+
+func (s slowStatFS) Stat(name string) (vfs.FileInfo, error) {
+	time.Sleep(s.delay)
+	return s.FS.Stat(name)
+}
+
+// TestServerDrain: Close must wait for in-flight requests and their
+// responses, Serve must report ErrServerClosed, and a closed server must
+// refuse new listeners.
+func TestServerDrain(t *testing.T) {
+	srv := NewServer(slowStatFS{vfs.NewMemFS(), 150 * time.Millisecond}, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	statDone := make(chan error, 1)
+	go func() { _, err := c.Stat("/"); statDone <- err }()
+	time.Sleep(30 * time.Millisecond) // let the request reach dispatch
+
+	closeStart := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The handler still had ~120ms of dispatch left when Close began; a
+	// graceful Close must have blocked for it.
+	if d := time.Since(closeStart); d < 50*time.Millisecond {
+		t.Errorf("Close returned after %v; it did not drain the in-flight request", d)
+	}
+	if err := <-statDone; err != nil {
+		t.Errorf("in-flight stat dropped at shutdown: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Serve = %v, want ErrServerClosed", err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	if err := srv.Serve(ln2); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Serve after Close = %v, want ErrServerClosed", err)
+	}
+}
+
+// runTaggedWorkload ingests the dataset into PLFS containers striped over
+// two rpc-backed storage nodes, then reads the protein subset back with
+// the injector armed, returning the raw frame bytes. Close runs with the
+// injector disarmed: close is non-idempotent, so a deliberately lost close
+// reply would surface as an error by design, not a bug.
+func runTaggedWorkload(t *testing.T, in *faultfs.Injector, creg *metrics.Registry, pdbBytes, traj []byte) []byte {
+	t.Helper()
+	node := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(vfs.NewMemFS(), nil)
+		srv.SetMetrics(metrics.NewRegistry())
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close(); ln.Close() })
+		return ln.Addr().String()
+	}
+	var dialer Dialer
+	if in != nil {
+		dialer = faultDialer(in)
+	}
+	pol := RetryPolicy{
+		MaxAttempts:   6,
+		BaseBackoff:   500 * time.Microsecond,
+		MaxBackoff:    2 * time.Millisecond,
+		BackoffBudget: 2 * time.Second,
+		CallTimeout:   2 * time.Second,
+	}
+	ssd, err := DialWith(node(), dialer, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ssd.Close()
+	ssd.SetMetrics(creg)
+	hdd, err := DialWith(node(), dialer, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hdd.Close()
+	hdd.SetMetrics(creg)
+
+	containers, err := plfs.New(
+		plfs.Backend{Name: "ssd", FS: ssd, Mount: "/mnt1"},
+		plfs.Backend{Name: "hdd", FS: hdd, Mount: "/mnt2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.New(containers, nil, core.Options{})
+	if _, err := a.Ingest("/traj.xtc", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+
+	if in != nil {
+		in.SetEnabled(true)
+		defer in.SetEnabled(false)
+	}
+	sr, err := a.OpenSubset("/traj.xtc", core.TagProtein)
+	if err != nil {
+		t.Fatalf("open subset under faults: %v", err)
+	}
+	w := xdr.NewWriter(1 << 16)
+	frames := 0
+	for {
+		f, err := sr.ReadFrame()
+		if err != nil {
+			break
+		}
+		f.AppendRaw(w)
+		frames++
+	}
+	if frames != 3 {
+		t.Fatalf("read %d frames, want 3", frames)
+	}
+	if in != nil {
+		in.SetEnabled(false)
+	}
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return w.Bytes()
+}
+
+// TestFaultInjectedReadWorkload is the acceptance path: with a mid-call
+// connection drop injected on every 3rd conn read, a tagged read workload
+// over rpc+plfs completes byte-identical to the no-fault run, with all
+// recovery inside the bounded retry policy.
+func TestFaultInjectedReadWorkload(t *testing.T) {
+	pdbBytes, traj := makeDataset(t)
+	baseline := runTaggedWorkload(t, nil, metrics.NewRegistry(), pdbBytes, traj)
+
+	in := faultfs.MustNew(7, faultfs.Rule{Kind: faultfs.KindDrop, Op: "conn.read", Every: 3})
+	in.SetEnabled(false)
+	freg := metrics.NewRegistry()
+	in.SetMetrics(freg)
+	creg := metrics.NewRegistry()
+	faulted := runTaggedWorkload(t, in, creg, pdbBytes, traj)
+
+	if !bytes.Equal(baseline, faulted) {
+		t.Fatalf("faulted workload diverged: %d bytes vs %d baseline", len(faulted), len(baseline))
+	}
+	fs := freg.Snapshot()
+	if fs.Counters["faultfs.injected.drops"] == 0 {
+		t.Fatal("injector never fired; the run proved nothing")
+	}
+	cs := creg.Snapshot()
+	if cs.Counters["rpc.client.retries"] == 0 {
+		t.Error("no retries counted despite injected drops")
+	}
+	if cs.Counters["rpc.client.retries"] > cs.Counters["rpc.client.requests"] {
+		t.Errorf("retries %d exceed requests %d; retry loop unbounded",
+			cs.Counters["rpc.client.retries"], cs.Counters["rpc.client.requests"])
+	}
+	// The read path also fires non-idempotent close ops for the index files
+	// it opens (vfs.ReadFile closes them fire-and-forget); a drop landing on
+	// a close reply is correctly suppressed, not retried, and the caller
+	// tolerates the lost close. So every client error must be one of those
+	// suppressed closes — any *other* error means data-path retry failed.
+	if cs.Counters["rpc.client.errors"] != cs.Counters["rpc.client.retries_suppressed"] {
+		t.Errorf("errors = %d but suppressed = %d; a retryable op failed",
+			cs.Counters["rpc.client.errors"], cs.Counters["rpc.client.retries_suppressed"])
+	}
+}
+
+// TestFaultWorkloadSeed is the randomized smoke pass: ADA_FAULT_SEED
+// selects the injector seed ("" = fixed 1, "random" = time-seeded, or an
+// explicit integer), the chosen seed is logged for replay, and the
+// probabilistic drop schedule it drives must still leave the workload
+// byte-identical.
+func TestFaultWorkloadSeed(t *testing.T) {
+	seed := int64(1)
+	switch v := os.Getenv("ADA_FAULT_SEED"); v {
+	case "":
+	case "random":
+		seed = time.Now().UnixNano()
+	default:
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("ADA_FAULT_SEED=%q: %v", v, err)
+		}
+		seed = parsed
+	}
+	t.Logf("fault seed %d (replay with ADA_FAULT_SEED=%d)", seed, seed)
+
+	pdbBytes, traj := makeDataset(t)
+	baseline := runTaggedWorkload(t, nil, metrics.NewRegistry(), pdbBytes, traj)
+
+	in := faultfs.MustNew(seed, faultfs.Rule{Kind: faultfs.KindDrop, Op: "conn.read", Prob: 0.15})
+	in.SetEnabled(false)
+	creg := metrics.NewRegistry()
+	faulted := runTaggedWorkload(t, in, creg, pdbBytes, traj)
+	if !bytes.Equal(baseline, faulted) {
+		t.Fatalf("seed %d: faulted workload diverged (%d bytes vs %d baseline)",
+			seed, len(faulted), len(baseline))
+	}
+	cs := creg.Snapshot()
+	// As in TestFaultInjectedReadWorkload: only suppressed (lost-close)
+	// errors are acceptable; any other error is a failed retryable op.
+	if cs.Counters["rpc.client.errors"] != cs.Counters["rpc.client.retries_suppressed"] {
+		t.Errorf("seed %d: errors = %d but suppressed = %d; a retryable op failed",
+			seed, cs.Counters["rpc.client.errors"], cs.Counters["rpc.client.retries_suppressed"])
+	}
+}

@@ -2,10 +2,12 @@ package rpc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -14,7 +16,17 @@ import (
 	"repro/internal/xdr"
 )
 
+// ErrServerClosed is returned by Serve after Close: the expected way for
+// an accept loop to end, not a failure.
+var ErrServerClosed = errors.New("rpc: server closed")
+
 // Server exposes one vfs.FS to remote clients.
+//
+// Close is graceful: it stops the accept loops, wakes idle connections,
+// and waits — via a WaitGroup over the per-connection goroutines — until
+// every in-flight request has been dispatched and its response written, so
+// shutting a node down never drops a request that was already read off the
+// wire.
 type Server struct {
 	fsys   vfs.FS
 	logger *log.Logger
@@ -23,6 +35,12 @@ type Server struct {
 	mu      sync.Mutex
 	nextFD  uint32
 	handles map[uint32]vfs.File
+
+	connMu    sync.Mutex
+	closed    bool
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
 }
 
 // serverMetrics are the node-side request/response/error handles, plus a
@@ -72,8 +90,10 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 func NewServer(fsys vfs.FS, logger *log.Logger) *Server {
 	return &Server{
 		fsys: fsys, logger: logger,
-		m:       newServerMetrics(metrics.Default),
-		handles: map[uint32]vfs.File{},
+		m:         newServerMetrics(metrics.Default),
+		handles:   map[uint32]vfs.File{},
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[net.Conn]struct{}{},
 	}
 }
 
@@ -87,25 +107,98 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-// Serve accepts connections until the listener is closed.
+// Serve accepts connections until the listener fails or the server is
+// closed; after Close it returns ErrServerClosed.
 func (s *Server) Serve(ln net.Listener) error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.listeners, ln)
+		s.connMu.Unlock()
+	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if s.closing() {
+				return ErrServerClosed
+			}
 			return err
 		}
 		go s.handleConn(conn)
 	}
 }
 
+// Close stops every accept loop, wakes idle connections, and blocks until
+// all in-flight requests have finished (see the Server doc comment). It is
+// idempotent.
+func (s *Server) Close() error {
+	s.connMu.Lock()
+	if !s.closed {
+		s.closed = true
+		for ln := range s.listeners {
+			ln.Close()
+		}
+		// Kick connections parked in readFrame; handlers mid-dispatch
+		// finish and write their response first (writes keep working),
+		// then observe the expired read deadline and exit.
+		for conn := range s.conns {
+			conn.SetReadDeadline(time.Now())
+		}
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) closing() bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.closed
+}
+
+// register tracks a connection for draining; it refuses connections that
+// race a Close.
+func (s *Server) register(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) unregister(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	s.wg.Done()
+}
+
 func (s *Server) handleConn(conn net.Conn) {
+	if !s.register(conn) {
+		conn.Close()
+		return
+	}
+	defer s.unregister(conn)
 	defer conn.Close()
 	s.m.connections.Inc()
 	s.logf("rpc: client %s connected", conn.RemoteAddr())
 	for {
 		payload, err := readFrame(conn)
 		if err != nil {
-			if err != io.EOF {
+			// EOF is a clean client disconnect; a deadline kick or closed
+			// conn during shutdown is the drain path. Neither is news.
+			if err != io.EOF && !s.closing() &&
+				!errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
 				s.logf("rpc: client %s: %v", conn.RemoteAddr(), err)
 			}
 			return
@@ -125,11 +218,16 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.m.errors.Inc()
 		}
 		if err := writeFrame(conn, resp); err != nil {
-			s.logf("rpc: client %s write: %v", conn.RemoteAddr(), err)
+			if !s.closing() && !errors.Is(err, net.ErrClosed) {
+				s.logf("rpc: client %s write: %v", conn.RemoteAddr(), err)
+			}
 			return
 		}
 		s.m.bytesOut.Add(int64(len(resp)) + 4)
 		s.m.responses.Inc()
+		if s.closing() {
+			return
+		}
 	}
 }
 

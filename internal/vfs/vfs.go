@@ -25,6 +25,11 @@ var (
 	ErrIsDir    = errors.New("vfs: is a directory")
 	ErrNotDir   = errors.New("vfs: not a directory")
 	ErrClosed   = errors.New("vfs: file already closed")
+	// ErrBackendDown marks a backend whose transport is gone: the remote
+	// storage node is unreachable or stopped responding within its retry
+	// budget. Layers above (plfs, cluster) use it to degrade instead of
+	// hanging or blindly retrying.
+	ErrBackendDown = errors.New("vfs: backend down")
 )
 
 // FileInfo describes a file or directory.
