@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-decode test-faults clean
+.PHONY: all build test race lint bench bench-decode test-faults test-crash clean
 
 all: build lint test
 
@@ -23,6 +23,13 @@ test-faults:
 	$(GO) test -race -count=1 ./internal/faultfs/
 	$(GO) test -race -count=1 -run 'Fault|ServerDrain|ConcurrentClose' ./internal/rpc/
 	ADA_FAULT_SEED=random $(GO) test -race -count=1 -v -run 'FaultWorkloadSeed' ./internal/rpc/
+
+# Crash-consistency matrix: the kill-point sweep (crash after every Nth
+# store op during an ingest, then recover) plus the rest of the durability
+# suite — recovery classification, checkpoint resume, verified reads with
+# replica failover, fsck verdicts, and the background scrubber.
+test-crash:
+	$(GO) test -race -count=1 -run 'Crash|Recover|Resume|Failover|Fsck|Scrub|Checksum' ./internal/core/
 
 # lint = vet + gofmt cleanliness. gofmt -l prints offending files; the
 # test -z turns any output into a nonzero exit.

@@ -259,6 +259,39 @@ func InjectConnFaults(conn net.Conn, in *FaultInjector) net.Conn {
 	return faultfs.WrapConn(conn, in)
 }
 
+// Durability types (see DESIGN.md "Durability model"): crash-consistent
+// ingest recovery, end-to-end checksum verification, and background
+// scrubbing.
+type (
+	// RecoveryAction reports what Recover did to one container.
+	RecoveryAction = core.RecoveryAction
+	// FsckResult is one dataset's integrity verdict list.
+	FsckResult = core.FsckResult
+	// DroppingVerdict is Fsck's judgement of one dropping.
+	DroppingVerdict = core.DroppingVerdict
+	// Scrubber verifies every dataset's checksums at a bounded byte rate.
+	Scrubber = core.Scrubber
+	// ScrubReport summarizes one scrub pass.
+	ScrubReport = core.ScrubReport
+)
+
+// Recovery outcomes per container, as returned by Acquirer.Recover.
+const (
+	// RecoveryClean: committed, nothing to do.
+	RecoveryClean = core.RecoveryClean
+	// RecoverySwept: committed, leftover ingest state removed.
+	RecoverySwept = core.RecoverySwept
+	// RecoveryCommitted: an interrupted commit was replayed to completion.
+	RecoveryCommitted = core.RecoveryCommitted
+	// RecoveryRolledBack: the ingest never committed; the container was
+	// removed.
+	RecoveryRolledBack = core.RecoveryRolledBack
+)
+
+// ErrCorrupted marks a verified read whose stored bytes fail their
+// checksum on every available copy (primary and replica).
+var ErrCorrupted = vfs.ErrCorrupted
+
 // Extension types (see DESIGN.md "extensions"):
 type (
 	// Schema is the config-file-driven categorizer (the paper's stated

@@ -553,6 +553,35 @@ func BenchmarkIngestOverhead(b *testing.B) {
 	b.Run("instrumented", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkChecksumOverhead prices the durability layer's end-to-end
+// checksums: the same serial ingest with CRC32C disabled ("off") and
+// enabled ("on" — per-frame index checksums, whole-stream subset CRC32Cs,
+// and the manifest integrity map). The acceptance bar is <5% wall time.
+func BenchmarkChecksumOverhead(b *testing.B) {
+	pdbBytes, traj := ablationDataset(b)
+	run := func(b *testing.B, disabled bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			store, err := plfs.New(
+				plfs.Backend{Name: "ssd", FS: vfs.NewMemFS(), Mount: "/m1"},
+				plfs.Backend{Name: "hdd", FS: vfs.NewMemFS(), Mount: "/m2"},
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := core.New(store, nil, core.Options{
+				Metrics:          metrics.NewRegistry(),
+				DisableChecksums: disabled,
+			})
+			if _, err := a.Ingest("/g", pdbBytes, bytes.NewReader(traj)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, true) })
+	b.Run("on", func(b *testing.B) { run(b, false) })
+}
+
 // BenchmarkAblationStoreCompressed compares ADA's decompress-on-ingest
 // design against the alternative of storing the compressed original and
 // paying decompression on every read (approximated by the C path, which is

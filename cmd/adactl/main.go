@@ -76,6 +76,12 @@ func main() {
 		err = cmdLabels(a, args)
 	case "extract":
 		err = cmdExtract(a, args)
+	case "fsck":
+		err = cmdFsck(a, args)
+	case "scrub":
+		err = cmdScrub(a, args)
+	case "recover":
+		err = cmdRecover(a)
 	default:
 		usage()
 	}
@@ -97,6 +103,10 @@ commands:
   manifest -name NAME                        show a dataset's subsets
   labels   -name NAME                        show the label ranges
   extract  -name NAME -tag TAG -out FILE     write one subset as raw frames
+  fsck     -name NAME                        verify a dataset's checksums
+  scrub    [-rate BYTES/S]                   verify every dataset (one pass)
+  recover                                    roll back or finish interrupted
+                                             ingests (run after a crash)
   stats    -addr HOST:PORT [-json]           fetch a node's runtime metrics
                                              (adanode -metrics-addr endpoint)
   ping     -addr HOST:PORT [-count N]        probe a node over the storage
@@ -381,6 +391,71 @@ func cmdLabels(a *core.ADA, args []string) error {
 		}
 		fmt.Printf("  %-8s %8d atoms in %d ranges: %s\n",
 			categoryName(c), l.Count(), l.NumRanges(), l)
+	}
+	return nil
+}
+
+// cmdFsck verifies one dataset: every subset against its whole-stream and
+// per-frame CRC32C, every metadata dropping against the manifest's
+// integrity map.
+func cmdFsck(a *core.ADA, args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	name := fs.String("name", "", "dataset name")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("fsck needs -name")
+	}
+	res, err := a.Fsck("/" + *name)
+	if err != nil {
+		return err
+	}
+	for _, v := range res.Verdicts {
+		line := fmt.Sprintf("  %-11s %-24s backend %s", v.Status, v.Name, v.Backend)
+		if v.Detail != "" {
+			line += "  (" + v.Detail + ")"
+		}
+		fmt.Println(line)
+	}
+	if !res.OK() {
+		return fmt.Errorf("fsck %s: %d corrupt, %d missing, committed=%v",
+			*name, res.Corrupt, res.Missing, res.Committed)
+	}
+	fmt.Printf("fsck %s: clean (%d droppings)\n", *name, len(res.Verdicts))
+	return nil
+}
+
+// cmdScrub runs one synchronous scrub pass over every dataset.
+func cmdScrub(a *core.ADA, args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	rate := fs.Int64("rate", 0, "payload bytes verified per second (0 = unthrottled)")
+	fs.Parse(args)
+	rep, err := a.NewScrubber(*rate).Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scrubbed %d datasets, %d droppings, %d payload bytes in %v\n",
+		rep.Datasets, rep.Droppings, rep.Bytes, rep.Elapsed.Round(time.Millisecond))
+	for _, v := range rep.Corrupt {
+		fmt.Printf("  %-11s %-24s backend %s  (%s)\n", v.Status, v.Name, v.Backend, v.Detail)
+	}
+	if len(rep.Corrupt) > 0 {
+		return fmt.Errorf("scrub: %d droppings failed verification", len(rep.Corrupt))
+	}
+	return nil
+}
+
+// cmdRecover classifies every container and repairs interrupted ingests.
+func cmdRecover(a *core.ADA) error {
+	actions, err := a.Recover()
+	if err != nil {
+		return err
+	}
+	if len(actions) == 0 {
+		fmt.Println("no datasets")
+		return nil
+	}
+	for name, act := range actions {
+		fmt.Printf("  %-30s %s\n", name, act)
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/faultfs"
 	"repro/internal/metrics"
@@ -43,6 +44,7 @@ type config struct {
 	quiet       bool
 	metricsAddr string
 	faultSpec   string
+	scrubRate   int64
 }
 
 // parseFlags parses args (without the program name). It returns
@@ -59,6 +61,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.StringVar(&cfg.faultSpec, "fault-spec", "",
 		`inject deterministic transport faults on accepted connections, for
 resilience testing (e.g. "seed=42; drop:conn.read:every=3"; see DESIGN.md)`)
+	fs.Int64Var(&cfg.scrubRate, "scrub-rate", 0,
+		"background checksum scrub rate in bytes/second over the served tree (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -114,6 +118,13 @@ func run(cfg *config, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "adanode metrics on http://%s/metrics\n", mln.Addr())
 		go http.Serve(mln, metricsMux(metrics.Default))
+	}
+	if cfg.scrubRate > 0 {
+		// The scrubber reads through the uninstrumented FS so background
+		// verification does not pollute the fs.node.* serving counters.
+		sc := newNodeScrubber(base, cfg.scrubRate, metrics.Default)
+		go sc.loop(10 * time.Second)
+		fmt.Fprintf(stdout, "adanode scrubbing at %d B/s\n", cfg.scrubRate)
 	}
 	fmt.Fprintf(stdout, "adanode serving %s on %s\n", base.Root(), ln.Addr())
 	srv := rpc.NewServer(fsys, logger)

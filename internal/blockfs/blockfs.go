@@ -312,6 +312,68 @@ func (s *FS) Remove(name string) error {
 	return nil
 }
 
+// Rename implements vfs.FS. A rename only rewires the directory tree; the
+// file's extents stay where they are, so no device time is charged beyond
+// what a metadata update would cost (negligible at this model's fidelity).
+func (s *FS) Rename(oldname, newname string) error {
+	oldname = vfs.Clean(oldname)
+	newname = vfs.Clean(newname)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[oldname]
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, oldname)
+	}
+	if oldname == newname {
+		return nil
+	}
+	dir := path.Dir(newname)
+	dn, ok := s.nodes[dir]
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, dir)
+	}
+	if !dn.isDir {
+		return fmt.Errorf("%w: %s", vfs.ErrNotDir, dir)
+	}
+	if dst, ok := s.nodes[newname]; ok {
+		if dst.isDir != n.isDir {
+			if dst.isDir {
+				return fmt.Errorf("%w: %s", vfs.ErrIsDir, newname)
+			}
+			return fmt.Errorf("%w: %s", vfs.ErrNotDir, newname)
+		}
+		if dst.isDir {
+			prefix := newname + "/"
+			for p := range s.nodes {
+				if strings.HasPrefix(p, prefix) {
+					return fmt.Errorf("blockfs: directory %s not empty", newname)
+				}
+			}
+		} else {
+			s.truncateLocked(dst)
+		}
+	}
+	if n.isDir {
+		if strings.HasPrefix(newname, oldname+"/") {
+			return fmt.Errorf("blockfs: cannot move %s into itself", oldname)
+		}
+		prefix := oldname + "/"
+		moved := make(map[string]*inode)
+		for p, node := range s.nodes {
+			if strings.HasPrefix(p, prefix) {
+				moved[newname+"/"+p[len(prefix):]] = node
+				delete(s.nodes, p)
+			}
+		}
+		for p, node := range moved {
+			s.nodes[p] = node
+		}
+	}
+	delete(s.nodes, oldname)
+	s.nodes[newname] = n
+	return nil
+}
+
 // file is an open handle.
 type file struct {
 	fs       *FS

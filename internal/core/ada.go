@@ -22,8 +22,14 @@ const (
 	droppingPDB      = "structure.pdb"
 	droppingLabels   = "labels.json"
 	droppingManifest = "manifest.json"
+	droppingJournal  = "ingest.journal"
 	subsetPrefix     = "subset."
 	indexPrefix      = "index."
+	// stagingPrefix marks droppings an in-flight ingest has not yet
+	// published; commit renames them to their final names, manifest last.
+	stagingPrefix = "staging."
+	// replicaPrefix marks the failover copies of off-default subsets.
+	replicaPrefix = "replica."
 )
 
 // ErrUnknownTag is returned for a tag the dataset was not ingested with.
@@ -67,6 +73,15 @@ type Options struct {
 	// DecodeWorkers bounds IngestParallel's decode pool (<=0 selects
 	// xtc.DefaultWorkers: min of NumCPU and GOMAXPROCS).
 	DecodeWorkers int
+	// ReplicateActive mirrors every subset placed off the default (bulk)
+	// backend — the active "p" subsets under the paper's placement — onto
+	// it at ingest, so a corrupted or down primary fails over to a
+	// byte-identical copy instead of erroring.
+	ReplicateActive bool
+	// DisableChecksums skips all CRC32C computation (no v2 indexes, no
+	// manifest checksums). Exists so the checksum overhead can be
+	// benchmarked; production ingests should leave it off.
+	DisableChecksums bool
 }
 
 // ADA is one middleware instance bound to a PLFS-style container store.
@@ -77,6 +92,8 @@ type ADA struct {
 	defaultBE  string
 	reg        *metrics.Registry
 	im         ingestMetrics
+	vm         verifyMetrics
+	fm         failoverMetrics
 }
 
 // ingestMetrics are the real-time (wall-clock) handles for the ingest
@@ -126,6 +143,8 @@ func New(containers *plfs.FS, env *sim.Env, opts Options) *ADA {
 		defaultBE:  backends[len(backends)-1],
 		reg:        reg,
 		im:         newIngestMetrics(reg),
+		vm:         newVerifyMetrics(reg),
+		fm:         newFailoverMetrics(reg),
 	}
 }
 
@@ -230,7 +249,7 @@ func (a *ADA) Ingest(logical string, pdbData []byte, traj io.Reader) (*IngestRep
 		}
 		a.im.decodeNS.Observe(time.Since(t0).Nanoseconds())
 		if err != nil {
-			st.closeAll()
+			st.abort()
 			return nil, fmt.Errorf("core: ingest %s frame %d: %w", logical, st.report.Frames, err)
 		}
 		frameCompressed := in.n - before
@@ -238,7 +257,7 @@ func (a *ADA) Ingest(logical string, pdbData []byte, traj io.Reader) (*IngestRep
 		a.chargeCPU("categorize", a.opts.Cost.categorizeTime(xtc.RawFrameSize(frame.NAtoms())))
 		t1 := time.Now()
 		if err := st.writeFrame(frame, frameCompressed); err != nil {
-			st.closeAll()
+			st.abort()
 			return nil, err
 		}
 		a.im.writeNS.Observe(time.Since(t1).Nanoseconds())
@@ -247,15 +266,39 @@ func (a *ADA) Ingest(logical string, pdbData []byte, traj io.Reader) (*IngestRep
 	return st.finish(start)
 }
 
+// crcTee forwards writes to the staged dropping while maintaining the
+// per-frame and whole-stream CRC32C. xtc.Writer issues exactly one Write
+// per frame, so `last` after a WriteFrame is that frame's checksum.
+type crcTee struct {
+	f       vfs.File
+	enabled bool
+	last    uint32 // CRC32C of the most recent write (one encoded frame)
+	total   uint32 // running CRC32C of the whole stream
+}
+
+func (t *crcTee) Write(p []byte) (int, error) {
+	n, err := t.f.Write(p)
+	if t.enabled && n > 0 {
+		t.last = xtc.CRC32C(p[:n])
+		t.total = xtc.CRC32CUpdate(t.total, p[:n])
+	}
+	return n, err
+}
+
 // subsetWriter owns one tagged dropping during an ingest.
 type subsetWriter struct {
 	tag     string
 	backend string
 	file    vfs.File
+	tee     *crcTee
 	w       *xtc.Writer
 	indices []int
 	natoms  int
 	ib      xtc.IndexBuilder
+	// base is the byte count already durable in the staged dropping when
+	// this writer started — zero on a fresh ingest, the last journaled
+	// checkpoint on a resumed one.
+	base int64
 }
 
 // writeFrame splits one full frame into this subset and appends it.
@@ -268,9 +311,16 @@ func (sw *subsetWriter) writeFrame(frame *xtc.Frame) error {
 	if err := sw.w.WriteFrame(sub); err != nil {
 		return fmt.Errorf("core: subset %s: %w", sw.tag, err)
 	}
-	sw.ib.Add(sw.w.BytesWritten()-before, sub.NAtoms())
+	if sw.tee.enabled {
+		sw.ib.AddWithCRC(sw.w.BytesWritten()-before, sub.NAtoms(), sw.tee.last)
+	} else {
+		sw.ib.Add(sw.w.BytesWritten()-before, sub.NAtoms())
+	}
 	return nil
 }
+
+// storedBytes is the total size of the staged dropping.
+func (sw *subsetWriter) storedBytes() int64 { return sw.base + sw.w.BytesWritten() }
 
 // ingestState carries one ingest's shared context between the prepare,
 // frame-loop, and finish phases (serial and parallel paths share it).
@@ -284,11 +334,36 @@ type ingestState struct {
 	granularityName string
 	writers         []*subsetWriter
 	report          *IngestReport
+	journal         *journalWriter
+	// staged lists the final dropping names (in publish order) whose
+	// staged copies commit renames into place; the manifest is not among
+	// them — its rename is the commit point and always happens last.
+	staged []string
+	// checksums collects CRC32C per staged non-subset dropping for the
+	// manifest's integrity map.
+	checksums map[string]uint32
+	// extra holds droppings a variant ingest (in-situ stats) wants
+	// published atomically with the dataset.
+	extra []extraDropping
 }
 
-// prepareIngest runs the structure analysis and creates the container and
-// subset droppings.
-func (a *ADA) prepareIngest(logical string, pdbData []byte) (*ingestState, error) {
+// extraDropping is a variant-specific payload staged during finish.
+type extraDropping struct {
+	name    string
+	backend string
+	data    []byte
+}
+
+// addExtra schedules an additional dropping to be published with the
+// dataset's atomic commit (used by the in-situ statistics path).
+func (st *ingestState) addExtra(name, backend string, data []byte) {
+	st.extra = append(st.extra, extraDropping{name: name, backend: backend, data: data})
+}
+
+// analyzeIngest runs the structure analysis half of prepareIngest, with no
+// container side effects (ResumeIngest reuses it against an existing
+// container).
+func (a *ADA) analyzeIngest(logical string, pdbData []byte) (*ingestState, error) {
 	// Data pre-processor, step 1: analyze the structure file.
 	a.chargeCPU("pdbparse", a.opts.Cost.parseTime(int64(len(pdbData))))
 	structure, err := pdb.Parse(strings.NewReader(string(pdbData)))
@@ -304,6 +379,7 @@ func (a *ADA) prepareIngest(logical string, pdbData []byte) (*ingestState, error
 		pdbData:   pdbData,
 		structure: structure,
 		labels:    BuildLabels(structure),
+		checksums: map[string]uint32{},
 		report: &IngestReport{
 			Logical: logical,
 			NAtoms:  structure.NAtoms(),
@@ -317,27 +393,67 @@ func (a *ADA) prepareIngest(logical string, pdbData []byte) (*ingestState, error
 	} else {
 		st.tagRanges = st.labels.TagRanges(a.opts.Granularity)
 	}
+	return st, nil
+}
 
-	// I/O determinator: create the container and the subset droppings.
+// prepareIngest runs the structure analysis and creates the container, the
+// ingest journal, and the staged subset droppings.
+func (a *ADA) prepareIngest(logical string, pdbData []byte) (*ingestState, error) {
+	st, err := a.analyzeIngest(logical, pdbData)
+	if err != nil {
+		return nil, err
+	}
+	structure := st.structure
+
+	// I/O determinator: create the container, start the ingest journal,
+	// then create the subset droppings under staging names. Nothing under
+	// a final name exists until commit, so a crash anywhere in here leaves
+	// only journaled staging state that Recover can classify.
 	if err := a.containers.CreateContainer(logical); err != nil {
 		return nil, err
+	}
+	j, err := a.openJournal(logical)
+	if err != nil {
+		return nil, fmt.Errorf("core: ingest %s: %w", logical, err)
+	}
+	st.journal = j
+	begin := &journalRecord{
+		Type:        journalBegin,
+		Logical:     logical,
+		Granularity: st.granularityName,
+		NAtoms:      structure.NAtoms(),
+	}
+	for _, tag := range sortedTags(st.tagRanges) {
+		begin.Tags = append(begin.Tags, journalTag{
+			Tag:     tag,
+			Backend: a.backendFor(tag),
+			NAtoms:  st.tagRanges[tag].Count(),
+			Ranges:  st.tagRanges[tag].String(),
+		})
+	}
+	if err := j.append(begin); err != nil {
+		st.abort()
+		return nil, fmt.Errorf("core: ingest %s: %w", logical, err)
 	}
 	for _, tag := range sortedTags(st.tagRanges) {
 		ranges := st.tagRanges[tag]
 		be := a.backendFor(tag)
-		f, err := a.containers.CreateDropping(logical, subsetPrefix+tag, be)
+		f, err := a.containers.CreateDropping(logical, stagingPrefix+subsetPrefix+tag, be)
 		if err != nil {
-			st.closeAll()
+			st.abort()
 			return nil, fmt.Errorf("core: ingest %s: %w", logical, err)
 		}
+		tee := &crcTee{f: f, enabled: !a.opts.DisableChecksums}
 		st.writers = append(st.writers, &subsetWriter{
 			tag:     tag,
 			backend: be,
 			file:    f,
-			w:       xtc.NewRawWriter(f),
+			tee:     tee,
+			w:       xtc.NewRawWriter(tee),
 			indices: ranges.Indices(),
 			natoms:  ranges.Count(),
 		})
+		st.staged = append(st.staged, subsetPrefix+tag)
 	}
 	return st, nil
 }
@@ -346,6 +462,17 @@ func (st *ingestState) closeAll() {
 	for _, sw := range st.writers {
 		sw.file.Close()
 	}
+}
+
+// abort tears an interrupted ingest down: close everything and roll the
+// container back best-effort (a crashed process skips this — that is what
+// the journal and Recover are for).
+func (st *ingestState) abort() {
+	st.closeAll()
+	if st.journal != nil {
+		st.journal.close()
+	}
+	st.a.containers.RemoveContainer(st.logical)
 }
 
 // writeFrame validates one decoded frame, accounts it, and appends it to
@@ -363,32 +490,77 @@ func (st *ingestState) writeFrame(frame *xtc.Frame, compressedBytes int64) error
 		}
 	}
 	st.report.Frames++
+	if st.journal != nil && st.report.Frames%journalCkptEvery == 0 {
+		if err := st.checkpoint(); err != nil {
+			return fmt.Errorf("core: ingest %s: %w", st.logical, err)
+		}
+	}
 	return nil
 }
 
-// finish persists indexes, structure, labels, and manifest, and stamps the
-// report.
+// checkpoint journals the current durable high-water mark: frame count and
+// per-subset byte length plus running CRC32C. ResumeIngest truncates the
+// staged droppings back to the latest checkpoint and continues from there.
+// Only the serial ingest paths checkpoint (the parallel path's writers race
+// ahead of each other, so no consistent cut exists mid-flight).
+func (st *ingestState) checkpoint() error {
+	rec := &journalRecord{
+		Type:       journalCkpt,
+		Frames:     st.report.Frames,
+		Compressed: st.report.Compressed,
+		Raw:        st.report.Raw,
+		Subsets:    map[string]journalSubset{},
+	}
+	for _, sw := range st.writers {
+		rec.Subsets[sw.tag] = journalSubset{Bytes: sw.storedBytes(), CRC: sw.tee.total}
+	}
+	return st.journal.append(rec)
+}
+
+// writeStaged writes one non-subset dropping under its staging name,
+// records it for the commit rename pass, and folds its CRC32C into the
+// manifest's integrity map.
+func (st *ingestState) writeStaged(name, backend string, data []byte) error {
+	if err := st.a.writeDropping(st.logical, stagingPrefix+name, backend, data); err != nil {
+		return err
+	}
+	st.staged = append(st.staged, name)
+	if !st.a.opts.DisableChecksums {
+		st.checksums[name] = xtc.CRC32C(data)
+	}
+	return nil
+}
+
+// finish stages the metadata droppings (indexes, structure, labels, any
+// extras, and replica copies), then commits: journal commit record, rename
+// every staged dropping to its final name, publish the manifest last (its
+// rename is the atomic commit point), and retire the journal.
 func (st *ingestState) finish(start float64) (*IngestReport, error) {
 	a := st.a
 	// Persist each subset's frame index next to its dropping, enabling
 	// random-access playback without a scan.
 	for _, sw := range st.writers {
-		if err := a.writeDropping(st.logical, indexPrefix+sw.tag, sw.backend,
+		if err := st.writeStaged(indexPrefix+sw.tag, sw.backend,
 			sw.ib.Index().Marshal()); err != nil {
 			return nil, err
 		}
 	}
 
-	// Persist structure, labels, manifest.
-	if err := a.writeDropping(st.logical, droppingPDB, a.backendFor(TagProtein), st.pdbData); err != nil {
+	// Persist structure, labels, and any variant extras.
+	if err := st.writeStaged(droppingPDB, a.backendFor(TagProtein), st.pdbData); err != nil {
 		return nil, err
 	}
 	labelBytes, err := st.labels.Marshal()
 	if err != nil {
 		return nil, err
 	}
-	if err := a.writeDropping(st.logical, droppingLabels, a.backendFor(TagProtein), labelBytes); err != nil {
+	if err := st.writeStaged(droppingLabels, a.backendFor(TagProtein), labelBytes); err != nil {
 		return nil, err
+	}
+	for _, ex := range st.extra {
+		if err := st.writeStaged(ex.name, ex.backend, ex.data); err != nil {
+			return nil, err
+		}
 	}
 
 	manifest := &Manifest{
@@ -402,21 +574,40 @@ func (st *ingestState) finish(start float64) (*IngestReport, error) {
 		Placement:   map[string]string{},
 	}
 	for _, sw := range st.writers {
-		st.report.Subsets[sw.tag] = sw.w.BytesWritten()
-		manifest.Subsets[sw.tag] = Subset{
+		st.report.Subsets[sw.tag] = sw.storedBytes()
+		sub := Subset{
 			Tag:     sw.tag,
 			NAtoms:  sw.natoms,
-			Bytes:   sw.w.BytesWritten(),
+			Bytes:   sw.storedBytes(),
 			Backend: sw.backend,
 			Ranges:  st.tagRanges[sw.tag].String(),
 		}
+		if sw.tee.enabled {
+			sub.CRC32C = sw.tee.total
+		}
+		// Replicate off-default subsets onto the bulk backend so reads
+		// survive a corrupted or down primary.
+		if a.opts.ReplicateActive && sw.backend != a.defaultBE {
+			data, err := a.readDropping(st.logical, stagingPrefix+subsetPrefix+sw.tag)
+			if err != nil {
+				return nil, fmt.Errorf("core: replicate %s: %w", sw.tag, err)
+			}
+			if err := st.writeStaged(replicaPrefix+subsetPrefix+sw.tag, a.defaultBE, data); err != nil {
+				return nil, err
+			}
+			if err := st.writeStaged(replicaPrefix+indexPrefix+sw.tag, a.defaultBE,
+				sw.ib.Index().Marshal()); err != nil {
+				return nil, err
+			}
+			sub.Replica = a.defaultBE
+		}
+		manifest.Subsets[sw.tag] = sub
 		manifest.Placement[sw.tag] = sw.backend
 	}
-	manifestBytes, err := manifest.marshal()
-	if err != nil {
-		return nil, err
+	if len(st.checksums) > 0 {
+		manifest.Checksums = st.checksums
 	}
-	if err := a.writeDropping(st.logical, droppingManifest, a.backendFor(TagProtein), manifestBytes); err != nil {
+	if err := st.commit(manifest); err != nil {
 		return nil, err
 	}
 	if a.env != nil {
@@ -430,6 +621,45 @@ func (st *ingestState) finish(start float64) (*IngestReport, error) {
 		a.im.bytesWritten.Add(n)
 	}
 	return st.report, nil
+}
+
+// commit publishes the dataset. The sequence is crash-ordered: the commit
+// record makes the ingest replayable before any final name exists, the
+// per-dropping renames are each atomic, and the manifest rename — the one
+// readers gate on — happens strictly last. Whatever op a crash lands on,
+// the container is either invisible to readers or fully consistent.
+func (st *ingestState) commit(manifest *Manifest) error {
+	a := st.a
+	if st.journal != nil {
+		rec := &journalRecord{Type: journalCommit, Staged: st.staged, Manifest: manifest}
+		if err := st.journal.append(rec); err != nil {
+			return fmt.Errorf("core: commit %s: %w", st.logical, err)
+		}
+		if err := st.journal.close(); err != nil {
+			return fmt.Errorf("core: commit %s: %w", st.logical, err)
+		}
+	}
+	for _, name := range st.staged {
+		if err := a.containers.RenameDropping(st.logical, stagingPrefix+name, name); err != nil {
+			return fmt.Errorf("core: commit %s: %w", st.logical, err)
+		}
+	}
+	manifestBytes, err := manifest.marshal()
+	if err != nil {
+		return err
+	}
+	if err := a.writeDropping(st.logical, stagingPrefix+droppingManifest,
+		a.backendFor(TagProtein), manifestBytes); err != nil {
+		return err
+	}
+	if err := a.containers.RenameDropping(st.logical, stagingPrefix+droppingManifest, droppingManifest); err != nil {
+		return fmt.Errorf("core: commit %s: %w", st.logical, err)
+	}
+	// The dataset is live; the journal is now only bookkeeping.
+	if err := a.containers.RemoveDropping(st.logical, droppingJournal); err != nil {
+		return fmt.Errorf("core: commit %s: %w", st.logical, err)
+	}
+	return nil
 }
 
 func (a *ADA) writeDropping(logical, name, backend string, data []byte) error {

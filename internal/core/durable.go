@@ -1,0 +1,427 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/vfs"
+	"repro/internal/xtc"
+)
+
+// Crash-consistent ingest.
+//
+// An in-flight ingest never touches a final dropping name. Every payload is
+// written under a "staging." name while an append-only journal dropping
+// records what the ingest is doing:
+//
+//	begin  — identity of the ingest: tags, backends, atom ranges
+//	ckpt   — durable high-water mark: frames, per-subset bytes + CRC32C
+//	commit — the full manifest plus the list of staged droppings
+//
+// Commit then renames every staged dropping to its final name and publishes
+// the manifest last; the manifest rename is the single atomic commit point
+// readers gate on. A crash at any op therefore leaves the container in
+// exactly one of three states: invisible to readers (no manifest), fully
+// consistent (manifest present), or mid-commit with a replayable journal.
+// Recover classifies each container and rolls it back, replays the commit,
+// or sweeps leftovers; ResumeIngest instead continues an interrupted ingest
+// from its last checkpoint.
+
+// Journal record types.
+const (
+	journalBegin  = "begin"
+	journalCkpt   = "ckpt"
+	journalCommit = "commit"
+)
+
+// journalCkptEvery is the serial ingest checkpoint interval in frames.
+const journalCkptEvery = 32
+
+// journalRecord is one line of the ingest journal.
+type journalRecord struct {
+	Type string `json:"type"`
+	// begin fields.
+	Logical     string       `json:"logical,omitempty"`
+	Granularity string       `json:"granularity,omitempty"`
+	NAtoms      int          `json:"natoms,omitempty"`
+	Tags        []journalTag `json:"tags,omitempty"`
+	// ckpt fields.
+	Frames     int                      `json:"frames,omitempty"`
+	Compressed int64                    `json:"compressed,omitempty"`
+	Raw        int64                    `json:"raw,omitempty"`
+	Subsets    map[string]journalSubset `json:"subsets,omitempty"`
+	// commit fields.
+	Staged   []string  `json:"staged,omitempty"`
+	Manifest *Manifest `json:"manifest,omitempty"`
+}
+
+// journalTag names one subset the ingest is producing.
+type journalTag struct {
+	Tag     string `json:"tag"`
+	Backend string `json:"backend"`
+	NAtoms  int    `json:"natoms"`
+	Ranges  string `json:"ranges"`
+}
+
+// journalSubset is one subset's durable high-water mark at a checkpoint.
+type journalSubset struct {
+	Bytes int64  `json:"bytes"`
+	CRC   uint32 `json:"crc"`
+}
+
+// journalWriter appends records to the open journal dropping.
+type journalWriter struct {
+	f vfs.File
+}
+
+func (a *ADA) openJournal(logical string) (*journalWriter, error) {
+	// The journal lives on the canonical (first) backend, beside the
+	// container index.
+	f, err := a.containers.CreateDropping(logical, droppingJournal, a.containers.Backends()[0])
+	if err != nil {
+		return nil, err
+	}
+	return &journalWriter{f: f}, nil
+}
+
+func (j *journalWriter) append(rec *journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("core: journal: %w", err)
+	}
+	return nil
+}
+
+func (j *journalWriter) close() error { return j.f.Close() }
+
+// readJournal parses a container's journal. A torn final line (the crash
+// landed mid-append) is silently dropped — everything before it is intact
+// by construction.
+func (a *ADA) readJournal(logical string) ([]journalRecord, error) {
+	data, err := a.readDropping(logical, droppingJournal)
+	if err != nil {
+		return nil, err
+	}
+	var recs []journalRecord
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// RecoveryAction reports what Recover did to one container.
+type RecoveryAction string
+
+const (
+	// RecoveryClean: the dataset was committed; nothing to do.
+	RecoveryClean RecoveryAction = "clean"
+	// RecoverySwept: committed, but a leftover journal or staging
+	// dropping from the post-commit window was removed.
+	RecoverySwept RecoveryAction = "swept"
+	// RecoveryCommitted: the crash landed after the journal's commit
+	// record; the interrupted commit was replayed to completion.
+	RecoveryCommitted RecoveryAction = "committed"
+	// RecoveryRolledBack: the ingest never reached commit; the container
+	// was removed.
+	RecoveryRolledBack RecoveryAction = "rolledback"
+)
+
+// Recover classifies every container and repairs each interrupted ingest:
+// committed datasets are left alone (stray staging state swept), ingests
+// that journaled a commit record are replayed to completion, and everything
+// else is rolled back. Call it once at startup before serving reads.
+func (a *ADA) Recover() (map[string]RecoveryAction, error) {
+	names, err := a.containers.ListContainers()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]RecoveryAction, len(names))
+	for _, logical := range names {
+		act, err := a.RecoverDataset(logical)
+		if err != nil {
+			return out, fmt.Errorf("core: recover %s: %w", logical, err)
+		}
+		out[logical] = act
+	}
+	return out, nil
+}
+
+// RecoverDataset runs crash recovery for one container.
+func (a *ADA) RecoverDataset(logical string) (RecoveryAction, error) {
+	if data, err := a.readDropping(logical, droppingManifest); err == nil {
+		if _, err := unmarshalManifest(data); err == nil {
+			return a.sweepCommitted(logical)
+		}
+	}
+	recs, err := a.readJournal(logical)
+	if err != nil || len(recs) == 0 {
+		// No manifest and no usable journal: the crash landed before the
+		// begin record became durable. Nothing is recoverable.
+		return a.rollback(logical)
+	}
+	last := recs[len(recs)-1]
+	if last.Type == journalCommit && last.Manifest != nil {
+		return a.replayCommit(logical, &last)
+	}
+	return a.rollback(logical)
+}
+
+func (a *ADA) rollback(logical string) (RecoveryAction, error) {
+	if err := a.containers.RemoveContainer(logical); err != nil {
+		return "", err
+	}
+	return RecoveryRolledBack, nil
+}
+
+// sweepCommitted removes post-commit leftovers (the journal, stray staging
+// droppings) from a dataset whose manifest already landed.
+func (a *ADA) sweepCommitted(logical string) (RecoveryAction, error) {
+	idx, err := a.containers.Index(logical)
+	if err != nil {
+		return "", err
+	}
+	swept := false
+	for _, d := range idx {
+		if d.Name == droppingJournal || strings.HasPrefix(d.Name, stagingPrefix) {
+			if err := a.containers.RemoveDropping(logical, d.Name); err != nil {
+				return "", err
+			}
+			swept = true
+		}
+	}
+	if swept {
+		return RecoverySwept, nil
+	}
+	return RecoveryClean, nil
+}
+
+// replayCommit finishes an interrupted commit idempotently: every staged
+// dropping that has not yet reached its final name is renamed, the manifest
+// is republished from the journal's commit record, and the journal retired.
+func (a *ADA) replayCommit(logical string, rec *journalRecord) (RecoveryAction, error) {
+	for _, name := range rec.Staged {
+		if _, err := a.containers.StatDropping(logical, name); err == nil {
+			continue // this rename already happened before the crash
+		}
+		if _, err := a.containers.StatDropping(logical, stagingPrefix+name); err != nil {
+			// Neither staged nor final exists: the commit record promised
+			// a dropping that is gone. Nothing trustworthy to publish.
+			return a.rollback(logical)
+		}
+		if err := a.containers.RenameDropping(logical, stagingPrefix+name, name); err != nil {
+			return "", err
+		}
+	}
+	manifestBytes, err := rec.Manifest.marshal()
+	if err != nil {
+		return "", err
+	}
+	if err := a.writeDropping(logical, stagingPrefix+droppingManifest,
+		a.backendFor(TagProtein), manifestBytes); err != nil {
+		return "", err
+	}
+	if err := a.containers.RenameDropping(logical, stagingPrefix+droppingManifest, droppingManifest); err != nil {
+		return "", err
+	}
+	if err := a.containers.RemoveDropping(logical, droppingJournal); err != nil {
+		return "", err
+	}
+	return RecoveryCommitted, nil
+}
+
+// ResumeIngest continues an interrupted ingest from its last journaled
+// checkpoint instead of rolling it back: the staged subsets are truncated
+// to the checkpoint (dropping any unjournaled tail), their index builders
+// and running checksums are reconstructed from the surviving bytes, the
+// already-persisted frames are skipped on the source stream, and the
+// ingest then runs to a normal atomic commit. pdbData and traj must be the
+// same inputs the interrupted ingest was given.
+func (a *ADA) ResumeIngest(logical string, pdbData []byte, traj io.Reader) (*IngestReport, error) {
+	var start float64
+	if a.env != nil {
+		start = a.env.Clock.Now()
+	}
+	recs, err := a.readJournal(logical)
+	if err != nil {
+		return nil, fmt.Errorf("core: resume %s: no journal (nothing to resume): %w", logical, err)
+	}
+	if len(recs) == 0 || recs[0].Type != journalBegin {
+		return nil, fmt.Errorf("core: resume %s: journal has no begin record; run Recover", logical)
+	}
+	begin := recs[0]
+	ck := journalRecord{Type: journalCkpt} // zero checkpoint: restart from frame 0
+	for _, rec := range recs[1:] {
+		switch rec.Type {
+		case journalCkpt:
+			ck = rec
+		case journalCommit:
+			return nil, fmt.Errorf("core: resume %s: ingest already committed; run Recover", logical)
+		}
+	}
+
+	st, err := a.analyzeIngest(logical, pdbData)
+	if err != nil {
+		return nil, err
+	}
+	if st.structure.NAtoms() != begin.NAtoms {
+		return nil, fmt.Errorf("core: resume %s: structure has %d atoms, journal began with %d",
+			logical, st.structure.NAtoms(), begin.NAtoms)
+	}
+	tags := sortedTags(st.tagRanges)
+	if len(tags) != len(begin.Tags) {
+		return nil, fmt.Errorf("core: resume %s: categorization yields %d tags, journal began with %d",
+			logical, len(tags), len(begin.Tags))
+	}
+	for i, tag := range tags {
+		if begin.Tags[i].Tag != tag || begin.Tags[i].Ranges != st.tagRanges[tag].String() {
+			return nil, fmt.Errorf("core: resume %s: tag %q does not match the journaled ingest", logical, tag)
+		}
+	}
+
+	// Rebuild each subset writer over the checkpointed prefix of its
+	// staged dropping.
+	for _, tag := range tags {
+		mark := ck.Subsets[tag] // zero value when no checkpoint was reached
+		prefix, err := a.readDropping(logical, stagingPrefix+subsetPrefix+tag)
+		if err != nil {
+			if mark.Bytes == 0 && errors.Is(err, vfs.ErrNotExist) {
+				prefix = nil // the crash predates this dropping; recreate it empty
+			} else {
+				st.closeAll()
+				return nil, fmt.Errorf("core: resume %s subset %s: %w", logical, tag, err)
+			}
+		}
+		if int64(len(prefix)) < mark.Bytes {
+			st.closeAll()
+			return nil, fmt.Errorf("core: resume %s subset %s: staged dropping is %d bytes, checkpoint says %d",
+				logical, tag, len(prefix), mark.Bytes)
+		}
+		prefix = prefix[:mark.Bytes]
+		var prefixCRC uint32
+		if !a.opts.DisableChecksums {
+			prefixCRC = xtc.CRC32C(prefix)
+			if mark.CRC != 0 && prefixCRC != mark.CRC {
+				st.closeAll()
+				return nil, fmt.Errorf("core: resume %s subset %s: checkpointed prefix fails its checksum: %w",
+					logical, tag, vfs.ErrCorrupted)
+			}
+		}
+		var idx *xtc.Index
+		if len(prefix) > 0 {
+			idx, err = xtc.BuildIndexChecksummed(bytes.NewReader(prefix), int64(len(prefix)))
+			if err != nil {
+				st.closeAll()
+				return nil, fmt.Errorf("core: resume %s subset %s: %w", logical, tag, err)
+			}
+			if idx.Frames() != ck.Frames {
+				st.closeAll()
+				return nil, fmt.Errorf("core: resume %s subset %s: prefix holds %d frames, checkpoint says %d",
+					logical, tag, idx.Frames(), ck.Frames)
+			}
+		}
+		be := a.backendFor(tag)
+		f, err := a.containers.CreateDropping(logical, stagingPrefix+subsetPrefix+tag, be)
+		if err != nil {
+			st.closeAll()
+			return nil, fmt.Errorf("core: resume %s: %w", logical, err)
+		}
+		if len(prefix) > 0 {
+			if _, err := f.Write(prefix); err != nil {
+				f.Close()
+				st.closeAll()
+				return nil, fmt.Errorf("core: resume %s subset %s: %w", logical, tag, err)
+			}
+		}
+		tee := &crcTee{f: f, enabled: !a.opts.DisableChecksums, total: prefixCRC}
+		sw := &subsetWriter{
+			tag:     tag,
+			backend: be,
+			file:    f,
+			tee:     tee,
+			w:       xtc.NewRawWriter(tee),
+			indices: st.tagRanges[tag].Indices(),
+			natoms:  st.tagRanges[tag].Count(),
+			base:    mark.Bytes,
+		}
+		if idx != nil {
+			for i := 0; i < idx.Frames(); i++ {
+				if tee.enabled {
+					sw.ib.AddWithCRC(idx.Size(i), idx.NAtoms(i), idx.CRC(i))
+				} else {
+					sw.ib.Add(idx.Size(i), idx.NAtoms(i))
+				}
+			}
+		}
+		st.writers = append(st.writers, sw)
+		st.staged = append(st.staged, subsetPrefix+tag)
+	}
+	st.report.Frames = ck.Frames
+	st.report.Compressed = ck.Compressed
+	st.report.Raw = ck.Raw
+
+	// Rewrite the journal compactly: the original begin record plus one
+	// checkpoint at the resume point.
+	j, err := a.openJournal(logical)
+	if err != nil {
+		st.closeAll()
+		return nil, fmt.Errorf("core: resume %s: %w", logical, err)
+	}
+	st.journal = j
+	if err := j.append(&begin); err != nil {
+		st.abort()
+		return nil, fmt.Errorf("core: resume %s: %w", logical, err)
+	}
+	if ck.Frames > 0 {
+		if err := st.checkpoint(); err != nil {
+			st.abort()
+			return nil, fmt.Errorf("core: resume %s: %w", logical, err)
+		}
+	}
+
+	// Skip the frames the checkpoint already persisted, then ingest the
+	// rest exactly like the serial path.
+	in := &countingReader{r: traj}
+	reader := xtc.NewReader(in)
+	for i := 0; i < ck.Frames; i++ {
+		if _, err := reader.ReadFrame(); err != nil {
+			st.closeAll()
+			return nil, fmt.Errorf("core: resume %s: source ended at frame %d, checkpoint has %d: %w",
+				logical, i, ck.Frames, err)
+		}
+	}
+	for {
+		before := in.n
+		frame, err := reader.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			st.closeAll()
+			return nil, fmt.Errorf("core: resume %s frame %d: %w", logical, st.report.Frames, err)
+		}
+		consumed := in.n - before
+		a.chargeCPU("decompress", a.opts.Cost.decompressTime(consumed))
+		a.chargeCPU("categorize", a.opts.Cost.categorizeTime(xtc.RawFrameSize(frame.NAtoms())))
+		if err := st.writeFrame(frame, consumed); err != nil {
+			st.closeAll()
+			return nil, err
+		}
+	}
+	st.closeAll()
+	return st.finish(start)
+}

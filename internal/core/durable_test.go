@@ -1,0 +1,759 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/metrics"
+	"repro/internal/plfs"
+	"repro/internal/vfs"
+	"repro/internal/xtc"
+)
+
+// durableDroppings are the droppings a committed coarse-granularity dataset
+// holds; crash and resume tests compare each byte-for-byte against a clean
+// ingest.
+var durableDroppings = []string{
+	"subset.p", "subset.m", "index.p", "index.m",
+	"structure.pdb", "labels.json", "manifest.json",
+}
+
+// crashIngest runs one ingest attempt with the injector's faults applied to
+// both backends and returns the raw (fault-free) backends for post-crash
+// inspection. The ingest error, if any, is deliberately discarded: a fired
+// kill rule is the simulated crash, and even the rollback inside Ingest's
+// error path fails through the dead file system, exactly like a real crash.
+func crashIngest(t *testing.T, in *faultfs.Injector, pdbBytes, traj []byte) (*vfs.MemFS, *vfs.MemFS) {
+	t.Helper()
+	ssd, hdd := vfs.NewMemFS(), vfs.NewMemFS()
+	store, err := plfs.New(
+		plfs.Backend{Name: "ssd", FS: faultfs.Wrap(ssd, in), Mount: "/mnt1"},
+		plfs.Backend{Name: "hdd", FS: faultfs.Wrap(hdd, in), Mount: "/mnt2"},
+	)
+	if err != nil {
+		return ssd, hdd // the kill landed inside store construction
+	}
+	a := New(store, nil, Options{Metrics: metrics.NewRegistry()})
+	a.Ingest("/ds", pdbBytes, bytes.NewReader(traj))
+	return ssd, hdd
+}
+
+// rebootADA rebuilds the storage stack over the raw backends, the way a
+// process restart after a crash would.
+func rebootADA(t *testing.T, ssd, hdd *vfs.MemFS) *ADA {
+	t.Helper()
+	store, err := plfs.New(
+		plfs.Backend{Name: "ssd", FS: ssd, Mount: "/mnt1"},
+		plfs.Backend{Name: "hdd", FS: hdd, Mount: "/mnt2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(store, nil, Options{Metrics: metrics.NewRegistry()})
+}
+
+// countOps measures how many backend operations one clean ingest performs,
+// using a rule that can never fire so the injector only observes.
+func countOps(t *testing.T, pdbBytes, traj []byte) int64 {
+	t.Helper()
+	probe := faultfs.MustNew(1, faultfs.Rule{Kind: faultfs.KindErr, Op: "no-such-op", Nth: 1})
+	crashIngest(t, probe, pdbBytes, traj)
+	total := probe.Ops()
+	if total < 20 {
+		t.Fatalf("probe ingest saw only %d backend ops", total)
+	}
+	return total
+}
+
+func readSubsetFrames(t *testing.T, a *ADA, logical, tag string) []*xtc.Frame {
+	t.Helper()
+	sr, err := a.OpenSubset(logical, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	var out []*xtc.Frame
+	for {
+		f, err := sr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// sameFrames reports exact (bitwise) equality — failover must serve the
+// byte-identical replica, so even float equality is strict here.
+func sameFrames(a, b []*xtc.Frame) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Step != b[i].Step || len(a[i].Coords) != len(b[i].Coords) {
+			return false
+		}
+		for j := range a[i].Coords {
+			if a[i].Coords[j] != b[i].Coords[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCrashMatrix sweeps a kill-after-Nth-op fault across every backend
+// operation of an ingest. After each simulated crash the stack is rebuilt
+// over the surviving bytes and recovered; the invariant is that the
+// container is then either absent or byte-identical to a clean ingest —
+// never torn.
+func TestCrashMatrix(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 3)
+
+	golden, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+	if _, err := golden.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+	goldenBytes := map[string][]byte{}
+	for _, name := range durableDroppings {
+		data, err := golden.readDropping("/ds", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenBytes[name] = data
+	}
+	goldenFrames := readSubsetFrames(t, golden, "/ds", TagProtein)
+
+	total := countOps(t, pdbBytes, traj)
+	var committed, rolledBack int
+	for n := int64(1); n <= total; n++ {
+		in := faultfs.MustNew(1, faultfs.Rule{Kind: faultfs.KindKill, Nth: int(n)})
+		ssd, hdd := crashIngest(t, in, pdbBytes, traj)
+		a := rebootADA(t, ssd, hdd)
+		if _, err := a.Recover(); err != nil {
+			t.Fatalf("kill %d/%d: recover: %v", n, total, err)
+		}
+
+		if _, err := a.Manifest("/ds"); err != nil {
+			// Not readable => recovery must have rolled the container back
+			// entirely; nothing may linger on either backend.
+			names, lerr := a.Datasets()
+			if lerr != nil {
+				t.Fatalf("kill %d/%d: list after rollback: %v", n, total, lerr)
+			}
+			if len(names) != 0 {
+				t.Fatalf("kill %d/%d: manifest unreadable but containers remain: %v", n, total, names)
+			}
+			rolledBack++
+			continue
+		}
+		committed++
+
+		// Committed: every dropping byte-identical to the clean ingest, no
+		// ingest leftovers, and the tagged reads fully served.
+		for _, name := range durableDroppings {
+			got, err := a.readDropping("/ds", name)
+			if err != nil {
+				t.Fatalf("kill %d/%d: read %s: %v", n, total, name, err)
+			}
+			if !bytes.Equal(got, goldenBytes[name]) {
+				t.Fatalf("kill %d/%d: %s differs from clean ingest", n, total, name)
+			}
+		}
+		idx, err := a.containers.Index("/ds")
+		if err != nil {
+			t.Fatalf("kill %d/%d: index: %v", n, total, err)
+		}
+		for _, d := range idx {
+			if d.Name == droppingJournal || strings.HasPrefix(d.Name, stagingPrefix) {
+				t.Fatalf("kill %d/%d: leftover %s survived recovery", n, total, d.Name)
+			}
+		}
+		if got := readSubsetFrames(t, a, "/ds", TagProtein); !sameFrames(got, goldenFrames) {
+			t.Fatalf("kill %d/%d: recovered protein subset reads differ", n, total)
+		}
+	}
+	// The sweep must exercise both recovery outcomes: early kills roll
+	// back, kills inside the commit window replay to completion.
+	if rolledBack == 0 || committed == 0 {
+		t.Fatalf("sweep over %d kill points: %d rollbacks, %d commits — both must occur",
+			total, rolledBack, committed)
+	}
+	t.Logf("crash matrix: %d kill points, %d rolled back, %d committed", total, rolledBack, committed)
+}
+
+// TestRecoverActions checks each recovery classification directly.
+func TestRecoverActions(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 3)
+	a, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+	if _, err := a.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A committed dataset is untouched.
+	acts, err := a.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acts["/ds"] != RecoveryClean {
+		t.Errorf("clean dataset recovered as %q", acts["/ds"])
+	}
+
+	// A leftover journal beside a committed manifest is swept.
+	if err := a.writeDropping("/ds", droppingJournal, a.containers.Backends()[0], []byte("{}\n")); err != nil {
+		t.Fatal(err)
+	}
+	act, err := a.RecoverDataset("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act != RecoverySwept {
+		t.Errorf("leftover journal recovered as %q, want swept", act)
+	}
+	if _, err := a.containers.StatDropping("/ds", droppingJournal); err == nil {
+		t.Error("journal survived the sweep")
+	}
+
+	// A journaled commit record is replayed: the staged dropping renamed,
+	// the manifest republished, the journal retired.
+	m, err := a.Manifest("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := a.openJournal("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(&journalRecord{Type: journalBegin, Logical: "/ds", NAtoms: m.NAtoms}); err != nil {
+		t.Fatal(err)
+	}
+	rec := &journalRecord{Type: journalCommit, Staged: []string{subsetPrefix + TagMisc}, Manifest: m}
+	if err := j.append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.containers.RenameDropping("/ds", subsetPrefix+TagMisc, stagingPrefix+subsetPrefix+TagMisc); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.containers.RemoveDropping("/ds", droppingManifest); err != nil {
+		t.Fatal(err)
+	}
+	act, err = a.RecoverDataset("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act != RecoveryCommitted {
+		t.Errorf("interrupted commit recovered as %q, want committed", act)
+	}
+	if _, err := a.Manifest("/ds"); err != nil {
+		t.Errorf("manifest not republished: %v", err)
+	}
+	if _, err := a.containers.StatDropping("/ds", subsetPrefix+TagMisc); err != nil {
+		t.Errorf("staged dropping not renamed: %v", err)
+	}
+	if _, err := a.containers.StatDropping("/ds", droppingJournal); err == nil {
+		t.Error("journal survived the replay")
+	}
+	if got := readSubsetFrames(t, a, "/ds", TagMisc); len(got) != 3 {
+		t.Errorf("replayed subset serves %d frames, want 3", len(got))
+	}
+
+	// A begin-only journal (the ingest died before commit) rolls back.
+	if err := a.containers.CreateContainer("/torn"); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := a.openJournal("/torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.append(&journalRecord{Type: journalBegin, Logical: "/torn"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.close(); err != nil {
+		t.Fatal(err)
+	}
+	acts, err = a.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acts["/torn"] != RecoveryRolledBack || acts["/ds"] != RecoveryClean {
+		t.Errorf("recover actions = %v", acts)
+	}
+	names, err := a.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "/ds" {
+		t.Errorf("datasets after rollback = %v", names)
+	}
+}
+
+// TestResumeIngestFromCheckpoint crashes an ingest after its first journal
+// checkpoint, then resumes it against the same inputs and requires the
+// result to be byte-identical to an uninterrupted ingest.
+func TestResumeIngestFromCheckpoint(t *testing.T) {
+	frames := journalCkptEvery + 8
+	pdbBytes, traj, _ := testDataset(t, 200, frames)
+	golden, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+	if _, err := golden.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the first kill point whose crash state is a journal ending in a
+	// checkpoint: the frame loop past frame journalCkptEvery.
+	total := countOps(t, pdbBytes, traj)
+	var a *ADA
+	var ckFrames int
+	for n := int64(1); n <= total; n++ {
+		in := faultfs.MustNew(1, faultfs.Rule{Kind: faultfs.KindKill, Nth: int(n)})
+		ssd, hdd := crashIngest(t, in, pdbBytes, traj)
+		cand := rebootADA(t, ssd, hdd)
+		recs, err := cand.readJournal("/ds")
+		if err != nil || len(recs) == 0 {
+			continue
+		}
+		if last := recs[len(recs)-1]; last.Type == journalCkpt && last.Frames > 0 {
+			a, ckFrames = cand, last.Frames
+			break
+		}
+	}
+	if a == nil {
+		t.Fatal("no kill point left a checkpointed journal")
+	}
+	if ckFrames != journalCkptEvery {
+		t.Fatalf("crash state checkpoint at frame %d, want %d", ckFrames, journalCkptEvery)
+	}
+
+	// A mismatched structure file is rejected before anything is touched.
+	wrongPDB, _, _ := testDataset(t, 400, 1)
+	if _, err := a.ResumeIngest("/ds", wrongPDB, bytes.NewReader(traj)); err == nil {
+		t.Fatal("resume with a mismatched structure file should fail")
+	}
+
+	rep, err := a.ResumeIngest("/ds", pdbBytes, bytes.NewReader(traj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != frames {
+		t.Errorf("resumed report frames = %d, want %d", rep.Frames, frames)
+	}
+	for _, name := range durableDroppings {
+		want, err := golden.readDropping("/ds", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.readDropping("/ds", name)
+		if err != nil {
+			t.Fatalf("resumed dataset: read %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("resumed %s differs from the uninterrupted ingest", name)
+		}
+	}
+	res, err := a.Fsck("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("resumed dataset fails fsck: %+v", res.Verdicts)
+	}
+}
+
+// TestResumeIngestFromZero resumes an ingest that died before its first
+// checkpoint: everything restarts from frame zero under the same journal
+// identity and still commits byte-identically.
+func TestResumeIngestFromZero(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 5) // < journalCkptEvery: no checkpoint ever lands
+	golden, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+	if _, err := golden.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A committed dataset has no journal, so there is nothing to resume.
+	if _, err := golden.ResumeIngest("/ds", pdbBytes, bytes.NewReader(traj)); err == nil {
+		t.Fatal("resume of a committed dataset should fail")
+	}
+
+	total := countOps(t, pdbBytes, traj)
+	var a *ADA
+	for n := int64(1); n <= total; n++ {
+		in := faultfs.MustNew(1, faultfs.Rule{Kind: faultfs.KindKill, Nth: int(n)})
+		ssd, hdd := crashIngest(t, in, pdbBytes, traj)
+		cand := rebootADA(t, ssd, hdd)
+		recs, err := cand.readJournal("/ds")
+		if err != nil || len(recs) == 0 {
+			continue
+		}
+		if recs[len(recs)-1].Type == journalBegin {
+			a = cand
+			break
+		}
+	}
+	if a == nil {
+		t.Fatal("no kill point left a begin-only journal")
+	}
+
+	rep, err := a.ResumeIngest("/ds", pdbBytes, bytes.NewReader(traj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 5 {
+		t.Errorf("resumed report frames = %d, want 5", rep.Frames)
+	}
+	for _, name := range durableDroppings {
+		want, _ := golden.readDropping("/ds", name)
+		got, err := a.readDropping("/ds", name)
+		if err != nil {
+			t.Fatalf("resumed dataset: read %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("resumed %s differs from the uninterrupted ingest", name)
+		}
+	}
+}
+
+// TestReplicaFailover ingests with replication, corrupts the primary active
+// subset, and requires reads to be served byte-identically from the replica
+// with the failover counters incremented; with every copy corrupted the
+// read must surface vfs.ErrCorrupted.
+func TestReplicaFailover(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 5)
+	reg := metrics.NewRegistry()
+	a, ssd, hdd := newADA(t, nil, Options{ReplicateActive: true, Metrics: reg})
+	if _, err := a.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := a.Manifest("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Subsets[TagProtein].Replica != "hdd" {
+		t.Fatalf("protein subset replica = %q, want hdd", m.Subsets[TagProtein].Replica)
+	}
+	if m.Subsets[TagMisc].Replica != "" {
+		t.Fatalf("misc subset already lives on the bulk backend; replica = %q", m.Subsets[TagMisc].Replica)
+	}
+	prim, err := vfs.ReadFile(ssd, "/mnt1/ds/subset.p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := vfs.ReadFile(hdd, "/mnt2/ds/replica.subset.p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(prim, repl) {
+		t.Fatal("replica is not byte-identical to the primary")
+	}
+
+	golden := readSubsetFrames(t, a, "/ds", TagProtein)
+	if len(golden) != 5 {
+		t.Fatalf("clean read returns %d frames", len(golden))
+	}
+	if snap := reg.Snapshot(); snap.Counters["core.verify.frames"] < 5 {
+		t.Errorf("verify.frames = %d after a clean verified read", snap.Counters["core.verify.frames"])
+	}
+
+	// Flip one byte in the middle of the primary: a silent bit rot.
+	bad := append([]byte(nil), prim...)
+	bad[len(bad)/2] ^= 0xff
+	if err := vfs.WriteFile(ssd, "/mnt1/ds/subset.p", bad); err != nil {
+		t.Fatal(err)
+	}
+	got := readSubsetFrames(t, a, "/ds", TagProtein)
+	if !sameFrames(got, golden) {
+		t.Fatal("failover read differs from the clean read")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["core.verify.corrupted"] == 0 {
+		t.Error("corruption not counted under core.verify.corrupted")
+	}
+	if snap.Counters["core.failover.opens"] == 0 || snap.Counters["core.failover.reads"] == 0 {
+		t.Errorf("failover counters = opens %d, reads %d; want both > 0",
+			snap.Counters["core.failover.opens"], snap.Counters["core.failover.reads"])
+	}
+
+	// Random access fails over the same way.
+	rr, err := a.OpenSubsetAt("/ds", TagProtein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rr.Frames(); i++ {
+		f, err := rr.ReadFrameAt(i)
+		if err != nil {
+			t.Fatalf("random frame %d: %v", i, err)
+		}
+		if f.Step != golden[i].Step {
+			t.Fatalf("random frame %d step = %d, want %d", i, f.Step, golden[i].Step)
+		}
+	}
+	rr.Close()
+
+	// Corrupt the replica identically: now no copy verifies and the read
+	// must surface a typed corruption error.
+	badRepl := append([]byte(nil), repl...)
+	badRepl[len(badRepl)/2] ^= 0xff
+	if err := vfs.WriteFile(hdd, "/mnt2/ds/replica.subset.p", badRepl); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := a.OpenSubset("/ds", TagProtein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	var readErr error
+	for {
+		if _, readErr = sr.ReadFrame(); readErr != nil {
+			break
+		}
+	}
+	if readErr == io.EOF || !errors.Is(readErr, vfs.ErrCorrupted) {
+		t.Fatalf("read with every copy corrupted = %v, want vfs.ErrCorrupted", readErr)
+	}
+	if reg.Snapshot().Counters["core.failover.failures"] == 0 {
+		t.Error("exhausted failover not counted under core.failover.failures")
+	}
+}
+
+// TestFailoverPrimaryMissing serves a subset whose primary payload (and
+// index) are gone entirely — a downed or wiped fast tier.
+func TestFailoverPrimaryMissing(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 4)
+	reg := metrics.NewRegistry()
+	a, ssd, _ := newADA(t, nil, Options{ReplicateActive: true, Metrics: reg})
+	if _, err := a.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+	golden := readSubsetFrames(t, a, "/ds", TagProtein)
+
+	if err := ssd.Remove("/mnt1/ds/subset.p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ssd.Remove("/mnt1/ds/index.p"); err != nil {
+		t.Fatal(err)
+	}
+	got := readSubsetFrames(t, a, "/ds", TagProtein)
+	if !sameFrames(got, golden) {
+		t.Fatal("reads with the primary gone differ from the clean read")
+	}
+	if reg.Snapshot().Counters["core.failover.opens"] == 0 {
+		t.Error("replica opens not counted under core.failover.opens")
+	}
+}
+
+// TestFsckVerdicts drives every verdict class through one dataset.
+func TestFsckVerdicts(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 3)
+	a, _, hdd := newADA(t, nil, Options{ReplicateActive: true, Metrics: metrics.NewRegistry()})
+	if _, err := a.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := a.Fsck("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Corrupt != 0 || res.Missing != 0 {
+		t.Fatalf("clean dataset fsck = %+v", res)
+	}
+
+	// Corrupt the bulk subset payload.
+	data, err := vfs.ReadFile(hdd, "/mnt2/ds/subset.m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := vfs.WriteFile(hdd, "/mnt2/ds/subset.m", data); err != nil {
+		t.Fatal(err)
+	}
+	// And remove a checksummed metadata dropping from under the manifest.
+	if err := a.containers.RemoveDropping("/ds", droppingLabels); err != nil {
+		t.Fatal(err)
+	}
+	res, err = a.Fsck("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Corrupt != 1 || res.Missing != 1 {
+		t.Fatalf("damaged dataset fsck = corrupt %d, missing %d", res.Corrupt, res.Missing)
+	}
+	var sawFrameDetail bool
+	for _, v := range res.Verdicts {
+		if v.Name == subsetPrefix+TagMisc && v.Status == VerdictCorrupt &&
+			bytes.Contains([]byte(v.Detail), []byte("frame")) {
+			sawFrameDetail = true
+		}
+	}
+	if !sawFrameDetail {
+		t.Errorf("corrupt subset verdict does not localize the bad frame: %+v", res.Verdicts)
+	}
+
+	// A torn container (journal, staging droppings, no manifest) is all
+	// uncommitted.
+	if err := a.containers.CreateContainer("/torn"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.writeDropping("/torn", droppingJournal, "ssd", []byte(`{"type":"begin"}`+"\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.writeDropping("/torn", stagingPrefix+subsetPrefix+TagProtein, "ssd", []byte("half")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = a.Fsck("/torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Error("torn container reported as committed")
+	}
+	for _, v := range res.Verdicts {
+		if v.Status != VerdictUncommitted {
+			t.Errorf("torn container verdict %s = %q, want uncommitted", v.Name, v.Status)
+		}
+	}
+}
+
+// TestScrubber sweeps all datasets, reporting and counting the damage.
+func TestScrubber(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 3)
+	reg := metrics.NewRegistry()
+	a, ssd, _ := newADA(t, nil, Options{Metrics: reg})
+	if _, err := a.Ingest("/clean", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Ingest("/rotten", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := vfs.ReadFile(ssd, "/mnt1/rotten/subset.p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x80
+	if err := vfs.WriteFile(ssd, "/mnt1/rotten/subset.p", data); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := a.NewScrubber(0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Datasets != 2 || rep.Bytes == 0 {
+		t.Errorf("scrub report = %+v", rep)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0].Name != subsetPrefix+TagProtein {
+		t.Errorf("scrub corrupt list = %+v", rep.Corrupt)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["core.scrub.passes"] != 1 || snap.Counters["core.scrub.corrupted"] != 1 {
+		t.Errorf("scrub counters: passes %d, corrupted %d",
+			snap.Counters["core.scrub.passes"], snap.Counters["core.scrub.corrupted"])
+	}
+
+	// A heavily throttled background scrub must still stop promptly: Stop
+	// cancels the mid-pass rate-limit sleep.
+	s := a.NewScrubber(1) // 1 B/s: a full pass would nominally take hours
+	s.Start(time.Hour)
+	done := make(chan struct{})
+	go func() {
+		s.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop did not cancel a throttled scrub pass")
+	}
+}
+
+// TestChecksumsRecorded pins down what an ingest with checksums persists.
+func TestChecksumsRecorded(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 3)
+	a, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+	if _, err := a.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.Manifest("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range m.Tags() {
+		if m.Subsets[tag].CRC32C == 0 {
+			t.Errorf("subset %s has no stream checksum", tag)
+		}
+	}
+	for _, name := range []string{"index.p", "index.m", "structure.pdb", "labels.json"} {
+		want, ok := m.Checksums[name]
+		if !ok {
+			t.Errorf("manifest integrity map lacks %s", name)
+			continue
+		}
+		data, err := a.readDropping("/ds", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := xtc.CRC32C(data); got != want {
+			t.Errorf("%s stored CRC %08x, manifest says %08x", name, got, want)
+		}
+	}
+	idxBytes, err := a.readDropping("/ds", indexPrefix+TagProtein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := xtc.UnmarshalIndex(idxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.HasChecksums() {
+		t.Error("persisted index carries no per-frame checksums")
+	}
+}
+
+// TestDisableChecksums covers the benchmark escape hatch: no checksums
+// anywhere, reads fall back to the unverified path, fsck reports the
+// subsets as unverified rather than corrupt.
+func TestDisableChecksums(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 3)
+	a, _, _ := newADA(t, nil, Options{DisableChecksums: true, Metrics: metrics.NewRegistry()})
+	if _, err := a.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.Manifest("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Checksums) != 0 {
+		t.Errorf("checksums recorded despite DisableChecksums: %v", m.Checksums)
+	}
+	if m.Subsets[TagProtein].CRC32C != 0 {
+		t.Error("subset stream checksum recorded despite DisableChecksums")
+	}
+	if got := readSubsetFrames(t, a, "/ds", TagProtein); len(got) != 3 {
+		t.Errorf("unverified read returns %d frames, want 3", len(got))
+	}
+	res, err := a.Fsck("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("checksum-free dataset fails fsck: %+v", res.Verdicts)
+	}
+	var unverified int
+	for _, v := range res.Verdicts {
+		if v.Status == VerdictUnverified {
+			unverified++
+		}
+	}
+	if unverified == 0 {
+		t.Error("fsck reports nothing unverified on a checksum-free dataset")
+	}
+}

@@ -51,7 +51,7 @@ func (a *ADA) IngestWithStats(logical string, pdbData []byte, tr TrajectoryReade
 			break
 		}
 		if err != nil {
-			st.closeAll()
+			st.abort()
 			return nil, fmt.Errorf("core: ingest %s frame %d: %w", logical, st.report.Frames, err)
 		}
 		if tr.Compressed() {
@@ -61,23 +61,25 @@ func (a *ADA) IngestWithStats(logical string, pdbData []byte, tr TrajectoryReade
 		// The in-situ analysis pass reads every raw byte once more.
 		a.chargeCPU("insitu", a.opts.Cost.categorizeTime(xtc.RawFrameSize(frame.NAtoms())))
 		if err := st.writeFrame(frame, consumed); err != nil {
-			st.closeAll()
+			st.abort()
 			return nil, err
 		}
 		for i, sw := range st.writers {
 			sub, err := frame.Subset(sw.indices)
 			if err != nil {
-				st.closeAll()
+				st.abort()
 				return nil, err
 			}
 			if err := series[i].Add(sub); err != nil {
-				st.closeAll()
+				st.abort()
 				return nil, fmt.Errorf("core: in-situ stats %s: %w", sw.tag, err)
 			}
 		}
 	}
 	st.closeAll()
 
+	// The stats droppings ride the same atomic commit as the subsets: they
+	// are staged by finish and published only when the manifest lands.
 	for i, sw := range st.writers {
 		stats := &SubsetStats{
 			Tag:    sw.tag,
@@ -91,9 +93,7 @@ func (a *ADA) IngestWithStats(logical string, pdbData []byte, tr TrajectoryReade
 		if err != nil {
 			return nil, err
 		}
-		if err := a.writeDropping(logical, statsPrefix+sw.tag, sw.backend, data); err != nil {
-			return nil, err
-		}
+		st.addExtra(statsPrefix+sw.tag, sw.backend, data)
 	}
 	return st.finish(start)
 }

@@ -19,6 +19,11 @@ type Manifest struct {
 	Raw         int64             `json:"raw_bytes"`        // decompressed size
 	Subsets     map[string]Subset `json:"subsets"`          // tag -> subset info
 	Placement   map[string]string `json:"placement"`        // tag -> backend
+	// Checksums maps every non-subset dropping (structure, labels, stats,
+	// indexes, replicas) to its CRC32C, closing the integrity loop fsck
+	// walks. Subset droppings carry theirs in Subset.CRC32C plus the
+	// per-frame set in the v2 index. Empty on pre-checksum datasets.
+	Checksums map[string]uint32 `json:"checksums,omitempty"`
 }
 
 // Subset describes one tagged data subset.
@@ -28,6 +33,12 @@ type Subset struct {
 	Bytes   int64  `json:"bytes"`
 	Backend string `json:"backend"`
 	Ranges  string `json:"ranges"` // atom index ranges within the full system
+	// CRC32C is the whole-stream checksum of the subset dropping (zero on
+	// pre-checksum datasets or when checksumming is disabled).
+	CRC32C uint32 `json:"crc32c,omitempty"`
+	// Replica names the backend holding a byte-identical copy of this
+	// subset (and its index) for failover; empty when not replicated.
+	Replica string `json:"replica,omitempty"`
 }
 
 // Tags returns the manifest's tags sorted by name.

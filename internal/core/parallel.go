@@ -143,6 +143,7 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 	close(errs)
 	for r := range errs {
 		if r.err != nil {
+			st.abort()
 			return nil, r.err
 		}
 	}

@@ -10,13 +10,18 @@ import (
 )
 
 // SubsetReader streams the decompressed frames of one tagged subset — the
-// I/O retriever's answer to `mol addfile bar.xtc tag p`.
+// I/O retriever's answer to `mol addfile bar.xtc tag p`. On datasets
+// ingested with checksums every frame is verified against its CRC32C as it
+// streams (failing over to the replica when one exists); legacy datasets
+// stream unverified.
 type SubsetReader struct {
 	Tag    string
 	Info   Subset
 	Ranges *rangelist.List
 	file   vfs.File
 	r      *xtc.Reader
+	vs     *verifiedSubset // non-nil: checksummed read path
+	next   int
 }
 
 // OpenSubset resolves a tag through the indexer (manifest) and opens its
@@ -34,7 +39,14 @@ func (a *ADA) OpenSubset(logical, tag string) (*SubsetReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: subset %s ranges: %w", tag, err)
 	}
-	f, err := a.containers.OpenDropping(logical, subsetPrefix+tag)
+	vs, err := a.openVerifiedSubset(logical, info)
+	if err != nil {
+		return nil, err
+	}
+	if vs != nil {
+		return &SubsetReader{Tag: tag, Info: info, Ranges: ranges, vs: vs}, nil
+	}
+	f, err := a.openSubsetDropping(logical, info)
 	if err != nil {
 		return nil, err
 	}
@@ -47,24 +59,62 @@ func (a *ADA) OpenSubset(logical, tag string) (*SubsetReader, error) {
 	}, nil
 }
 
+// openSubsetDropping opens a subset's payload, falling over to its replica
+// when the primary will not open.
+func (a *ADA) openSubsetDropping(logical string, info Subset) (vfs.File, error) {
+	f, err := a.containers.OpenDropping(logical, subsetPrefix+info.Tag)
+	if err != nil && info.Replica != "" {
+		if rf, rerr := a.containers.OpenDropping(logical, replicaPrefix+subsetPrefix+info.Tag); rerr == nil {
+			a.fm.opens.Inc()
+			return rf, nil
+		}
+	}
+	return f, err
+}
+
 // ReadFrame returns the next subset frame, or io.EOF.
-func (s *SubsetReader) ReadFrame() (*xtc.Frame, error) { return s.r.ReadFrame() }
+func (s *SubsetReader) ReadFrame() (*xtc.Frame, error) {
+	if s.vs != nil {
+		if s.next >= s.vs.frames() {
+			return nil, io.EOF
+		}
+		f, err := s.vs.frame(s.next)
+		if err != nil {
+			return nil, err
+		}
+		s.next++
+		return f, nil
+	}
+	return s.r.ReadFrame()
+}
 
 // Close releases the underlying dropping handle.
-func (s *SubsetReader) Close() error { return s.file.Close() }
+func (s *SubsetReader) Close() error {
+	if s.vs != nil {
+		return s.vs.close()
+	}
+	return s.file.Close()
+}
 
 // Size returns the subset's stored byte size.
-func (s *SubsetReader) Size() int64 { return s.file.Size() }
+func (s *SubsetReader) Size() int64 {
+	if s.vs != nil {
+		return s.vs.size()
+	}
+	return s.file.Size()
+}
 
 // SubsetRandomReader provides random access to one tagged subset's frames
 // using the index persisted at ingest — what interactive playback
-// ("replaying the frames back and forth") needs.
+// ("replaying the frames back and forth") needs. Frames read through a
+// checksummed index are verified (with replica failover) per fetch.
 type SubsetRandomReader struct {
 	Tag    string
 	Info   Subset
 	Ranges *rangelist.List
 	file   vfs.File
 	ra     *xtc.RandomAccessReader
+	vs     *verifiedSubset // non-nil: checksummed read path
 }
 
 // OpenSubsetAt opens a tagged subset for random frame access.
@@ -81,6 +131,13 @@ func (a *ADA) OpenSubsetAt(logical, tag string) (*SubsetRandomReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: subset %s ranges: %w", tag, err)
 	}
+	vs, err := a.openVerifiedSubset(logical, info)
+	if err != nil {
+		return nil, err
+	}
+	if vs != nil {
+		return &SubsetRandomReader{Tag: tag, Info: info, Ranges: ranges, vs: vs}, nil
+	}
 	idxBytes, err := a.readDropping(logical, indexPrefix+tag)
 	if err != nil {
 		return nil, fmt.Errorf("core: subset %s index: %w", tag, err)
@@ -89,7 +146,7 @@ func (a *ADA) OpenSubsetAt(logical, tag string) (*SubsetRandomReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: subset %s: %w", tag, err)
 	}
-	f, err := a.containers.OpenDropping(logical, subsetPrefix+tag)
+	f, err := a.openSubsetDropping(logical, info)
 	if err != nil {
 		return nil, err
 	}
@@ -103,15 +160,33 @@ func (a *ADA) OpenSubsetAt(logical, tag string) (*SubsetRandomReader, error) {
 }
 
 // Frames returns the subset's frame count.
-func (s *SubsetRandomReader) Frames() int { return s.ra.Frames() }
+func (s *SubsetRandomReader) Frames() int {
+	if s.vs != nil {
+		return s.vs.frames()
+	}
+	return s.ra.Frames()
+}
 
 // ReadFrameAt decodes subset frame i.
 func (s *SubsetRandomReader) ReadFrameAt(i int) (*xtc.Frame, error) {
+	if s.vs != nil {
+		return s.vs.frame(i)
+	}
 	return s.ra.ReadFrameAt(i)
 }
 
+// ConcurrentFrameReads reports that ReadFrameAt is safe for concurrent use
+// on both the verified and raw paths, so playback prefetchers may decode
+// ahead on background workers.
+func (s *SubsetRandomReader) ConcurrentFrameReads() bool { return true }
+
 // Close releases the dropping handle.
-func (s *SubsetRandomReader) Close() error { return s.file.Close() }
+func (s *SubsetRandomReader) Close() error {
+	if s.vs != nil {
+		return s.vs.close()
+	}
+	return s.file.Close()
+}
 
 // FullReader reassembles complete frames (every atom, original order) from
 // all of a dataset's subsets — the "ADA (all)" scenario of the evaluation.

@@ -102,7 +102,7 @@ func (a *ADA) IngestTrajectory(logical string, pdbData []byte, tr TrajectoryRead
 			break
 		}
 		if err != nil {
-			st.closeAll()
+			st.abort()
 			return nil, fmt.Errorf("core: ingest %s frame %d: %w", logical, st.report.Frames, err)
 		}
 		if tr.Compressed() {
@@ -110,7 +110,7 @@ func (a *ADA) IngestTrajectory(logical string, pdbData []byte, tr TrajectoryRead
 		}
 		a.chargeCPU("categorize", a.opts.Cost.categorizeTime(xtc.RawFrameSize(frame.NAtoms())))
 		if err := st.writeFrame(frame, consumed); err != nil {
-			st.closeAll()
+			st.abort()
 			return nil, err
 		}
 	}

@@ -39,6 +39,12 @@ func (c *Conn) Read(p []byte) (int, error) {
 		return c.Conn.Read(p)
 	case KindErr:
 		return 0, fmt.Errorf("%w: conn.read", ErrInjected)
+	case KindCorrupt:
+		n, err := c.Conn.Read(p)
+		if n > 0 {
+			p[n/2] ^= fl.xor
+		}
+		return n, err
 	case KindPartial:
 		if len(p) > 1 {
 			n, err := c.Conn.Read(p[:len(p)/2])
@@ -66,6 +72,14 @@ func (c *Conn) Write(p []byte) (int, error) {
 		return c.Conn.Write(p)
 	case KindErr:
 		return 0, fmt.Errorf("%w: conn.write", ErrInjected)
+	case KindCorrupt:
+		if len(p) > 0 {
+			q := make([]byte, len(p))
+			copy(q, p)
+			q[len(q)/2] ^= fl.xor
+			p = q
+		}
+		return c.Conn.Write(p)
 	case KindPartial:
 		if len(p) > 1 {
 			n, err := c.Conn.Write(p[:len(p)/2])

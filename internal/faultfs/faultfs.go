@@ -11,15 +11,18 @@
 //	seed=42; drop:conn.read:every=3; slow:read:delay=50ms; err:write:nth=2
 //
 // Each fault clause is "kind[:op][:key=val[,key=val...]]" where kind is one
-// of err, drop, slow, partial; op names the operation the rule matches
-// ("create", "open", "stat", "readdir", "mkdirall", "remove", "read",
-// "write", "close" for file systems, "conn.read" / "conn.write" for
-// connections; empty matches every op); and the selector keys are:
+// of err, drop, slow, partial, corrupt, kill; op names the operation the
+// rule matches ("create", "open", "stat", "readdir", "mkdirall", "remove",
+// "rename", "read", "write", "close" for file systems — an "fs." prefix is
+// accepted and stripped, so "fs.read" equals "read" — and "conn.read" /
+// "conn.write" for connections; empty matches every op); and the selector
+// keys are:
 //
 //	every=N   fire on every Nth matching operation
 //	nth=N     fire on exactly the Nth matching operation
 //	prob=P    fire with probability P per matching operation (seed-driven)
 //	delay=D   injected latency (required for slow, e.g. 50ms)
+//	xor=M     byte mask XORed into the payload (corrupt; default 0xff)
 //
 // A rule with no selector fires on every matching operation. Injections are
 // counted under faultfs.injected.* in the metrics registry.
@@ -60,6 +63,16 @@ const (
 	// fails: partial file writes, or a half frame on the wire followed by
 	// a connection drop.
 	KindPartial
+	// KindCorrupt lets the operation proceed but XORs the rule's Xor mask
+	// into one byte of the payload — a silent bit flip, exactly what
+	// end-to-end checksums exist to catch. The flipped byte is the middle
+	// of the transfer, so it is deterministic for a given op sequence.
+	KindCorrupt
+	// KindKill simulates the process or file system dying: the first time
+	// the rule fires, the injector enters a permanently failed state and
+	// every subsequent matching-or-not operation fails. Crash-consistency
+	// tests sweep the kill point across an op sequence.
+	KindKill
 )
 
 // String names the kind as it appears in specs.
@@ -73,6 +86,10 @@ func (k Kind) String() string {
 		return "slow"
 	case KindPartial:
 		return "partial"
+	case KindCorrupt:
+		return "corrupt"
+	case KindKill:
+		return "kill"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -85,6 +102,7 @@ type Rule struct {
 	Nth   int           // fire on exactly the Nth matching op
 	Prob  float64       // fire with probability Prob per matching op
 	Delay time.Duration // injected latency (KindSlow)
+	Xor   byte          // payload byte mask (KindCorrupt; 0 means 0xff)
 }
 
 // selectorless reports whether the rule has no firing condition (and so
@@ -95,6 +113,7 @@ func (r Rule) selectorless() bool { return r.Every == 0 && r.Nth == 0 && r.Prob 
 type fault struct {
 	kind  Kind
 	delay time.Duration
+	xor   byte
 }
 
 // Injector decides, per operation, whether to inject a fault. It is safe
@@ -107,31 +126,37 @@ type Injector struct {
 	spec    string
 	enabled atomic.Bool
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	rules  []Rule
-	counts []int64 // matching-op count per rule
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []Rule
+	counts  []int64 // matching-op count per rule
+	opsSeen int64   // operations observed while armed
+	killed  bool    // a KindKill rule fired; every op now fails
 
 	m injectorMetrics
 }
 
 type injectorMetrics struct {
-	ops      *metrics.Counter
-	errors   *metrics.Counter
-	drops    *metrics.Counter
-	slow     *metrics.Counter
-	partials *metrics.Counter
-	delayNS  *metrics.Counter
+	ops         *metrics.Counter
+	errors      *metrics.Counter
+	drops       *metrics.Counter
+	slow        *metrics.Counter
+	partials    *metrics.Counter
+	corruptions *metrics.Counter
+	kills       *metrics.Counter
+	delayNS     *metrics.Counter
 }
 
 func newInjectorMetrics(reg *metrics.Registry) injectorMetrics {
 	return injectorMetrics{
-		ops:      reg.Counter("faultfs.ops"),
-		errors:   reg.Counter("faultfs.injected.errors"),
-		drops:    reg.Counter("faultfs.injected.drops"),
-		slow:     reg.Counter("faultfs.injected.slow"),
-		partials: reg.Counter("faultfs.injected.partials"),
-		delayNS:  reg.Counter("faultfs.injected.delay_ns"),
+		ops:         reg.Counter("faultfs.ops"),
+		errors:      reg.Counter("faultfs.injected.errors"),
+		drops:       reg.Counter("faultfs.injected.drops"),
+		slow:        reg.Counter("faultfs.injected.slow"),
+		partials:    reg.Counter("faultfs.injected.partials"),
+		corruptions: reg.Counter("faultfs.injected.corruptions"),
+		kills:       reg.Counter("faultfs.injected.kills"),
+		delayNS:     reg.Counter("faultfs.injected.delay_ns"),
 	}
 }
 
@@ -139,7 +164,7 @@ func newInjectorMetrics(reg *metrics.Registry) injectorMetrics {
 // selectors) drawn from seed.
 func New(seed int64, rules ...Rule) (*Injector, error) {
 	for i, r := range rules {
-		if r.Kind < KindErr || r.Kind > KindPartial {
+		if r.Kind < KindErr || r.Kind > KindKill {
 			return nil, fmt.Errorf("faultfs: rule %d: unknown kind", i)
 		}
 		if r.Kind == KindSlow && r.Delay <= 0 {
@@ -221,6 +246,10 @@ func parseRule(clause string) (Rule, error) {
 				rule.Kind = KindSlow
 			case "partial":
 				rule.Kind = KindPartial
+			case "corrupt":
+				rule.Kind = KindCorrupt
+			case "kill":
+				rule.Kind = KindKill
 			default:
 				return Rule{}, fmt.Errorf("faultfs: unknown fault kind %q in %q", tok, clause)
 			}
@@ -228,7 +257,9 @@ func parseRule(clause string) (Rule, error) {
 			if rule.Op != "" {
 				return Rule{}, fmt.Errorf("faultfs: two op names in %q", clause)
 			}
-			rule.Op = tok
+			// "fs.read" is accepted as an alias of the file-system op
+			// "read" (but "conn.read" stays distinct).
+			rule.Op = strings.TrimPrefix(tok, "fs.")
 		default:
 			for _, kv := range strings.Split(tok, ",") {
 				key, val, _ := strings.Cut(kv, "=")
@@ -242,6 +273,10 @@ func parseRule(clause string) (Rule, error) {
 					rule.Prob, err = strconv.ParseFloat(val, 64)
 				case "delay":
 					rule.Delay, err = time.ParseDuration(val)
+				case "xor":
+					var m uint64
+					m, err = strconv.ParseUint(val, 0, 8)
+					rule.Xor = byte(m)
 				default:
 					return Rule{}, fmt.Errorf("faultfs: unknown selector %q in %q", key, clause)
 				}
@@ -287,6 +322,10 @@ func (in *Injector) next(op string) (fault, bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.m.ops.Inc()
+	in.opsSeen++
+	if in.killed {
+		return fault{kind: KindKill}, true
+	}
 	var hit *Rule
 	for i := range in.rules {
 		r := &in.rules[i]
@@ -316,6 +355,44 @@ func (in *Injector) next(op string) (fault, bool) {
 		in.m.delayNS.Add(hit.Delay.Nanoseconds())
 	case KindPartial:
 		in.m.partials.Inc()
+	case KindCorrupt:
+		in.m.corruptions.Inc()
+	case KindKill:
+		in.m.kills.Inc()
+		in.killed = true
 	}
-	return fault{kind: hit.Kind, delay: hit.Delay}, true
+	mask := hit.Xor
+	if hit.Kind == KindCorrupt && mask == 0 {
+		mask = 0xff
+	}
+	return fault{kind: hit.Kind, delay: hit.Delay, xor: mask}, true
+}
+
+// Killed reports whether a KindKill rule has fired: the simulated process
+// is dead and every operation fails until Reset.
+func (in *Injector) Killed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.killed
+}
+
+// Reset clears the killed state, the op count, and all rule counters,
+// restarting the injector's op sequence from zero (the rng is NOT reseeded;
+// prob rules continue their stream). Crash tests use it between attempts.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.killed = false
+	in.opsSeen = 0
+	for i := range in.counts {
+		in.counts[i] = 0
+	}
+}
+
+// Ops returns the number of operations observed while armed since the last
+// Reset — crash-matrix tests use it to size their kill-point sweep.
+func (in *Injector) Ops() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.opsSeen
 }

@@ -1,6 +1,7 @@
 package faultfs
 
 import (
+	"bytes"
 	"errors"
 	"net"
 	"strings"
@@ -248,5 +249,117 @@ func TestWrapListener(t *testing.T) {
 	client.Write([]byte("ping"))
 	if err := <-done; !errors.Is(err, ErrInjected) {
 		t.Errorf("accepted conn read = %v, want ErrInjected", err)
+	}
+}
+
+func TestCorruptReadRule(t *testing.T) {
+	// The crash-consistency docs' canonical spec: flip a byte on the 5th
+	// file-system read ("fs.read" aliases "read").
+	in, err := Parse("corrupt:fs.read:nth=5,xor=0xff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetEnabled(false)
+	fsys := Wrap(vfs.NewMemFS(), in)
+	orig := []byte("0123456789")
+	if err := vfs.WriteFile(fsys, "/f", orig); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	in.SetEnabled(true)
+	buf := make([]byte, len(orig))
+	for i := 1; i <= 6; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if i == 5 {
+			// Exactly the middle byte of the transfer is flipped; the op
+			// itself succeeds — a silent bit flip, not an error.
+			want := append([]byte(nil), orig...)
+			want[len(want)/2] ^= 0xff
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("read 5 = %q, want %q", buf, want)
+			}
+			continue
+		}
+		if !bytes.Equal(buf, orig) {
+			t.Fatalf("read %d corrupted: %q", i, buf)
+		}
+	}
+}
+
+func TestCorruptWriteLeavesCallerBuffer(t *testing.T) {
+	in := MustNew(1, Rule{Kind: KindCorrupt, Op: "write", Nth: 1, Xor: 0x01})
+	fsys := Wrap(vfs.NewMemFS(), in)
+	f, err := fsys.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("abcdef")
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	in.SetEnabled(false)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "abcdef" {
+		t.Errorf("caller buffer mutated: %q", payload)
+	}
+	stored, err := vfs.ReadFile(fsys, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("abceef") // 'd' ^ 0x01
+	if !bytes.Equal(stored, want) {
+		t.Errorf("stored = %q, want %q", stored, want)
+	}
+}
+
+func TestKillRule(t *testing.T) {
+	reg := metrics.NewRegistry()
+	in := MustNew(1, Rule{Kind: KindKill, Nth: 3})
+	in.SetMetrics(reg)
+	fsys := Wrap(vfs.NewMemFS(), in)
+	if err := fsys.MkdirAll("/d"); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat("/d"); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat("/d"); !errors.Is(err, ErrInjected) { // op 3: the kill
+		t.Fatalf("kill op = %v, want ErrInjected", err)
+	}
+	if !in.Killed() {
+		t.Fatal("injector not killed after the kill op")
+	}
+	// Every subsequent operation fails, whatever it is: the process is dead.
+	if _, err := fsys.ReadDir("/d"); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-kill readdir = %v", err)
+	}
+	if _, err := fsys.Create("/d/f"); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-kill create = %v", err)
+	}
+	if got := in.Ops(); got != 5 {
+		t.Errorf("Ops() = %d, want 5", got)
+	}
+	if got := reg.Snapshot().Counters["faultfs.injected.kills"]; got != 1 {
+		t.Errorf("injected.kills = %d, want 1", got)
+	}
+	// Reset revives the file system and restarts the op sequence, so the
+	// same injector can sweep the next kill point.
+	in.Reset()
+	if in.Killed() {
+		t.Error("Killed() still true after Reset")
+	}
+	if _, err := fsys.Stat("/d"); err != nil {
+		t.Errorf("post-reset stat: %v", err)
+	}
+	if got := in.Ops(); got != 1 {
+		t.Errorf("Ops() after reset = %d, want 1", got)
 	}
 }

@@ -9,8 +9,8 @@ import (
 
 // FS decorates a vfs.FS with fault injection. Operation names seen by the
 // injector are the lowercase method names ("create", "open", "stat",
-// "readdir", "mkdirall", "remove") plus file-level "read", "write", and
-// "close".
+// "readdir", "mkdirall", "remove", "rename") plus file-level "read",
+// "write", and "close".
 type FS struct {
 	fsys vfs.FS
 	in   *Injector
@@ -25,15 +25,19 @@ var _ vfs.FS = (*FS)(nil)
 func (f *FS) Unwrap() vfs.FS { return f.fsys }
 
 // fsFault resolves one injection decision for a file-system op: slow faults
-// sleep and let the op proceed; every other kind replaces the op with an
-// injected error (a file system has no connection to drop).
+// sleep and let the op proceed, corrupt faults pass (there is no payload at
+// this level to flip); every other kind replaces the op with an injected
+// error (a file system has no connection to drop).
 func (f *FS) fsFault(op string) error {
 	fl, ok := f.in.next(op)
 	if !ok {
 		return nil
 	}
-	if fl.kind == KindSlow {
+	switch fl.kind {
+	case KindSlow:
 		time.Sleep(fl.delay)
+		return nil
+	case KindCorrupt:
 		return nil
 	}
 	return fmt.Errorf("%w: %s (%s)", ErrInjected, op, fl.kind)
@@ -95,45 +99,66 @@ func (f *FS) Remove(name string) error {
 	return f.fsys.Remove(name)
 }
 
+// Rename implements vfs.FS.
+func (f *FS) Rename(oldname, newname string) error {
+	if err := f.fsFault("rename"); err != nil {
+		return err
+	}
+	return f.fsys.Rename(oldname, newname)
+}
+
 // faultFile injects on file-level reads, writes, and closes.
 type faultFile struct {
 	vfs.File
 	in *Injector
 }
 
-func (f *faultFile) fileFault(op string, p []byte) (partial []byte, err error) {
+func (f *faultFile) fileFault(op string, p []byte) (partial []byte, mask byte, err error) {
 	fl, ok := f.in.next(op)
 	if !ok {
-		return nil, nil
+		return nil, 0, nil
 	}
 	switch fl.kind {
 	case KindSlow:
 		time.Sleep(fl.delay)
-		return nil, nil
+		return nil, 0, nil
+	case KindCorrupt:
+		// The op proceeds; the caller flips one payload byte with mask.
+		return nil, fl.xor, nil
 	case KindPartial:
 		if len(p) > 1 {
-			return p[:len(p)/2], fmt.Errorf("%w: partial %s", ErrInjected, op)
+			return p[:len(p)/2], 0, fmt.Errorf("%w: partial %s", ErrInjected, op)
 		}
 	}
-	return nil, fmt.Errorf("%w: %s (%s)", ErrInjected, op, fl.kind)
+	return nil, 0, fmt.Errorf("%w: %s (%s)", ErrInjected, op, fl.kind)
 }
 
 func (f *faultFile) Read(p []byte) (int, error) {
-	if _, err := f.fileFault("read", nil); err != nil {
+	_, mask, err := f.fileFault("read", nil)
+	if err != nil {
 		return 0, err
 	}
-	return f.File.Read(p)
+	n, rerr := f.File.Read(p)
+	if mask != 0 && n > 0 {
+		p[n/2] ^= mask
+	}
+	return n, rerr
 }
 
 func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
-	if _, err := f.fileFault("read", nil); err != nil {
+	_, mask, err := f.fileFault("read", nil)
+	if err != nil {
 		return 0, err
 	}
-	return f.File.ReadAt(p, off)
+	n, rerr := f.File.ReadAt(p, off)
+	if mask != 0 && n > 0 {
+		p[n/2] ^= mask
+	}
+	return n, rerr
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {
-	partial, err := f.fileFault("write", p)
+	partial, mask, err := f.fileFault("write", p)
 	if err != nil {
 		if partial == nil {
 			return 0, err
@@ -145,11 +170,19 @@ func (f *faultFile) Write(p []byte) (int, error) {
 		}
 		return n, err
 	}
+	if mask != 0 && len(p) > 0 {
+		// Corrupt a copy so the caller's buffer is untouched — the flip
+		// happens "on the device", not in application memory.
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[len(q)/2] ^= mask
+		p = q
+	}
 	return f.File.Write(p)
 }
 
 func (f *faultFile) Close() error {
-	if _, err := f.fileFault("close", nil); err != nil {
+	if _, _, err := f.fileFault("close", nil); err != nil {
 		return err
 	}
 	return f.File.Close()

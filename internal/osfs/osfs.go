@@ -118,6 +118,11 @@ func (s *FS) Remove(name string) error {
 	return mapErr(os.Remove(s.hostPath(name)))
 }
 
+// Rename implements vfs.FS.
+func (s *FS) Rename(oldname, newname string) error {
+	return mapErr(os.Rename(s.hostPath(oldname), s.hostPath(newname)))
+}
+
 // file adapts *os.File.
 type file struct {
 	f    *os.File

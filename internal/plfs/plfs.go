@@ -12,6 +12,7 @@ package plfs
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"path"
 	"sort"
@@ -280,35 +281,142 @@ func (p *FS) ListContainers() ([]string, error) {
 }
 
 // RemoveContainer deletes a logical file: every dropping, the index, and
-// the container directories.
+// the container directories. It sweeps the directories themselves rather
+// than trusting the index, so it also disposes of torn containers — ones a
+// crash left with orphan droppings, a stale index temp file, or no
+// readable index at all — which is what crash recovery relies on.
 func (p *FS) RemoveContainer(logical string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	found := false
+	for i := range p.backends {
+		b := &p.backends[i]
+		if err := p.checkLocked(b); err != nil {
+			return err
+		}
+		dir := containerPath(b, logical)
+		if !vfs.Exists(b.FS, dir) {
+			continue
+		}
+		found = true
+		entries, err := b.FS.ReadDir(dir)
+		if err != nil {
+			p.noteLocked(b, err)
+			return fmt.Errorf("plfs: remove container on %s: %w", b.Name, err)
+		}
+		for _, e := range entries {
+			if e.IsDir {
+				return fmt.Errorf("plfs: unexpected directory %q in container %q", e.Name, logical)
+			}
+			if err := b.FS.Remove(path.Join(dir, e.Name)); err != nil {
+				p.noteLocked(b, err)
+				return fmt.Errorf("plfs: remove dropping %q: %w", e.Name, err)
+			}
+		}
+		if err := b.FS.Remove(dir); err != nil {
+			p.noteLocked(b, err)
+			return fmt.Errorf("plfs: remove container dir on %s: %w", b.Name, err)
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: container %q", vfs.ErrNotExist, logical)
+	}
+	p.count("containers_removed")
+	return nil
+}
+
+// RenameDropping atomically renames a dropping within its container and
+// re-points the index entry — the primitive the crash-consistent commit
+// protocol publishes staged droppings with. Renaming over an existing
+// dropping replaces it.
+func (p *FS) RenameDropping(logical, oldname, newname string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if strings.ContainsAny(newname, "/\t\n") || newname == "" || newname == indexFileName {
+		return fmt.Errorf("plfs: invalid dropping name %q", newname)
+	}
+	idx, err := p.readIndexLocked(logical)
+	if err != nil {
+		return err
+	}
+	owner := ""
+	for _, d := range idx {
+		if d.Name == oldname {
+			owner = d.Backend
+			break
+		}
+	}
+	if owner == "" {
+		return fmt.Errorf("%w: dropping %q in container %q", vfs.ErrNotExist, oldname, logical)
+	}
+	b := p.byName[owner]
+	if b == nil {
+		return fmt.Errorf("plfs: index references unknown backend %q", owner)
+	}
+	if err := p.checkLocked(b); err != nil {
+		return err
+	}
+	dir := containerPath(b, logical)
+	if err := b.FS.Rename(path.Join(dir, oldname), path.Join(dir, newname)); err != nil {
+		p.noteLocked(b, err)
+		return fmt.Errorf("plfs: rename dropping %q: %w", oldname, err)
+	}
+	out := make([]Dropping, 0, len(idx))
+	for _, d := range idx {
+		switch d.Name {
+		case oldname:
+			continue
+		case newname:
+			// A same-backend duplicate was overwritten by the rename; a
+			// cross-backend one is now shadowed — delete its file.
+			if d.Backend != owner {
+				if ob := p.byName[d.Backend]; ob != nil {
+					ob.FS.Remove(path.Join(containerPath(ob, logical), newname))
+				}
+			}
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, Dropping{Name: newname, Backend: owner})
+	return p.writeIndexLocked(logical, out)
+}
+
+// RemoveDropping deletes a single dropping and its index entry. A missing
+// file with a live index entry (half-completed crash cleanup) is treated
+// as already gone.
+func (p *FS) RemoveDropping(logical, dropping string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	idx, err := p.readIndexLocked(logical)
 	if err != nil {
 		return err
 	}
+	owner := ""
+	out := make([]Dropping, 0, len(idx))
 	for _, d := range idx {
-		b := p.byName[d.Backend]
-		if b == nil {
+		if d.Name == dropping {
+			owner = d.Backend
 			continue
 		}
-		if err := b.FS.Remove(path.Join(containerPath(b, logical), d.Name)); err != nil {
-			return fmt.Errorf("plfs: remove dropping %q: %w", d.Name, err)
-		}
+		out = append(out, d)
 	}
-	canon := &p.backends[0]
-	if err := canon.FS.Remove(path.Join(containerPath(canon, logical), indexFileName)); err != nil {
+	if owner == "" {
+		return fmt.Errorf("%w: dropping %q in container %q", vfs.ErrNotExist, dropping, logical)
+	}
+	b := p.byName[owner]
+	if b == nil {
+		return fmt.Errorf("plfs: index references unknown backend %q", owner)
+	}
+	if err := p.checkLocked(b); err != nil {
 		return err
 	}
-	for i := range p.backends {
-		b := &p.backends[i]
-		if err := b.FS.Remove(containerPath(b, logical)); err != nil {
-			return fmt.Errorf("plfs: remove container dir on %s: %w", b.Name, err)
-		}
+	if err := b.FS.Remove(path.Join(containerPath(b, logical), dropping)); err != nil &&
+		!errors.Is(err, vfs.ErrNotExist) {
+		p.noteLocked(b, err)
+		return fmt.Errorf("plfs: remove dropping %q: %w", dropping, err)
 	}
-	p.count("containers_removed")
-	return nil
+	return p.writeIndexLocked(logical, out)
 }
 
 // The index format is one dropping per line: "<name>\t<backend>".
@@ -317,12 +425,16 @@ func (p *FS) indexPath(logical string) string {
 	return path.Join(containerPath(&p.backends[0], logical), indexFileName)
 }
 
+// writeIndexLocked persists the index atomically: the lines are written to
+// a temp sibling and renamed over the index dropping, so a crash mid-write
+// can tear the temp file but never the index readers resolve droppings
+// through.
 func (p *FS) writeIndexLocked(logical string, idx []Dropping) error {
 	var sb strings.Builder
 	for _, d := range idx {
 		fmt.Fprintf(&sb, "%s\t%s\n", d.Name, d.Backend)
 	}
-	if err := vfs.WriteFile(p.backends[0].FS, p.indexPath(logical), []byte(sb.String())); err != nil {
+	if err := vfs.ReplaceFile(p.backends[0].FS, p.indexPath(logical), []byte(sb.String())); err != nil {
 		p.noteLocked(&p.backends[0], err)
 		return fmt.Errorf("plfs: write index for %q: %w", logical, err)
 	}

@@ -271,6 +271,68 @@ func (s *FS) Remove(name string) error {
 	return nil
 }
 
+// Rename implements vfs.FS. Striping is keyed by immutable file id, so a
+// rename is a pure metadata operation: the stripes never move.
+func (s *FS) Rename(oldname, newname string) error {
+	oldname = vfs.Clean(oldname)
+	newname = vfs.Clean(newname)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chargeMeta()
+	n, ok := s.nodes[oldname]
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, oldname)
+	}
+	if oldname == newname {
+		return nil
+	}
+	dir := path.Dir(newname)
+	dn, ok := s.nodes[dir]
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, dir)
+	}
+	if !dn.isDir {
+		return fmt.Errorf("%w: %s", vfs.ErrNotDir, dir)
+	}
+	if dst, ok := s.nodes[newname]; ok {
+		if dst.isDir != n.isDir {
+			if dst.isDir {
+				return fmt.Errorf("%w: %s", vfs.ErrIsDir, newname)
+			}
+			return fmt.Errorf("%w: %s", vfs.ErrNotDir, newname)
+		}
+		if dst.isDir {
+			prefix := newname + "/"
+			for p := range s.nodes {
+				if strings.HasPrefix(p, prefix) {
+					return fmt.Errorf("pvfs: directory %s not empty", newname)
+				}
+			}
+		} else {
+			s.removeStripesLocked(dst)
+		}
+	}
+	if n.isDir {
+		if strings.HasPrefix(newname, oldname+"/") {
+			return fmt.Errorf("pvfs: cannot move %s into itself", oldname)
+		}
+		prefix := oldname + "/"
+		moved := make(map[string]*mnode)
+		for p, node := range s.nodes {
+			if strings.HasPrefix(p, prefix) {
+				moved[newname+"/"+p[len(prefix):]] = node
+				delete(s.nodes, p)
+			}
+		}
+		for p, node := range moved {
+			s.nodes[p] = node
+		}
+	}
+	delete(s.nodes, oldname)
+	s.nodes[newname] = n
+	return nil
+}
+
 // chargeTransfer accounts one striped transfer: perServer maps server index
 // to bytes moved. Wall time is the slowest server path or the client NIC,
 // whichever is worse; per-server device time is recorded concurrently.

@@ -320,6 +320,15 @@ func (c *Client) Remove(name string) error {
 	return err
 }
 
+// Rename implements vfs.FS.
+func (c *Client) Rename(oldname, newname string) error {
+	req := request(opRename)
+	req.String(oldname)
+	req.String(newname)
+	_, err := c.call(req)
+	return err
+}
+
 // remoteFile is a handle on the server.
 type remoteFile struct {
 	c      *Client

@@ -36,6 +36,7 @@ const (
 	opMkdirAll
 	opRemove
 	opSize
+	opRename
 )
 
 // MaxPayload bounds a single message (catches corrupt length prefixes).
@@ -107,7 +108,7 @@ func decodeStatus(r *xdr.Reader) error {
 // remoteError reconstructs the vfs sentinel errors from the wire so that
 // errors.Is works across the connection.
 func remoteError(msg string) error {
-	for _, sentinel := range []error{vfs.ErrNotExist, vfs.ErrExist, vfs.ErrIsDir, vfs.ErrNotDir} {
+	for _, sentinel := range []error{vfs.ErrNotExist, vfs.ErrExist, vfs.ErrIsDir, vfs.ErrNotDir, vfs.ErrCorrupted} {
 		if strings.Contains(msg, sentinel.Error()) {
 			return fmt.Errorf("%w (remote: %s)", sentinel, msg)
 		}

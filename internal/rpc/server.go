@@ -53,7 +53,7 @@ type serverMetrics struct {
 	bytesIn     *metrics.Counter
 	bytesOut    *metrics.Counter
 	latency     *metrics.Histogram
-	perOp       [opSize + 1]*metrics.Counter
+	perOp       [opRename + 1]*metrics.Counter
 }
 
 // opName names an opcode for metrics and logs.
@@ -62,6 +62,7 @@ func opName(op uint32) string {
 		opCreate: "create", opOpen: "open", opRead: "read", opWrite: "write",
 		opClose: "close", opStat: "stat", opReadDir: "readdir",
 		opMkdirAll: "mkdirall", opRemove: "remove", opSize: "size",
+		opRename: "rename",
 	}
 	if op < uint32(len(names)) && names[op] != "" {
 		return names[op]
@@ -79,7 +80,7 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		bytesOut:    reg.Counter("rpc.server.bytes_sent"),
 		latency:     reg.Histogram("rpc.server.dispatch.ns"),
 	}
-	for op := opCreate; op <= opSize; op++ {
+	for op := opCreate; op <= opRename; op++ {
 		m.perOp[op] = reg.Counter("rpc.server.op." + opName(op))
 	}
 	return m
@@ -206,7 +207,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.m.bytesIn.Add(int64(len(payload)) + 4)
 		s.m.requests.Inc()
 		if len(payload) >= 4 {
-			if op := binary.BigEndian.Uint32(payload); op <= opSize {
+			if op := binary.BigEndian.Uint32(payload); op <= opRename {
 				s.m.perOp[op].Inc()
 			}
 		}
@@ -380,6 +381,17 @@ func (s *Server) dispatch(payload []byte) []byte {
 			return respondErr(err)
 		}
 		if err := s.fsys.Remove(name); err != nil {
+			return respondErr(err)
+		}
+		return respondOK().Bytes()
+
+	case opRename:
+		oldname := r.String()
+		newname := r.String()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		if err := s.fsys.Rename(oldname, newname); err != nil {
 			return respondErr(err)
 		}
 		return respondOK().Bytes()

@@ -14,7 +14,7 @@ import (
 //
 // Metric names are rooted at the given prefix (typically the backend name):
 //
-//	<prefix>.ops.<op>       counter, one per Create/Open/Stat/ReadDir/MkdirAll/Remove
+//	<prefix>.ops.<op>       counter, one per Create/Open/Stat/ReadDir/MkdirAll/Remove/Rename
 //	<prefix>.errors         counter, failed operations (file I/O included)
 //	<prefix>.<op>.ns        histogram, per-op latency
 //	<prefix>.bytes_read     counter (Read + ReadAt on files)
@@ -30,8 +30,8 @@ type InstrumentedFS struct {
 // fsMetrics holds pre-resolved metric handles so the hot path never takes
 // the registry lock.
 type fsMetrics struct {
-	ops     [6]*metrics.Counter // indexed by opKind
-	latency [6]*metrics.Histogram
+	ops     [7]*metrics.Counter // indexed by opKind
+	latency [7]*metrics.Histogram
 	errors  *metrics.Counter
 
 	bytesRead    *metrics.Counter
@@ -49,9 +49,10 @@ const (
 	opReadDir
 	opMkdirAll
 	opRemove
+	opRename
 )
 
-var opNames = [6]string{"create", "open", "stat", "readdir", "mkdirall", "remove"}
+var opNames = [7]string{"create", "open", "stat", "readdir", "mkdirall", "remove", "rename"}
 
 // Instrument wraps fsys so every operation is recorded under prefix in reg.
 // A nil reg uses metrics.Default. Instrumenting an already-instrumented FS
@@ -138,6 +139,14 @@ func (i *InstrumentedFS) Remove(name string) error {
 	start := time.Now()
 	err := i.fs.Remove(name)
 	i.record(opRemove, start, err)
+	return err
+}
+
+// Rename implements FS.
+func (i *InstrumentedFS) Rename(oldname, newname string) error {
+	start := time.Now()
+	err := i.fs.Rename(oldname, newname)
+	i.record(opRename, start, err)
 	return err
 }
 

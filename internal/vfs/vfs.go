@@ -30,6 +30,11 @@ var (
 	// budget. Layers above (plfs, cluster) use it to degrade instead of
 	// hanging or blindly retrying.
 	ErrBackendDown = errors.New("vfs: backend down")
+	// ErrCorrupted marks stored data whose checksum no longer matches what
+	// was written: a flipped bit on disk, a torn write, or a truncated
+	// dropping. Layers above use it to trigger replica failover or scrub
+	// reporting rather than serving bad bytes as valid coordinates.
+	ErrCorrupted = errors.New("vfs: data corrupted")
 )
 
 // FileInfo describes a file or directory.
@@ -65,6 +70,10 @@ type FS interface {
 	MkdirAll(name string) error
 	// Remove deletes a file or empty directory.
 	Remove(name string) error
+	// Rename atomically moves oldname to newname. Renaming a file over an
+	// existing file replaces it; the parent directory of newname must
+	// already exist. Directories move with their whole subtree.
+	Rename(oldname, newname string) error
 }
 
 // Clean normalizes a path to the canonical rooted form.
@@ -109,6 +118,22 @@ func WriteFile(fsys FS, name string, data []byte) error {
 func Exists(fsys FS, name string) bool {
 	_, err := fsys.Stat(name)
 	return err == nil
+}
+
+// ReplaceFile atomically replaces the named file with data: the bytes are
+// written to a temporary sibling first and renamed into place, so readers
+// observe either the old content or the new, never a torn prefix.
+func ReplaceFile(fsys FS, name string, data []byte) error {
+	name = Clean(name)
+	tmp := name + ".tmp"
+	if err := WriteFile(fsys, tmp, data); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // MemFS is a thread-safe in-memory file system.
@@ -256,6 +281,59 @@ func (m *MemFS) Remove(name string) error {
 		}
 	}
 	delete(m.files, name)
+	return nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	oldname = Clean(oldname)
+	newname = Clean(newname)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldname)
+	}
+	if oldname == newname {
+		return nil
+	}
+	if err := m.parentDirExists(newname); err != nil {
+		return err
+	}
+	if dst, ok := m.files[newname]; ok {
+		if src.isDir != dst.isDir {
+			if dst.isDir {
+				return fmt.Errorf("%w: %s", ErrIsDir, newname)
+			}
+			return fmt.Errorf("%w: %s", ErrNotDir, newname)
+		}
+		if dst.isDir {
+			prefix := newname + "/"
+			for p := range m.files {
+				if strings.HasPrefix(p, prefix) {
+					return fmt.Errorf("vfs: directory %s not empty", newname)
+				}
+			}
+		}
+	}
+	if src.isDir {
+		if strings.HasPrefix(newname, oldname+"/") {
+			return fmt.Errorf("vfs: cannot move %s into itself", oldname)
+		}
+		prefix := oldname + "/"
+		moved := make(map[string]*memNode)
+		for p, node := range m.files {
+			if strings.HasPrefix(p, prefix) {
+				moved[newname+"/"+p[len(prefix):]] = node
+				delete(m.files, p)
+			}
+		}
+		for p, node := range moved {
+			m.files[p] = node
+		}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = src
 	return nil
 }
 

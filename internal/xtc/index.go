@@ -13,6 +13,7 @@ type Index struct {
 	offsets []int64 // offsets[i] = start of frame i
 	sizes   []int64 // encoded byte length of frame i
 	natoms  []int32
+	crcs    []uint32 // optional per-frame CRC32C (empty on legacy indices)
 }
 
 // BuildIndex scans a trajectory stream once and records every frame's
@@ -65,6 +66,28 @@ func BuildIndex(r io.ReaderAt, size int64) (*Index, error) {
 	return idx, nil
 }
 
+// BuildIndexChecksummed is BuildIndex plus a second pass that reads every
+// frame's bytes and records its CRC32C, producing a v2 (checksummed) index
+// from an existing stream — the recovery path uses it to rebuild the index
+// a crash destroyed.
+func BuildIndexChecksummed(r io.ReaderAt, size int64) (*Index, error) {
+	idx, err := BuildIndex(r, size)
+	if err != nil {
+		return nil, err
+	}
+	idx.crcs = make([]uint32, idx.Frames())
+	for i := range idx.crcs {
+		buf := getBytes(int(idx.sizes[i]))
+		if _, err := r.ReadAt(buf, idx.offsets[i]); err != nil && err != io.EOF {
+			putBytes(buf)
+			return nil, fmt.Errorf("xtc: checksum frame %d: %w", i, err)
+		}
+		idx.crcs[i] = CRC32C(buf)
+		putBytes(buf)
+	}
+	return idx, nil
+}
+
 // IndexBuilder accumulates an Index while frames are being written, so the
 // writer side can persist it without re-scanning.
 type IndexBuilder struct {
@@ -78,6 +101,14 @@ func (b *IndexBuilder) Add(frameLen int64, natoms int) {
 	b.idx.sizes = append(b.idx.sizes, frameLen)
 	b.idx.natoms = append(b.idx.natoms, int32(natoms))
 	b.off += frameLen
+}
+
+// AddWithCRC is Add plus the frame's CRC32C; mixing Add and AddWithCRC in
+// one builder leaves the index without checksums (they must cover every
+// frame to be trustworthy, so a partial set is dropped at Marshal time).
+func (b *IndexBuilder) AddWithCRC(frameLen int64, natoms int, crc uint32) {
+	b.Add(frameLen, natoms)
+	b.idx.crcs = append(b.idx.crcs, crc)
 }
 
 // Index returns the built index.
@@ -94,6 +125,14 @@ func (x *Index) Size(i int) int64 { return x.sizes[i] }
 
 // NAtoms returns frame i's atom count.
 func (x *Index) NAtoms(i int) int { return int(x.natoms[i]) }
+
+// HasChecksums reports whether the index carries a CRC32C for every frame.
+func (x *Index) HasChecksums() bool {
+	return len(x.crcs) == len(x.offsets) && len(x.offsets) > 0
+}
+
+// CRC returns frame i's CRC32C. Only valid when HasChecksums is true.
+func (x *Index) CRC(i int) uint32 { return x.crcs[i] }
 
 // TotalBytes returns the stream length covered by the index.
 func (x *Index) TotalBytes() int64 {
