@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-decode test-faults test-crash clean
+.PHONY: all build test race lint bench bench-decode bench-tier test-faults test-crash test-tier clean
 
 all: build lint test
 
@@ -37,9 +37,16 @@ lint:
 	$(GO) vet ./...
 	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
 
+# Heat-driven tiering suite: tracker/planner/spec units, the deterministic
+# two-dataset migration end-to-end, read-during-migration byte-identity, and
+# the migration kill-point sweep extending the crash matrix — all under -race.
+test-tier:
+	$(GO) test -race -count=1 ./internal/tier/
+	$(GO) test -race -count=1 -run 'MoveSubset|AccessHook|ReadDuringMigration|CrashMidMigration' ./internal/core/
+
 # One iteration of every benchmark — a smoke pass proving the bench
 # harness still runs end to end, not a measurement.
-bench: bench-decode
+bench: bench-decode bench-tier
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # Decode/prefetch benchmarks rendered to BENCH_decode.json (ns/op, MB/s,
@@ -47,6 +54,15 @@ bench: bench-decode
 bench-decode:
 	$(GO) test -run '^$$' -bench 'ParallelDecode|XTCDecode|PlaybackPrefetch' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_decode.json
+
+# Tiering benchmarks rendered to BENCH_tier.txt for the CI artifact:
+# migration-pipeline throughput plus the read-path A/B for the heat hook
+# (budget: <2% read tax, asserted structurally by TestHeatHookReadTax).
+bench-tier:
+	$(GO) test -count=1 -run 'HeatHookReadTax' -v \
+		-bench 'MigrationThroughput|ReadNoHeatHook|ReadWithHeatHook' -benchmem \
+		./internal/tier/ > BENCH_tier.txt
+	cat BENCH_tier.txt
 
 clean:
 	$(GO) clean ./...

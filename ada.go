@@ -44,6 +44,7 @@ import (
 	"repro/internal/plfs"
 	"repro/internal/rpc"
 	"repro/internal/sim"
+	"repro/internal/tier"
 	"repro/internal/vfs"
 	"repro/internal/vmd"
 	"repro/internal/xtc"
@@ -291,6 +292,65 @@ const (
 // ErrCorrupted marks a verified read whose stored bytes fail their
 // checksum on every available copy (primary and replica).
 var ErrCorrupted = vfs.ErrCorrupted
+
+// Tiering (see DESIGN.md "Tiering model"): read-path heat tracking and a
+// heat-driven background migrator that moves tagged subsets between
+// backends with the ingest pipeline's crash-safety guarantees.
+type (
+	// AccessFunc observes one read-path dropping access; install a tracker's
+	// Record via Acquirer.SetAccessFunc (and FrameCache.SetAccessFunc for
+	// cache hits, which storage cannot see).
+	AccessFunc = core.AccessFunc
+	// HeatTracker aggregates accesses into exponentially decayed
+	// per-dropping heat.
+	HeatTracker = tier.Tracker
+	// TierPolicy ranks migration candidates and supplies pins.
+	TierPolicy = tier.Policy
+	// LFUPolicy is the default decayed-LFU policy with per-tag pins.
+	LFUPolicy = tier.LFU
+	// TierConfig parameterizes the migration planner (backends, capacity,
+	// watermarks).
+	TierConfig = tier.Config
+	// Migrator plans and executes heat-driven migrations.
+	Migrator = tier.Migrator
+	// MigrationStep summarizes one planning round.
+	MigrationStep = tier.StepReport
+	// TierReport snapshots placements and heat for operators.
+	TierReport = tier.Report
+)
+
+// Per-tag placement pins (TierPolicy overrides that outrank heat).
+const (
+	// PinNone lets the heat policy decide.
+	PinNone = tier.PinNone
+	// PinFast keeps a tag on the fast backend once promoted.
+	PinFast = tier.PinFast
+	// PinNever excludes a tag from migration.
+	PinNever = tier.PinNever
+)
+
+// NewHeatTracker returns a heat tracker reading seconds from now (nil =
+// wall clock) with the given half-life (0 disables decay).
+func NewHeatTracker(now func() float64, halfLifeSeconds float64) *HeatTracker {
+	if now == nil {
+		now = tier.WallClock()
+	}
+	return tier.NewTracker(now, halfLifeSeconds)
+}
+
+// NewLFUPolicy returns the default decayed-LFU policy with no pins.
+func NewLFUPolicy() *LFUPolicy { return tier.NewLFU() }
+
+// NewMigrator validates cfg against the store and returns a migration
+// planner; pol nil selects the default decayed-LFU policy.
+func NewMigrator(acq *Acquirer, store *ContainerStore, trk *HeatTracker, pol TierPolicy, cfg TierConfig) (*Migrator, error) {
+	return tier.NewMigrator(acq, store, trk, pol, cfg)
+}
+
+// ParseTierSpec parses the adanode/adactl tier-spec grammar, e.g.
+// "fast=ssd,slow=hdd,cap=64MiB,halflife=5m,pin=p:fast"; the returned
+// policy carries the pins.
+func ParseTierSpec(spec string) (TierConfig, *LFUPolicy, error) { return tier.ParseSpec(spec) }
 
 // Extension types (see DESIGN.md "extensions"):
 type (

@@ -29,6 +29,7 @@ import (
 	"repro/internal/osfs"
 	"repro/internal/plfs"
 	"repro/internal/rpc"
+	"repro/internal/tier"
 	"repro/internal/vfs"
 	"repro/internal/xtc"
 )
@@ -57,7 +58,7 @@ func main() {
 		}
 		return
 	}
-	a, err := openStore(*store, *fine)
+	a, containers, err := openStore(*store, *fine)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +83,8 @@ func main() {
 		err = cmdScrub(a, args)
 	case "recover":
 		err = cmdRecover(a)
+	case "tier":
+		err = cmdTier(a, containers, args)
 	default:
 		usage()
 	}
@@ -107,6 +110,10 @@ commands:
   scrub    [-rate BYTES/S]                   verify every dataset (one pass)
   recover                                    roll back or finish interrupted
                                              ingests (run after a crash)
+  tier     [-spec SPEC] [-step]              report per-backend usage and
+                                             subset placement; with -spec
+                                             evaluate watermarks and (with
+                                             -step) run one migration round
   stats    -addr HOST:PORT [-json]           fetch a node's runtime metrics
                                              (adanode -metrics-addr endpoint)
   ping     -addr HOST:PORT [-count N]        probe a node over the storage
@@ -119,27 +126,27 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func openStore(dir string, fine bool) (*core.ADA, error) {
+func openStore(dir string, fine bool) (*core.ADA, *plfs.FS, error) {
 	ssd, err := osfs.New(filepath.Join(dir, "ssd"))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hdd, err := osfs.New(filepath.Join(dir, "hdd"))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	containers, err := plfs.New(
 		plfs.Backend{Name: "ssd", FS: ssd, Mount: "/"},
 		plfs.Backend{Name: "hdd", FS: hdd, Mount: "/"},
 	)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	opts := core.Options{}
 	if fine {
 		opts.Granularity = core.Fine
 	}
-	return core.New(containers, nil, opts), nil
+	return core.New(containers, nil, opts), containers, nil
 }
 
 func cmdIngest(a *core.ADA, args []string) error {
@@ -456,6 +463,88 @@ func cmdRecover(a *core.ADA) error {
 	}
 	for name, act := range actions {
 		fmt.Printf("  %-30s %s\n", name, act)
+	}
+	return nil
+}
+
+// cmdTier reports the store's tiering state: per-backend byte usage and
+// every subset's placement. With -spec it evaluates the watermarks a node
+// would enforce, and -step runs one migration planning round — a manual
+// rebalance. A fresh CLI process has no heat history, so a -step demotion
+// ranks purely by the policy's tie-break (size); continuous heat-driven
+// migration lives in adanode -tier-spec.
+func cmdTier(a *core.ADA, containers *plfs.FS, args []string) error {
+	fs := flag.NewFlagSet("tier", flag.ExitOnError)
+	spec := fs.String("spec", "", `tier spec, e.g. "fast=ssd,slow=hdd,cap=64MiB"`)
+	step := fs.Bool("step", false, "run one migration planning round before reporting (needs -spec)")
+	fs.Parse(args)
+	if *spec == "" {
+		if *step {
+			return fmt.Errorf("tier -step needs -spec")
+		}
+		return tierListing(a, containers)
+	}
+	cfg, pol, err := tier.ParseSpec(*spec)
+	if err != nil {
+		return err
+	}
+	trk := tier.NewTracker(tier.WallClock(), cfg.HalfLife)
+	a.SetAccessFunc(trk.Record)
+	mig, err := tier.NewMigrator(a, containers, trk, pol, cfg)
+	if err != nil {
+		return err
+	}
+	if *step {
+		rep, err := mig.Step()
+		if err != nil {
+			return err
+		}
+		for _, mv := range rep.Demotions {
+			fmt.Printf("demoted  %s tag %-8s %s -> %s  %d bytes\n", mv.Logical, mv.Tag, mv.From, mv.To, mv.Bytes)
+		}
+		for _, mv := range rep.Promotions {
+			fmt.Printf("promoted %s tag %-8s %s -> %s  %d bytes\n", mv.Logical, mv.Tag, mv.From, mv.To, mv.Bytes)
+		}
+		fmt.Printf("moved %d bytes\n", rep.BytesMoved)
+	}
+	r, err := mig.Report()
+	if err != nil {
+		return err
+	}
+	high := int64(cfg.HighWater * float64(cfg.CapacityBytes))
+	low := int64(cfg.LowWater * float64(cfg.CapacityBytes))
+	fmt.Printf("fast backend %s: %d / %d bytes (high %d, low %d)\n",
+		r.Fast, r.FastUsage, r.Capacity, high, low)
+	for _, name := range containers.Backends() {
+		fmt.Printf("  backend %-4s %12d bytes\n", name, r.Usage[name])
+	}
+	for _, s := range r.Subsets {
+		fmt.Printf("  %-24s tag %-8s backend %-4s %10d bytes  heat %.0f  pin %s\n",
+			s.Logical, s.Tag, s.Backend, s.Bytes, s.Heat, s.Pin)
+	}
+	return nil
+}
+
+// tierListing prints placement and usage without a spec: what is where.
+func tierListing(a *core.ADA, containers *plfs.FS) error {
+	usage := containers.Usage()
+	for _, name := range containers.Backends() {
+		fmt.Printf("backend %-4s %12d bytes\n", name, usage[name])
+	}
+	datasets, err := a.Datasets()
+	if err != nil {
+		return err
+	}
+	for _, logical := range datasets {
+		idx, err := containers.Index(logical)
+		if err != nil {
+			return err
+		}
+		for _, d := range idx {
+			if tag, ok := core.SubsetTag(d.Name); ok {
+				fmt.Printf("  %-24s tag %-8s backend %-4s %10d bytes\n", logical, tag, d.Backend, d.Size)
+			}
+		}
 	}
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/osfs"
 	"repro/internal/rpc"
+	"repro/internal/tier"
 	"repro/internal/vfs"
 )
 
@@ -45,6 +46,7 @@ type config struct {
 	metricsAddr string
 	faultSpec   string
 	scrubRate   int64
+	tierSpec    string
 }
 
 // parseFlags parses args (without the program name). It returns
@@ -63,6 +65,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 resilience testing (e.g. "seed=42; drop:conn.read:every=3"; see DESIGN.md)`)
 	fs.Int64Var(&cfg.scrubRate, "scrub-rate", 0,
 		"background checksum scrub rate in bytes/second over the served tree (0 disables)")
+	fs.StringVar(&cfg.tierSpec, "tier-spec", "",
+		`run heat-driven tiering over the served store, treating -dir as a
+two-tier container store (e.g. "fast=ssd,slow=hdd,cap=64MiB"; see DESIGN.md)`)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -93,7 +98,7 @@ func run(cfg *config, stdout io.Writer) error {
 		return err
 	}
 	// Every byte and op the node serves is accounted under fs.node.*.
-	fsys := vfs.Instrument(base, metrics.Default, "fs.node")
+	var fsys vfs.FS = vfs.Instrument(base, metrics.Default, "fs.node")
 	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return err
@@ -119,6 +124,22 @@ func run(cfg *config, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "adanode metrics on http://%s/metrics\n", mln.Addr())
 		go http.Serve(mln, metricsMux(metrics.Default))
 	}
+	var mig *tier.Migrator
+	if cfg.tierSpec != "" {
+		m, trk, err := setupTiering(base, cfg.tierSpec)
+		if err != nil {
+			return fmt.Errorf("-tier-spec: %w", err)
+		}
+		// Served subset reads feed the heat tracker; the migrator reads and
+		// moves droppings through the uninstrumented FS, like the scrubber,
+		// so rebalancing I/O stays out of the fs.node.* serving counters.
+		fsys = newHeatFS(fsys, trk.Record)
+		m.Run()
+		mig = m
+		c := m.Config()
+		fmt.Fprintf(stdout, "adanode tiering %s->%s: cap=%d bytes, watermarks %.2f/%.2f, every %v\n",
+			c.Fast, c.Slow, c.CapacityBytes, c.HighWater, c.LowWater, c.Interval)
+	}
 	if cfg.scrubRate > 0 {
 		// The scrubber reads through the uninstrumented FS so background
 		// verification does not pollute the fs.node.* serving counters.
@@ -136,6 +157,14 @@ func run(cfg *config, stdout io.Writer) error {
 	go func() {
 		s := <-sigs
 		fmt.Fprintf(stdout, "adanode: %v: draining in-flight requests\n", s)
+		if mig != nil {
+			// Let an in-flight migration round finish its atomic publish
+			// before the server stops; a kill mid-copy is still safe (the
+			// next start's Recover sweeps the staged half), but a drain
+			// leaves nothing to repair.
+			mig.Stop()
+			fmt.Fprintln(stdout, "adanode: tier migrator drained")
+		}
 		srv.Close()
 	}()
 	if err := srv.Serve(ln); !errors.Is(err, rpc.ErrServerClosed) {

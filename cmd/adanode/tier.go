@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/plfs"
+	"repro/internal/tier"
+	"repro/internal/vfs"
+)
+
+// Node-local tiering (-tier-spec). The served directory is treated as a
+// two-tier container store: one subtree per backend, named after the spec's
+// fast= and slow= backends (the layout adactl's store uses). The node runs
+// the heat tracker and migration planner itself: every subset read it
+// serves feeds heat, and the background migrator rebalances droppings
+// between the subtrees. Remote clients resolve droppings through the
+// on-disk .plfs_index the migrator updates atomically, so a migration is
+// visible to them the same way it is to a local reader.
+//
+// The fast backend must be the store's canonical (first) backend — the one
+// holding the container indexes.
+
+// setupTiering builds the node-local store view, repairs any migration or
+// ingest a crash interrupted, and returns the migrator (not yet running)
+// plus the tracker the served read path should feed.
+func setupTiering(base vfs.FS, spec string) (*tier.Migrator, *tier.Tracker, error) {
+	cfg, pol, err := tier.ParseSpec(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	containers, err := plfs.New(
+		plfs.Backend{Name: cfg.Fast, FS: base, Mount: "/" + cfg.Fast},
+		plfs.Backend{Name: cfg.Slow, FS: base, Mount: "/" + cfg.Slow},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	a := core.New(containers, nil, core.Options{})
+	if _, err := a.Recover(); err != nil {
+		return nil, nil, fmt.Errorf("recover: %w", err)
+	}
+	trk := tier.NewTracker(tier.WallClock(), cfg.HalfLife)
+	a.SetAccessFunc(trk.Record)
+	mig, err := tier.NewMigrator(a, containers, trk, pol, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mig, trk, nil
+}
+
+// heatFS decorates the served file system so subset payload reads feed the
+// heat tracker. Only reads are observed; every other operation passes
+// through untouched.
+type heatFS struct {
+	vfs.FS
+	record core.AccessFunc
+}
+
+func newHeatFS(inner vfs.FS, record core.AccessFunc) vfs.FS {
+	return &heatFS{FS: inner, record: record}
+}
+
+func (h *heatFS) Open(name string) (vfs.File, error) {
+	f, err := h.FS.Open(name)
+	if err != nil {
+		return f, err
+	}
+	if logical, dropping, ok := containerTarget(name); ok {
+		return &heatFile{File: f, logical: logical, dropping: dropping, record: h.record}, nil
+	}
+	return f, nil
+}
+
+// containerTarget parses a served path /<backend>/<logical...>/<dropping>
+// and reports whether it is a subset payload worth tracking.
+func containerTarget(name string) (logical, dropping string, ok bool) {
+	parts := strings.Split(strings.Trim(vfs.Clean(name), "/"), "/")
+	if len(parts) < 3 {
+		return "", "", false
+	}
+	dropping = parts[len(parts)-1]
+	if _, ok := core.SubsetTag(dropping); !ok {
+		return "", "", false
+	}
+	return "/" + strings.Join(parts[1:len(parts)-1], "/"), dropping, true
+}
+
+type heatFile struct {
+	vfs.File
+	logical  string
+	dropping string
+	record   core.AccessFunc
+}
+
+func (f *heatFile) Read(p []byte) (int, error) {
+	n, err := f.File.Read(p)
+	if n > 0 {
+		f.record(f.logical, f.dropping, int64(n))
+	}
+	return n, err
+}
+
+func (f *heatFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.File.ReadAt(p, off)
+	if n > 0 {
+		f.record(f.logical, f.dropping, int64(n))
+	}
+	return n, err
+}

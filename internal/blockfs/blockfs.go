@@ -6,7 +6,6 @@
 package blockfs
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"path"
@@ -22,8 +21,10 @@ import (
 // BlockSize is the allocation unit.
 const BlockSize = 64 * 1024
 
-// ErrNoSpace is returned when the device is full.
-var ErrNoSpace = errors.New("blockfs: no space left on device")
+// ErrNoSpace is returned when the device is full. It wraps vfs.ErrNoSpace so
+// callers that only see the vfs interface (plfs dispatch, the tier planner)
+// can match the condition without importing blockfs.
+var ErrNoSpace = fmt.Errorf("blockfs: %w", vfs.ErrNoSpace)
 
 // extent is a run of consecutive blocks [Start, Start+Count).
 type extent struct {
@@ -501,10 +502,17 @@ func (f *file) Write(p []byte) (int, error) {
 	for _, e := range f.node.extents {
 		have += e.Count * BlockSize
 	}
+	grown := len(f.node.extents)
 	for have < end {
 		need := (end - have + BlockSize - 1) / BlockSize
 		e := f.fs.alloc.alloc(need)
 		if e.Count == 0 {
+			// Release what this write grabbed so a failed write never
+			// silently consumes capacity the file will not use.
+			for _, ge := range f.node.extents[grown:] {
+				f.fs.alloc.release(ge)
+			}
+			f.node.extents = f.node.extents[:grown]
 			return 0, fmt.Errorf("%w (%s: need %d blocks)", ErrNoSpace, f.fs.label, need)
 		}
 		f.node.extents = append(f.node.extents, e)

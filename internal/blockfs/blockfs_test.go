@@ -89,6 +89,38 @@ func TestNoSpace(t *testing.T) {
 	}
 }
 
+// TestNoSpaceTypedAndLeakFree pins the overfill contract: the error is the
+// typed vfs.ErrNoSpace (so upper layers can branch on it across the RPC
+// boundary), the failed write releases every block it grabbed, and the
+// file's prior contents stay intact.
+func TestNoSpaceTypedAndLeakFree(t *testing.T) {
+	dev := smallDev()
+	dev.Capacity = 3 * BlockSize
+	fs := New("tiny", dev, nil)
+	f, err := fs.Create("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	free := fs.FreeBytes()
+	_, err = f.Write(make([]byte, 3*BlockSize))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("err = %v does not unwrap to vfs.ErrNoSpace", err)
+	}
+	if got := fs.FreeBytes(); got != free {
+		t.Fatalf("failed write leaked blocks: free %d -> %d", free, got)
+	}
+	if f.Size() != BlockSize {
+		t.Fatalf("file size %d after failed write, want %d", f.Size(), BlockSize)
+	}
+}
+
 func TestSpaceReclaimedOnRemove(t *testing.T) {
 	dev := smallDev()
 	dev.Capacity = 4 * BlockSize

@@ -94,6 +94,9 @@ type ADA struct {
 	im         ingestMetrics
 	vm         verifyMetrics
 	fm         failoverMetrics
+	// access, when set, observes every read-path dropping access (the tier
+	// subsystem's heat signal). See SetAccessFunc.
+	access AccessFunc
 }
 
 // ingestMetrics are the real-time (wall-clock) handles for the ingest

@@ -188,8 +188,13 @@ func (a *ADA) rollback(logical string) (RecoveryAction, error) {
 	return RecoveryRolledBack, nil
 }
 
-// sweepCommitted removes post-commit leftovers (the journal, stray staging
-// droppings) from a dataset whose manifest already landed.
+// sweepCommitted removes post-commit leftovers from a dataset whose
+// manifest already landed: the journal and stray staging droppings (an
+// ingest's post-commit window, or a migration's staged copy), then the
+// orphan files and dangling index entries a torn cross-backend
+// ReplaceDropping leaves, and finally folds any migration that published
+// but never rewrote the manifest back into the manifest's placement
+// fields.
 func (a *ADA) sweepCommitted(logical string) (RecoveryAction, error) {
 	idx, err := a.containers.Index(logical)
 	if err != nil {
@@ -203,6 +208,20 @@ func (a *ADA) sweepCommitted(logical string) (RecoveryAction, error) {
 			}
 			swept = true
 		}
+	}
+	orphans, err := a.containers.SweepOrphans(logical)
+	if err != nil {
+		return "", err
+	}
+	if len(orphans) > 0 {
+		swept = true
+	}
+	reconciled, err := a.reconcilePlacement(logical)
+	if err != nil {
+		return "", err
+	}
+	if reconciled {
+		swept = true
 	}
 	if swept {
 		return RecoverySwept, nil

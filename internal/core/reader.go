@@ -22,6 +22,10 @@ type SubsetReader struct {
 	r      *xtc.Reader
 	vs     *verifiedSubset // non-nil: checksummed read path
 	next   int
+	// heat signal for the raw path (the verified path reports from
+	// verifiedSubset, where the exact stored byte counts live).
+	logical string
+	access  AccessFunc
 }
 
 // OpenSubset resolves a tag through the indexer (manifest) and opens its
@@ -51,11 +55,13 @@ func (a *ADA) OpenSubset(logical, tag string) (*SubsetReader, error) {
 		return nil, err
 	}
 	return &SubsetReader{
-		Tag:    tag,
-		Info:   info,
-		Ranges: ranges,
-		file:   f,
-		r:      xtc.NewReader(readerOf(f)),
+		Tag:     tag,
+		Info:    info,
+		Ranges:  ranges,
+		file:    f,
+		r:       xtc.NewReader(readerOf(f)),
+		logical: logical,
+		access:  a.access,
 	}, nil
 }
 
@@ -85,7 +91,13 @@ func (s *SubsetReader) ReadFrame() (*xtc.Frame, error) {
 		s.next++
 		return f, nil
 	}
-	return s.r.ReadFrame()
+	f, err := s.r.ReadFrame()
+	if err == nil && s.access != nil {
+		// The raw stream does not expose per-frame stored sizes; the
+		// uncompressed frame size is close enough for a heat signal.
+		s.access(s.logical, subsetPrefix+s.Tag, xtc.RawFrameSize(f.NAtoms()))
+	}
+	return f, err
 }
 
 // Close releases the underlying dropping handle.
@@ -115,6 +127,9 @@ type SubsetRandomReader struct {
 	file   vfs.File
 	ra     *xtc.RandomAccessReader
 	vs     *verifiedSubset // non-nil: checksummed read path
+	// heat signal for the raw path (see SubsetReader).
+	logical string
+	access  AccessFunc
 }
 
 // OpenSubsetAt opens a tagged subset for random frame access.
@@ -151,11 +166,13 @@ func (a *ADA) OpenSubsetAt(logical, tag string) (*SubsetRandomReader, error) {
 		return nil, err
 	}
 	return &SubsetRandomReader{
-		Tag:    tag,
-		Info:   info,
-		Ranges: ranges,
-		file:   f,
-		ra:     xtc.NewRandomAccessReader(f, idx),
+		Tag:     tag,
+		Info:    info,
+		Ranges:  ranges,
+		file:    f,
+		ra:      xtc.NewRandomAccessReader(f, idx),
+		logical: logical,
+		access:  a.access,
 	}, nil
 }
 
@@ -172,7 +189,11 @@ func (s *SubsetRandomReader) ReadFrameAt(i int) (*xtc.Frame, error) {
 	if s.vs != nil {
 		return s.vs.frame(i)
 	}
-	return s.ra.ReadFrameAt(i)
+	f, err := s.ra.ReadFrameAt(i)
+	if err == nil && s.access != nil {
+		s.access(s.logical, subsetPrefix+s.Tag, xtc.RawFrameSize(f.NAtoms()))
+	}
+	return f, err
 }
 
 // ConcurrentFrameReads reports that ReadFrameAt is safe for concurrent use

@@ -145,6 +145,7 @@ func (v *verifiedSubset) frameBytes(i int) ([]byte, error) {
 			v.a.vm.bytes.Add(size)
 			if xtc.CRC32C(buf) == want {
 				v.a.vm.frames.Inc()
+				v.a.noteAccess(v.logical, subsetPrefix+v.tag, size)
 				return buf, nil
 			}
 			v.a.vm.corrupted.Inc()
@@ -161,6 +162,7 @@ func (v *verifiedSubset) frameBytes(i int) ([]byte, error) {
 		if xtc.CRC32C(buf) == want {
 			v.a.fm.reads.Inc()
 			v.a.vm.frames.Inc()
+			v.a.noteAccess(v.logical, subsetPrefix+v.tag, size)
 			return buf, nil
 		}
 		v.a.vm.corrupted.Inc()

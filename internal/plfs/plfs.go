@@ -42,12 +42,22 @@ type Dropping struct {
 	Size    int64
 }
 
+// ErrCrossBackend is returned by RenameDropping when the rename would
+// shadow a dropping owned by a different backend. A rename is atomic only
+// within one backend; pretending otherwise would need a non-atomic delete
+// on the other mount whose failure point corrupts the index. Cross-backend
+// replacement is ReplaceDropping's job, which orders its steps so every
+// crash point is recoverable.
+var ErrCrossBackend = errors.New("plfs: cross-backend rename")
+
 // FS is a PLFS-like container store over multiple backends.
 type FS struct {
 	mu       sync.Mutex
 	backends []Backend
 	byName   map[string]*Backend
 	down     map[string]error // backend name -> transport error that marked it down
+	usage    map[string]int64 // backend name -> bytes of dropping data on disk
+	seeded   map[string]bool  // backend name -> usage counter seeded from a walk
 	reg      *metrics.Registry
 }
 
@@ -57,7 +67,13 @@ func New(backends ...Backend) (*FS, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("plfs: no backends")
 	}
-	p := &FS{byName: map[string]*Backend{}, down: map[string]error{}, reg: metrics.Default}
+	p := &FS{
+		byName: map[string]*Backend{},
+		down:   map[string]error{},
+		usage:  map[string]int64{},
+		seeded: map[string]bool{},
+		reg:    metrics.Default,
+	}
 	for i := range backends {
 		b := backends[i]
 		if b.FS == nil {
@@ -75,7 +91,14 @@ func New(backends ...Backend) (*FS, error) {
 
 // SetMetrics points the store's dispatch counters at reg (metrics.Default
 // by default; nil disables collection). Call before serving traffic.
-func (p *FS) SetMetrics(reg *metrics.Registry) { p.reg = reg }
+func (p *FS) SetMetrics(reg *metrics.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reg = reg
+	for name, v := range p.usage {
+		reg.Gauge("plfs.backend." + name + ".bytes").Set(v)
+	}
+}
 
 // count bumps one dispatch counter, namespaced per backend so the paper's
 // SSD-vs-HDD steering is visible at runtime:
@@ -146,10 +169,31 @@ func (p *FS) CreateDropping(logical, dropping, backend string) (vfs.File, error)
 	if strings.ContainsAny(dropping, "/\t\n") || dropping == "" || dropping == indexFileName {
 		return nil, fmt.Errorf("plfs: invalid dropping name %q", dropping)
 	}
-	f, err := b.FS.Create(path.Join(containerPath(b, logical), dropping))
+	// Best-effort early full check: capacity-bounded backends (blockfs)
+	// expose FreeBytes. Failing here — before the index records the
+	// dropping — hands ingest and the tier planner a clean vfs.ErrNoSpace
+	// instead of a torn write discovered halfway through the data.
+	if fb, ok := b.FS.(interface{ FreeBytes() int64 }); ok && fb.FreeBytes() <= 0 {
+		return nil, fmt.Errorf("plfs: create dropping on %s: %w", b.Name, vfs.ErrNoSpace)
+	}
+	p.ensureUsageLocked(b)
+	full := path.Join(containerPath(b, logical), dropping)
+	// The index tells us whether Create will truncate an existing file on
+	// this backend; only then is a stat needed for the accounting delta.
+	var prev int64
+	for _, d := range idx {
+		if d.Name == dropping && d.Backend == backend {
+			prev = statSize(b, logical, dropping)
+			break
+		}
+	}
+	f, err := b.FS.Create(full)
 	if err != nil {
 		p.noteLocked(b, err)
 		return nil, fmt.Errorf("plfs: create dropping: %w", err)
+	}
+	if prev != 0 {
+		p.addUsageLocked(b.Name, -prev) // Create truncated the old content
 	}
 	// Record (or re-point) the dropping.
 	out := idx[:0]
@@ -164,7 +208,7 @@ func (p *FS) CreateDropping(logical, dropping, backend string) (vfs.File, error)
 		return nil, err
 	}
 	p.count("backend." + backend + ".droppings_created")
-	return f, nil
+	return &acctFile{File: f, fs: p, backend: b.Name}, nil
 }
 
 // OpenDropping opens an existing dropping for reading, resolving its
@@ -299,6 +343,7 @@ func (p *FS) RemoveContainer(logical string) error {
 			continue
 		}
 		found = true
+		p.ensureUsageLocked(b)
 		entries, err := b.FS.ReadDir(dir)
 		if err != nil {
 			p.noteLocked(b, err)
@@ -311,6 +356,9 @@ func (p *FS) RemoveContainer(logical string) error {
 			if err := b.FS.Remove(path.Join(dir, e.Name)); err != nil {
 				p.noteLocked(b, err)
 				return fmt.Errorf("plfs: remove dropping %q: %w", e.Name, err)
+			}
+			if countedFile(e.Name) {
+				p.addUsageLocked(b.Name, -e.Size)
 			}
 		}
 		if err := b.FS.Remove(dir); err != nil {
@@ -349,6 +397,17 @@ func (p *FS) RenameDropping(logical, oldname, newname string) error {
 	if owner == "" {
 		return fmt.Errorf("%w: dropping %q in container %q", vfs.ErrNotExist, oldname, logical)
 	}
+	// Refuse to shadow a dropping on another backend: the rename below is
+	// atomic only on owner's mount, and the shadowed file could only be
+	// cleaned up by a separate delete whose crash point leaves the index
+	// pointing at a removed file. Callers that mean "move across backends"
+	// use ReplaceDropping.
+	for _, d := range idx {
+		if d.Name == newname && d.Backend != owner {
+			return fmt.Errorf("%w: %q is on %s but %q is on %s",
+				ErrCrossBackend, oldname, owner, newname, d.Backend)
+		}
+	}
 	b := p.byName[owner]
 	if b == nil {
 		return fmt.Errorf("plfs: index references unknown backend %q", owner)
@@ -357,23 +416,26 @@ func (p *FS) RenameDropping(logical, oldname, newname string) error {
 		return err
 	}
 	dir := containerPath(b, logical)
+	p.ensureUsageLocked(b)
+	// Cross-backend shadows were rejected above, so an index entry for
+	// newname means a same-backend file the rename will overwrite.
+	var prev int64
+	for _, d := range idx {
+		if d.Name == newname {
+			prev = statSize(b, logical, newname)
+			break
+		}
+	}
 	if err := b.FS.Rename(path.Join(dir, oldname), path.Join(dir, newname)); err != nil {
 		p.noteLocked(b, err)
 		return fmt.Errorf("plfs: rename dropping %q: %w", oldname, err)
 	}
+	if prev != 0 {
+		p.addUsageLocked(owner, -prev) // the rename overwrote newname
+	}
 	out := make([]Dropping, 0, len(idx))
 	for _, d := range idx {
-		switch d.Name {
-		case oldname:
-			continue
-		case newname:
-			// A same-backend duplicate was overwritten by the rename; a
-			// cross-backend one is now shadowed — delete its file.
-			if d.Backend != owner {
-				if ob := p.byName[d.Backend]; ob != nil {
-					ob.FS.Remove(path.Join(containerPath(ob, logical), newname))
-				}
-			}
+		if d.Name == oldname || d.Name == newname {
 			continue
 		}
 		out = append(out, d)
@@ -411,10 +473,16 @@ func (p *FS) RemoveDropping(logical, dropping string) error {
 	if err := p.checkLocked(b); err != nil {
 		return err
 	}
-	if err := b.FS.Remove(path.Join(containerPath(b, logical), dropping)); err != nil &&
+	p.ensureUsageLocked(b)
+	full := path.Join(containerPath(b, logical), dropping)
+	sz := statSize(b, logical, dropping)
+	if err := b.FS.Remove(full); err != nil &&
 		!errors.Is(err, vfs.ErrNotExist) {
 		p.noteLocked(b, err)
 		return fmt.Errorf("plfs: remove dropping %q: %w", dropping, err)
+	}
+	if sz != 0 {
+		p.addUsageLocked(b.Name, -sz)
 	}
 	return p.writeIndexLocked(logical, out)
 }

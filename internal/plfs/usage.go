@@ -1,0 +1,118 @@
+package plfs
+
+import (
+	"path"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// Per-backend byte accounting. The tier planner's watermark decisions and
+// the plfs.backend.<name>.bytes gauges both read from here, so the numbers
+// must stay correct without walking the mounts on every query: the store
+// walks each backend once — lazily, the first time an operation touches it
+// or Usage is queried — to seed the counter, then every mutating operation
+// (dropping writes, truncating re-creates, renames over existing files,
+// removes, orphan sweeps) applies its delta inline. The seed walk replaces
+// whatever the counter held, so the walk's disk truth wins over any deltas
+// applied before it ran.
+//
+// Only dropping data counts. Container indexes and the ".tmp" siblings the
+// atomic-replace protocol stages are bookkeeping, not placed data, and are
+// excluded both from the seed walk and from the incremental updates.
+
+// countedFile reports whether a container file participates in usage
+// accounting.
+func countedFile(name string) bool {
+	return name != indexFileName && !strings.HasSuffix(name, ".tmp")
+}
+
+// ensureUsageLocked seeds a backend's usage counter from one walk of its
+// mount, once. Best-effort: a missing or unreachable mount seeds as the
+// bytes found so far — accounting is an advisory capacity signal, not a
+// ledger, and later deltas still apply.
+func (p *FS) ensureUsageLocked(b *Backend) {
+	if p.seeded[b.Name] {
+		return
+	}
+	p.seeded[b.Name] = true
+	total := int64(0)
+	vfs.Walk(b.FS, b.Mount, func(_ string, info vfs.FileInfo) error {
+		if countedFile(info.Name) {
+			total += info.Size
+		}
+		return nil
+	})
+	p.usage[b.Name] = total
+	p.reg.Gauge("plfs.backend." + b.Name + ".bytes").Set(total)
+}
+
+// addUsageLocked applies a byte delta to one backend's counter and mirrors
+// it to the gauge. Clamped at zero: a subtraction racing a best-effort seed
+// must not publish a negative residency.
+func (p *FS) addUsageLocked(name string, delta int64) {
+	v := p.usage[name] + delta
+	if v < 0 {
+		v = 0
+	}
+	p.usage[name] = v
+	p.reg.Gauge("plfs.backend." + name + ".bytes").Set(v)
+}
+
+func (p *FS) addUsage(name string, delta int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.addUsageLocked(name, delta)
+}
+
+// Usage reports the bytes of dropping data resident on each backend, keyed
+// by backend name. The map is a copy; mutating it does not affect the
+// store.
+func (p *FS) Usage() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.backends))
+	for i := range p.backends {
+		b := &p.backends[i]
+		p.ensureUsageLocked(b)
+		out[b.Name] = p.usage[b.Name]
+	}
+	return out
+}
+
+// UsageOf reports the bytes resident on one backend (zero for unknown
+// names).
+func (p *FS) UsageOf(backend string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b := p.byName[backend]; b != nil {
+		p.ensureUsageLocked(b)
+	}
+	return p.usage[backend]
+}
+
+// acctFile wraps the writable handle CreateDropping returns so every byte
+// that lands in a dropping is charged to its backend as it is written.
+type acctFile struct {
+	vfs.File
+	fs      *FS
+	backend string
+}
+
+func (f *acctFile) Write(b []byte) (int, error) {
+	before := f.File.Size()
+	n, err := f.File.Write(b)
+	if after := f.File.Size(); after != before {
+		f.fs.addUsage(f.backend, after-before)
+	}
+	return n, err
+}
+
+// statSize returns the size of name on b, or zero if it does not exist.
+func statSize(b *Backend, logical, name string) int64 {
+	info, err := b.FS.Stat(path.Join(containerPath(b, logical), name))
+	if err != nil {
+		return 0
+	}
+	return info.Size
+}

@@ -1,0 +1,281 @@
+package plfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/blockfs"
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// putDropping writes one dropping through the store.
+func putDropping(t *testing.T, p *FS, logical, name, backend string, data []byte) {
+	t.Helper()
+	f, err := p.CreateDropping(logical, name, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	p, _, _ := twoBackends()
+	reg := metrics.NewRegistry()
+	p.SetMetrics(reg)
+	if err := p.CreateContainer("/c"); err != nil {
+		t.Fatal(err)
+	}
+	putDropping(t, p, "/c", "a", "ssd", make([]byte, 100))
+	putDropping(t, p, "/c", "b", "hdd", make([]byte, 50))
+	u := p.Usage()
+	if u["ssd"] != 100 || u["hdd"] != 50 {
+		t.Fatalf("usage = %v, want ssd:100 hdd:50", u)
+	}
+	if got := reg.Snapshot().Gauges["plfs.backend.ssd.bytes"]; got != 100 {
+		t.Fatalf("ssd gauge = %d, want 100", got)
+	}
+
+	// Recreate truncates: the counter follows the overwrite.
+	putDropping(t, p, "/c", "a", "ssd", make([]byte, 40))
+	if got := p.UsageOf("ssd"); got != 40 {
+		t.Fatalf("ssd usage after overwrite = %d, want 40", got)
+	}
+	// Rename moves bytes within the backend: no net change.
+	if err := p.RenameDropping("/c", "a", "a2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.UsageOf("ssd"); got != 40 {
+		t.Fatalf("ssd usage after rename = %d, want 40", got)
+	}
+	// Rename over an existing dropping subtracts the overwritten bytes.
+	putDropping(t, p, "/c", "a3", "ssd", make([]byte, 7))
+	if err := p.RenameDropping("/c", "a3", "a2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.UsageOf("ssd"); got != 7 {
+		t.Fatalf("ssd usage after rename-overwrite = %d, want 7", got)
+	}
+	if err := p.RemoveDropping("/c", "a2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.UsageOf("ssd"); got != 0 {
+		t.Fatalf("ssd usage after remove = %d, want 0", got)
+	}
+	if err := p.RemoveContainer("/c"); err != nil {
+		t.Fatal(err)
+	}
+	u = p.Usage()
+	if u["ssd"] != 0 || u["hdd"] != 0 {
+		t.Fatalf("usage after container removal = %v, want zeros", u)
+	}
+}
+
+// TestUsageSeedsFromDisk checks that a fresh FS over existing backends
+// learns its counters by walking the mounts once, and that the index
+// dropping and temp files are not counted.
+func TestUsageSeedsFromDisk(t *testing.T) {
+	p, ssd, hdd := twoBackends()
+	if err := p.CreateContainer("/c"); err != nil {
+		t.Fatal(err)
+	}
+	putDropping(t, p, "/c", "a", "ssd", make([]byte, 64))
+	putDropping(t, p, "/c", "b", "hdd", make([]byte, 32))
+	// A stray temp file (torn ReplaceFile) must not count.
+	if err := vfs.WriteFile(ssd, "/mnt1/c/x.tmp", make([]byte, 999)); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := New(
+		Backend{Name: "ssd", FS: ssd, Mount: "/mnt1"},
+		Backend{Name: "hdd", FS: hdd, Mount: "/mnt2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := p2.Usage()
+	if u["ssd"] != 64 || u["hdd"] != 32 {
+		t.Fatalf("seeded usage = %v, want ssd:64 hdd:32", u)
+	}
+}
+
+func TestReplaceDroppingCrossBackend(t *testing.T) {
+	p, ssd, _ := twoBackends()
+	if err := p.CreateContainer("/c"); err != nil {
+		t.Fatal(err)
+	}
+	putDropping(t, p, "/c", "x", "ssd", []byte("old-old-old"))
+	putDropping(t, p, "/c", "staging.x", "hdd", []byte("new"))
+
+	if err := p.ReplaceDropping("/c", "staging.x", "x"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.StatDropping("/c", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Backend != "hdd" || d.Size != 3 {
+		t.Fatalf("x = %+v, want backend hdd size 3", d)
+	}
+	f, err := p.OpenDropping("/c", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := vfs.ReadFile(ssd, "/mnt1/c/x")
+	if got != nil {
+		t.Fatalf("stale ssd copy survives: %q", got)
+	}
+	buf := make([]byte, 3)
+	if _, err := f.ReadAt(buf, 0); err != nil || !bytes.Equal(buf, []byte("new")) {
+		t.Fatalf("content %q err %v", buf, err)
+	}
+	f.Close()
+	// No staging entry left in the index.
+	idx, err := p.Index("/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range idx {
+		if e.Name == "staging.x" {
+			t.Fatal("staging entry survives in index")
+		}
+	}
+	if u := p.Usage(); u["ssd"] != 0 || u["hdd"] != 3 {
+		t.Fatalf("usage after replace = %v, want ssd:0 hdd:3", u)
+	}
+	// Replacing from a missing source fails cleanly.
+	if err := p.ReplaceDropping("/c", "nope", "x"); err == nil {
+		t.Fatal("replace from missing source succeeded")
+	}
+}
+
+func TestReplaceDroppingSameBackend(t *testing.T) {
+	p, _, _ := twoBackends()
+	if err := p.CreateContainer("/c"); err != nil {
+		t.Fatal(err)
+	}
+	putDropping(t, p, "/c", "x", "ssd", []byte("aaaa"))
+	putDropping(t, p, "/c", "staging.x", "ssd", []byte("bb"))
+	if err := p.ReplaceDropping("/c", "staging.x", "x"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.StatDropping("/c", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Backend != "ssd" || d.Size != 2 {
+		t.Fatalf("x = %+v, want backend ssd size 2", d)
+	}
+	if got := p.UsageOf("ssd"); got != 2 {
+		t.Fatalf("ssd usage = %d, want 2", got)
+	}
+}
+
+func TestSweepOrphans(t *testing.T) {
+	p, ssd, hdd := twoBackends()
+	if err := p.CreateContainer("/c"); err != nil {
+		t.Fatal(err)
+	}
+	putDropping(t, p, "/c", "keep", "ssd", []byte("data"))
+	// An unreferenced file on the other backend — the torn half of a
+	// crashed migration.
+	if err := vfs.WriteFile(hdd, "/mnt2/c/ghost", []byte("zzz")); err != nil {
+		t.Fatal(err)
+	}
+	// A dangling index entry: remove the file behind the store's back.
+	putDropping(t, p, "/c", "gone", "ssd", []byte("x"))
+	if err := ssd.Remove("/mnt1/c/gone"); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := p.SweepOrphans("/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != "hdd:ghost" {
+		t.Fatalf("removed = %v, want [hdd:ghost]", removed)
+	}
+	idx, err := p.Index("/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0].Name != "keep" {
+		t.Fatalf("index = %v, want only keep", idx)
+	}
+	// The canonical index file itself must never be swept.
+	if !vfs.Exists(ssd, "/mnt1/c/"+indexFileName) {
+		t.Fatal("sweep removed the container index")
+	}
+	// Idempotent on a clean container.
+	if removed, err := p.SweepOrphans("/c"); err != nil || len(removed) != 0 {
+		t.Fatalf("second sweep: %v, %v", removed, err)
+	}
+}
+
+func TestRenameCrossBackendRejected(t *testing.T) {
+	p, ssd, hdd := twoBackends()
+	if err := p.CreateContainer("/c"); err != nil {
+		t.Fatal(err)
+	}
+	putDropping(t, p, "/c", "a", "ssd", []byte("aa"))
+	putDropping(t, p, "/c", "b", "hdd", []byte("bb"))
+	err := p.RenameDropping("/c", "a", "b")
+	if !errors.Is(err, ErrCrossBackend) {
+		t.Fatalf("err = %v, want ErrCrossBackend", err)
+	}
+	// Nothing moved: both droppings intact.
+	for _, c := range []struct {
+		fs   vfs.FS
+		path string
+		want string
+	}{
+		{ssd, "/mnt1/c/a", "aa"},
+		{hdd, "/mnt2/c/b", "bb"},
+	} {
+		got, err := vfs.ReadFile(c.fs, c.path)
+		if err != nil || string(got) != c.want {
+			t.Fatalf("%s = %q, %v; rejected rename must not touch the store", c.path, got, err)
+		}
+	}
+}
+
+// TestCreateDroppingNoSpace checks that a full block-device backend surfaces
+// the typed vfs.ErrNoSpace through CreateDropping instead of tearing mid-write.
+func TestCreateDroppingNoSpace(t *testing.T) {
+	dev := device.Device{
+		Name: "tiny", ReadBW: 100 * device.MB, WriteBW: 100 * device.MB,
+		SeekSec: 0, Capacity: 2 * blockfs.BlockSize,
+	}
+	bfs := blockfs.New("tiny", dev, nil)
+	p, err := New(Backend{Name: "ssd", FS: bfs, Mount: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CreateContainer("/c"); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the device completely (the index file occupies part of a block,
+	// so one full-capacity dropping write leaves zero free blocks).
+	f, err := p.CreateDropping("/c", "fill", "ssd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, bfs.FreeBytes())); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if bfs.FreeBytes() > 0 {
+		t.Fatalf("device still has %d free bytes", bfs.FreeBytes())
+	}
+	_, err = p.CreateDropping("/c", "more", "ssd")
+	if !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("err = %v, want vfs.ErrNoSpace", err)
+	}
+}

@@ -1,0 +1,79 @@
+package tier
+
+import "sync"
+
+// Pin is a per-tag placement override that outranks the heat policy.
+type Pin int
+
+const (
+	// PinNone lets the heat policy decide (the default).
+	PinNone Pin = iota
+	// PinFast keeps the tag on the fast backend: it is promoted like any
+	// hot subset but never demoted, regardless of heat or watermarks.
+	PinFast
+	// PinNever excludes the tag from migration entirely — it stays where
+	// ingest placed it.
+	PinNever
+)
+
+func (p Pin) String() string {
+	switch p {
+	case PinFast:
+		return "fast"
+	case PinNever:
+		return "never"
+	default:
+		return "none"
+	}
+}
+
+// Candidate is one subset the planner considers moving.
+type Candidate struct {
+	Logical string
+	Tag     string
+	Backend string  // current owner (plfs index truth)
+	Bytes   int64   // payload + frame-index bytes a move would copy
+	Heat    float64 // decayed heat from the tracker
+}
+
+// Policy ranks migration candidates and supplies placement overrides. The
+// planner promotes high scores and demotes low ones; Pin outranks Score.
+// Implementations must be safe for concurrent use.
+type Policy interface {
+	// Score returns the candidate's rank; higher means hotter.
+	Score(c Candidate) float64
+	// Pin returns the tag's placement override.
+	Pin(logical, tag string) Pin
+}
+
+// LFU is the default policy: rank equals the tracker's exponentially
+// decayed byte count (decayed LFU), with explicit per-tag pins.
+type LFU struct {
+	mu   sync.Mutex
+	pins map[string]Pin
+}
+
+// NewLFU returns the default decayed-LFU policy with no pins.
+func NewLFU() *LFU { return &LFU{pins: map[string]Pin{}} }
+
+// SetPin installs (or, with PinNone, clears) a per-tag override.
+func (l *LFU) SetPin(tag string, p Pin) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p == PinNone {
+		delete(l.pins, tag)
+		return
+	}
+	l.pins[tag] = p
+}
+
+// Score ranks by decayed heat.
+func (l *LFU) Score(c Candidate) float64 { return c.Heat }
+
+// Pin returns the tag's override (logical is ignored: pins are per tag
+// across datasets, matching how placement schemas name tags).
+func (l *LFU) Pin(logical, tag string) Pin {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pins[tag]
+}

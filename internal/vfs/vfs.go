@@ -35,6 +35,11 @@ var (
 	// dropping. Layers above use it to trigger replica failover or scrub
 	// reporting rather than serving bad bytes as valid coordinates.
 	ErrCorrupted = errors.New("vfs: data corrupted")
+	// ErrNoSpace marks a backend that is out of capacity. Capacity-bounded
+	// file systems wrap it from Create/Write so the layers above (plfs
+	// dispatch, the tier planner, ingest) can react to a full fast backend —
+	// demote cold data or re-place the write — instead of failing opaquely.
+	ErrNoSpace = errors.New("vfs: no space left on device")
 )
 
 // FileInfo describes a file or directory.

@@ -48,6 +48,11 @@ type FrameCache struct {
 	used   int64                 // bytes currently cached (maintained on insert/evict)
 	stats  CacheStats
 	cm     cacheMetrics
+	// access, when set, observes cache hits — replayed frames served from
+	// memory that never reach the storage read path. Misses reach the
+	// storage-side core.AccessFunc through the underlying FrameSource, so a
+	// heat tracker wiring both signals counts every access exactly once.
+	access func(bytes int64)
 }
 
 // cacheMetrics mirror CacheStats into the runtime registry under
@@ -94,6 +99,13 @@ func (s *Session) NewFrameCache(src FrameSource, budget int64) *FrameCache {
 	}
 }
 
+// SetAccessFunc registers an observer for cache hits (nil disables). The
+// tiering heat tracker uses it to keep replayed droppings hot even when the
+// frame cache absorbs every read: hits are the only accesses the storage
+// path cannot see. The caller's closure binds the dataset and dropping
+// names — the cache itself does not know what it plays.
+func (c *FrameCache) SetAccessFunc(fn func(bytes int64)) { c.access = fn }
+
 // Stats returns the accumulated cache statistics.
 func (c *FrameCache) Stats() CacheStats { return c.stats }
 
@@ -111,7 +123,11 @@ func (c *FrameCache) Frame(i int) (*xtc.Frame, error) {
 		c.lru.MoveToFront(e)
 		c.stats.Hits++
 		c.cm.hits.Inc()
-		return e.Value.(cacheEntry).frame, nil
+		ent := e.Value.(cacheEntry)
+		if c.access != nil {
+			c.access(ent.bytes)
+		}
+		return ent.frame, nil
 	}
 	c.stats.Misses++
 	c.cm.misses.Inc()
