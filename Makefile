@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-decode bench-tier test-faults test-crash test-tier clean
+.PHONY: all build test race lint bench bench-decode bench-check bench-tier test-faults test-crash test-tier clean
 
 all: build lint test
 
@@ -50,10 +50,28 @@ bench: bench-decode bench-tier
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # Decode/prefetch benchmarks rendered to BENCH_decode.json (ns/op, MB/s,
-# allocs/op, vstall) for the CI artifact and regression tracking.
+# allocs/op, vstall, cpus, per-worker utilization) for the CI artifact and
+# regression tracking.
 bench-decode:
 	$(GO) test -run '^$$' -bench 'ParallelDecode|XTCDecode|PlaybackPrefetch' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_decode.json
+
+# Perf-regression gate: run the decode benchmarks fresh and diff against the
+# committed baseline. Fails (nonzero exit) when any benchmark slows past
+# BENCH_MAX_REGRESS percent or the 4-worker parallel speedup misses
+# BENCH_SPEEDUP — except that speedup assertions are skipped on runners with
+# fewer schedulable CPUs than the assertion's worker count (the run records a
+# "cpus" metric benchjson reads). The delta table lands in bench-delta.txt
+# for the CI artifact. After an intentional perf change, refresh the baseline
+# with `make bench-decode` and commit BENCH_decode.json.
+BENCH_MAX_REGRESS ?= 15
+BENCH_SPEEDUP ?= workers-4:serial:3.0
+bench-check:
+	$(GO) test -run '^$$' -bench 'ParallelDecode|XTCDecode|PlaybackPrefetch' -benchmem . \
+		| $(GO) run ./cmd/benchjson > bench-new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_decode.json bench-new.json \
+		-max-regress $(BENCH_MAX_REGRESS) -assert-speedup '$(BENCH_SPEEDUP)' \
+		> bench-delta.txt; status=$$?; cat bench-delta.txt; exit $$status
 
 # Tiering benchmarks rendered to BENCH_tier.txt for the CI artifact:
 # migration-pipeline throughput plus the read-path A/B for the heat hook

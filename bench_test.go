@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -143,6 +144,14 @@ func BenchmarkXTCEncode(b *testing.B) {
 	}
 }
 
+// reportCPUs records the scheduler width as a benchmark metric. The CI
+// regression gate (cmd/benchjson -compare) uses it twice: to undo the
+// -GOMAXPROCS name suffix when diffing runs from different machines, and to
+// skip speedup assertions the runner lacks the cores to satisfy.
+func reportCPUs(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
+}
+
 // BenchmarkXTCDecode measures the real decompressor — the rate that
 // dominates the paper's turnaround times.
 func BenchmarkXTCDecode(b *testing.B) {
@@ -155,6 +164,7 @@ func BenchmarkXTCDecode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportCPUs(b)
 }
 
 // BenchmarkXTCPrecision sweeps the quantization precision: higher precision
@@ -207,7 +217,10 @@ func parallelDecodeStream(b *testing.B) ([]byte, int64) {
 		rng := rand.New(rand.NewSource(5))
 		var buf bytes.Buffer
 		w := xtc.NewWriter(&buf)
-		const frames = 24
+		// 64 frames ≈ 9 MB encoded: enough for several 256 KB decode
+		// batches per worker, so the batched pipeline is actually
+		// exercised rather than degenerating to one work item.
+		const frames = 64
 		for k := 0; k < frames; k++ {
 			f.Step = int32(k)
 			for i := range f.Coords {
@@ -231,8 +244,15 @@ func parallelDecodeStream(b *testing.B) ([]byte, int64) {
 
 // BenchmarkParallelDecode measures multi-frame stream decode throughput:
 // the serial Reader baseline against ParallelReader at 1/2/4/8 workers.
-// MB/s is raw coordinate payload; the issue's acceptance bar is >=2x over
-// serial at 4 workers.
+// The stream is fully preloaded in memory (bytes.Reader), so the numbers
+// are pure decode with no I/O confound. MB/s is raw coordinate payload;
+// the acceptance bar is >=3x over serial at 4 workers, gated in CI by
+// `make bench-check` (and skipped automatically on runners with fewer
+// schedulable CPUs than workers — see cmd/benchjson). Each workers-N run
+// also reports per-worker utilization (busy time relative to the busiest
+// worker, from ParallelReader.WorkerBusy), so flat scaling is diagnosable
+// from the JSON artifact: near-1.0 everywhere means the pool is balanced
+// and the bottleneck is elsewhere.
 func BenchmarkParallelDecode(b *testing.B) {
 	stream, raw := parallelDecodeStream(b)
 	b.Run("serial", func(b *testing.B) {
@@ -243,18 +263,37 @@ func BenchmarkParallelDecode(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		reportCPUs(b)
 	})
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(raw)
+			busy := make([]int64, workers)
 			for i := 0; i < b.N; i++ {
 				pr := xtc.NewParallelReader(bytes.NewReader(stream), workers)
 				if _, err := pr.ReadAll(); err != nil {
 					b.Fatal(err)
 				}
+				for w, d := range pr.WorkerBusy() {
+					busy[w] += d.Nanoseconds()
+				}
 				pr.Close()
 			}
+			var busiest int64
+			for _, ns := range busy {
+				if ns > busiest {
+					busiest = ns
+				}
+			}
+			for w, ns := range busy {
+				util := 0.0
+				if busiest > 0 {
+					util = float64(ns) / float64(busiest)
+				}
+				b.ReportMetric(util, fmt.Sprintf("w%d_util", w))
+			}
+			reportCPUs(b)
 		})
 	}
 }
@@ -314,6 +353,7 @@ func BenchmarkPlaybackPrefetch(b *testing.B) {
 					stall = st.StallSec
 				}
 				b.ReportMetric(stall, "vstall")
+				reportCPUs(b)
 			})
 		}
 	}

@@ -73,6 +73,11 @@ type Options struct {
 	// DecodeWorkers bounds IngestParallel's decode pool (<=0 selects
 	// xtc.DefaultWorkers: min of NumCPU and GOMAXPROCS).
 	DecodeWorkers int
+	// DecodeBatchBytes overrides the encoded bytes handed to one decode
+	// worker per work item during IngestParallel (<=0 selects
+	// xtc.DefaultBatchBytes). Smaller batches lower first-frame latency
+	// for live-tailing readers; larger ones amortize per-item overhead.
+	DecodeBatchBytes int
 	// ReplicateActive mirrors every subset placed off the default (bulk)
 	// backend — the active "p" subsets under the paper's placement — onto
 	// it at ingest, so a corrupted or down primary fails over to a

@@ -93,6 +93,7 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 
 	pr := xtc.NewParallelReader(traj, workers)
 	pr.Observe = a.im.decodeNS.Observe
+	pr.BatchBytes = a.opts.DecodeBatchBytes
 	pr.SetMetrics(a.reg)
 	defer pr.Close()
 

@@ -2,6 +2,8 @@ package vmd
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/xtc"
@@ -85,7 +87,8 @@ type PrefetchSource struct {
 	last int // previous demand frame (-1 before the first)
 	dir  int // playback direction guess (+1 / -1)
 
-	wg sync.WaitGroup
+	busy []atomic.Int64 // per-worker wall-clock ns spent in background reads
+	wg   sync.WaitGroup
 }
 
 // NewPrefetchSource wraps src with readahead on `workers` background decode
@@ -110,6 +113,7 @@ func (s *Session) NewPrefetchSource(src FrameSource, idx *xtc.Index, workers, de
 		inflight: map[int]chan struct{}{},
 		last:     -1,
 		dir:      1,
+		busy:     make([]atomic.Int64, workers),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	if cs, ok := src.(concurrentSource); !ok || !cs.ConcurrentFrameReads() {
@@ -117,9 +121,20 @@ func (s *Session) NewPrefetchSource(src FrameSource, idx *xtc.Index, workers, de
 	}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
-		go p.worker()
+		go p.worker(w)
 	}
 	return p
+}
+
+// WorkerBusy returns each background worker's accumulated wall-clock time in
+// source reads — the same per-worker utilization surface ParallelReader
+// exposes, so flat prefetch scaling is diagnosable from bench artifacts.
+func (p *PrefetchSource) WorkerBusy() []time.Duration {
+	out := make([]time.Duration, len(p.busy))
+	for i := range p.busy {
+		out[i] = time.Duration(p.busy[i].Load())
+	}
+	return out
 }
 
 // Frames returns the underlying source's frame count.
@@ -149,7 +164,7 @@ func (p *PrefetchSource) Stop() {
 	p.wg.Wait()
 }
 
-func (p *PrefetchSource) worker() {
+func (p *PrefetchSource) worker(w int) {
 	defer p.wg.Done()
 	for {
 		p.mu.Lock()
@@ -164,7 +179,9 @@ func (p *PrefetchSource) worker() {
 		p.tasks = p.tasks[1:]
 		p.mu.Unlock()
 
+		t0 := time.Now()
 		f, err := p.readSrc(i)
+		p.busy[w].Add(time.Since(t0).Nanoseconds())
 
 		p.mu.Lock()
 		if ch, ok := p.inflight[i]; ok {

@@ -1,6 +1,9 @@
 package xdr
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // BitWriter packs values of arbitrary bit width into a byte stream,
 // most-significant bit first, matching the packing order used by the
@@ -71,12 +74,16 @@ func (w *BitWriter) Bytes() []byte {
 // BitLen returns the number of bits written so far.
 func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.nbits) }
 
-// BitReader unpacks values written by BitWriter.
+// BitReader unpacks values written by BitWriter. It keeps a 64-bit
+// accumulator refilled a byte at a time from the buffer, so the common
+// small-width reads on the XTC decode hot path are a shift and a mask
+// instead of a per-byte loop.
 type BitReader struct {
-	buf   []byte
-	off   int  // byte offset
-	nbits uint // bits already consumed from buf[off]
-	err   error
+	buf []byte
+	off int    // next byte of buf to load into acc
+	acc uint64 // low n bits are valid, MSB-first stream order
+	n   uint   // valid bits in acc
+	err error
 }
 
 // NewBitReader returns a BitReader over p.
@@ -85,36 +92,68 @@ func NewBitReader(p []byte) *BitReader { return &BitReader{buf: p} }
 // Err returns the first error encountered.
 func (r *BitReader) Err() error { return r.err }
 
+// fill tops up the accumulator from the buffer.
+func (r *BitReader) fill() {
+	if free := (64 - r.n) &^ 7; free >= 8 && r.off+8 <= len(r.buf) {
+		// Bulk path: one 8-byte load supplies every whole byte of space.
+		w := binary.BigEndian.Uint64(r.buf[r.off:])
+		r.acc = r.acc<<free | w>>(64-free)
+		r.off += int(free / 8)
+		r.n += free
+		return
+	}
+	for r.n <= 56 && r.off < len(r.buf) {
+		r.acc = r.acc<<8 | uint64(r.buf[r.off])
+		r.off++
+		r.n += 8
+	}
+}
+
+// mask64 returns a mask of the low nbits bits; nbits may be 64.
+func mask64(nbits uint) uint64 {
+	// Go defines shifts >= width as 0, so nbits == 64 yields ^uint64(0).
+	return 1<<nbits - 1
+}
+
 // ReadBits reads nbits bits (MSB first) and returns them right-aligned.
 // nbits must be in [0, 32]. On underflow it records an error and returns 0.
 func (r *BitReader) ReadBits(nbits uint) uint32 {
 	if nbits > 32 {
 		panic(fmt.Sprintf("xdr: ReadBits width %d out of range", nbits))
 	}
-	var v uint32
-	for nbits > 0 {
-		if r.err != nil {
-			return 0
-		}
-		if r.off >= len(r.buf) {
-			r.err = fmt.Errorf("%w: bit read past end (%d bytes)", ErrShortBuffer, len(r.buf))
-			return 0
-		}
-		avail := 8 - r.nbits
-		take := avail
-		if take > nbits {
-			take = nbits
-		}
-		chunk := uint32(r.buf[r.off]) >> (avail - take) & ((1 << take) - 1)
-		v = (v << take) | chunk
-		r.nbits += take
-		nbits -= take
-		if r.nbits == 8 {
-			r.off++
-			r.nbits = 0
-		}
+	if nbits <= r.n {
+		r.n -= nbits
+		return uint32(r.acc >> r.n & mask64(nbits))
 	}
-	return v
+	return uint32(r.ReadBits64(nbits))
+}
+
+// ReadBits64 reads nbits bits (MSB first) right-aligned into a uint64.
+// nbits must be in [0, 64]. On underflow it records an error and returns 0.
+func (r *BitReader) ReadBits64(nbits uint) uint64 {
+	if nbits > 64 {
+		panic(fmt.Sprintf("xdr: ReadBits64 width %d out of range", nbits))
+	}
+	if nbits <= r.n {
+		r.n -= nbits
+		return r.acc >> r.n & mask64(nbits)
+	}
+	if r.err != nil {
+		return 0
+	}
+	// Drain the accumulator, refill, and take the remainder. One refill
+	// always suffices: after the drain the accumulator is empty, so fill
+	// loads at least 57 bits when the buffer has them, and need < 64.
+	v := r.acc & mask64(r.n)
+	need := nbits - r.n
+	r.acc, r.n = 0, 0
+	r.fill()
+	if need > r.n {
+		r.err = fmt.Errorf("%w: bit read past end (%d bytes)", ErrShortBuffer, len(r.buf))
+		return 0
+	}
+	r.n -= need
+	return v<<need | r.acc>>r.n&mask64(need)
 }
 
 // ReadBitsBig reads nbits bits into dst in big-endian byte order.

@@ -103,6 +103,86 @@ func TestBitsBigRoundTrip(t *testing.T) {
 	}
 }
 
+func TestReadBits64RoundTrip(t *testing.T) {
+	// Wide values written as two halves must read back as one ReadBits64.
+	vals := []uint64{0, 1, 0xdeadbeefcafe, 1<<52 - 3, 1<<63 + 12345, ^uint64(0)}
+	widths := []uint{33, 40, 52, 57, 63, 64}
+	w := NewBitWriter(128)
+	w.WriteBits(0b101, 3) // misalign on purpose
+	for i, v := range vals {
+		wd := widths[i]
+		w.WriteBits(uint32(v>>32), wd-32)
+		w.WriteBits(uint32(v), 32)
+	}
+	r := NewBitReader(w.Bytes())
+	if got := r.ReadBits(3); got != 0b101 {
+		t.Fatalf("prefix = %b", got)
+	}
+	for i, v := range vals {
+		wd := widths[i]
+		want := v
+		if wd < 64 {
+			want &= 1<<wd - 1
+		}
+		if got := r.ReadBits64(wd); got != want {
+			t.Fatalf("width %d: got %#x, want %#x", wd, got, want)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestReadBits64MixedWidthsQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%64 + 1
+		widths := make([]uint, count)
+		vals := make([]uint64, count)
+		w := NewBitWriter(1024)
+		for i := range widths {
+			widths[i] = uint(rng.Intn(64) + 1)
+			vals[i] = rng.Uint64() & (1<<widths[i] - 1)
+			if widths[i] > 32 {
+				w.WriteBits(uint32(vals[i]>>32), widths[i]-32)
+				w.WriteBits(uint32(vals[i]), 32)
+			} else {
+				w.WriteBits(uint32(vals[i]), widths[i])
+			}
+		}
+		r := NewBitReader(w.Bytes())
+		for i := range widths {
+			// Alternate the two read paths over identical bit positions.
+			if widths[i] <= 32 && i%2 == 0 {
+				if uint64(r.ReadBits(widths[i])) != vals[i] {
+					return false
+				}
+			} else if r.ReadBits64(widths[i]) != vals[i] {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBits64Underflow(t *testing.T) {
+	r := NewBitReader([]byte{0xaa, 0xbb, 0xcc})
+	if got := r.ReadBits64(24); got != 0xaabbcc {
+		t.Fatalf("got %#x", got)
+	}
+	_ = r.ReadBits64(1)
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Errorf("err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Sticky: further reads keep failing and return zero.
+	if got := r.ReadBits64(8); got != 0 || !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Errorf("post-error read = %#x, err = %v", got, r.Err())
+	}
+}
+
 func TestBitReaderUnderflow(t *testing.T) {
 	r := NewBitReader([]byte{0xff})
 	_ = r.ReadBits(8)

@@ -324,15 +324,38 @@ func decompressCoords(blob []byte, natoms int, minInt [3]int32, sizeInt [3]uint3
 		if run < 0 || run > maxRunAtoms || i+run > natoms {
 			return fmt.Errorf("xtc: corrupt run field %d at atom %d/%d", field, i, natoms)
 		}
-		sizes := [3]uint32{st.sizeSmall, st.sizeSmall, st.sizeSmall}
-		for k := 0; k < run; k++ {
-			var vals [3]uint32
-			unpackInts(r, st.nbitsRun, sizes[:], vals[:])
-			for d := 0; d < 3; d++ {
-				prev[d] += int32(vals[d]) - st.smallNum
-				out[i*3+d] = prev[d]
+		if st.nbitsRun <= 64 {
+			// Fused small-delta path: the whole triplet is one <=64-bit
+			// accumulator read split by two divisions, decoded straight
+			// into out without the per-value call and slice traffic of
+			// the generic unpackInts. This loop is the decode hot spot.
+			small := uint64(st.sizeSmall)
+			nb, sn := st.nbitsRun, st.smallNum
+			for k := 0; k < run; k++ {
+				v := r.ReadBits64(nb)
+				q := v / small
+				z := int32(v - q*small)
+				x64 := q / small
+				y := int32(q - x64*small)
+				prev[0] += int32(x64) - sn
+				prev[1] += y - sn
+				prev[2] += z - sn
+				out[i*3] = prev[0]
+				out[i*3+1] = prev[1]
+				out[i*3+2] = prev[2]
+				i++
 			}
-			i++
+		} else {
+			sizes := [3]uint32{st.sizeSmall, st.sizeSmall, st.sizeSmall}
+			for k := 0; k < run; k++ {
+				var vals [3]uint32
+				unpackInts(r, st.nbitsRun, sizes[:], vals[:])
+				for d := 0; d < 3; d++ {
+					prev[d] += int32(vals[d]) - st.smallNum
+					out[i*3+d] = prev[d]
+				}
+				i++
+			}
 		}
 		st.adjust(dir)
 	}

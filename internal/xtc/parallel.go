@@ -11,12 +11,26 @@ import (
 	"repro/internal/metrics"
 )
 
+// DefaultBatchBytes is the target encoded size of one decode work item.
+// Per-frame work items drown the ~µs channel send and pool traffic in
+// per-item overhead once frames decode in hundreds of microseconds; a
+// quarter-megabyte batch amortizes that overhead over many frames while
+// staying small enough to spread a modest stream across the pool.
+const DefaultBatchBytes = 256 << 10
+
+// maxBatchFrames caps the frames per batch so tiny-frame streams still
+// produce enough work items to keep every worker busy, and so the
+// re-sequencing buffer stays bounded.
+const maxBatchFrames = 64
+
 // ParallelReader decodes a frame stream with a pool of worker goroutines and
 // re-sequences the results, so output is frame-for-frame identical to Reader
 // while the expensive 3dfcoord decompression runs on every core. A single
 // Scanner goroutine finds frame boundaries (cheap: header + blob length) and
-// hands each raw blob to the next free worker; the consumer side reorders by
-// sequence number.
+// accumulates contiguous multi-frame batches — appended zero-copy into a
+// pooled blob — that are handed to the next free worker; the consumer side
+// reorders by batch sequence number, with a direct fast path when batches
+// arrive already in order (the common case for near-uniform frame cost).
 //
 // ParallelReader is for one consumer goroutine; ReadFrame itself must not be
 // called concurrently.
@@ -29,35 +43,57 @@ type ParallelReader struct {
 	// must be concurrency-safe, like a metrics.Histogram).
 	Observe func(ns int64)
 
+	// BatchBytes, when set before the first read, overrides the target
+	// encoded bytes per work item (<=0 selects DefaultBatchBytes).
+	BatchBytes int
+
 	pm pdMetrics
 
 	started bool
-	work    chan scanItem
-	results chan decodeItem
+	work    chan scanBatch
+	results chan decodeBatch
 	quit    chan struct{}
 	once    sync.Once
-	pending map[int]decodeItem
-	next    int
-	err     error // sticky terminal error (including io.EOF)
-	busy    []atomic.Int64
+
+	// Consumer-side re-sequencing state. cur is the batch being delivered;
+	// out-of-order arrivals wait in pending, whose size is bounded by the
+	// channel capacities: at most cap(work)+cap(results) batches can be in
+	// flight beyond the one the consumer needs, so len(pending) never
+	// exceeds 2*workers+1 (asserted by tests via maxPending).
+	pending    map[int]decodeBatch
+	cur        decodeBatch
+	curIdx     int
+	haveCur    bool
+	next       int
+	maxPending int
+	err        error // sticky terminal error (including io.EOF)
+	busy       []atomic.Int64
 }
 
-type scanItem struct {
+// scanBatch is one work item: the concatenated encoded bytes of up to
+// maxBatchFrames frames. err, when set, is the scanner's terminal error
+// (io.EOF included), to be surfaced only after every frame in this batch.
+type scanBatch struct {
 	seq  int
 	blob []byte
-	size int64
+	ends []int // ends[i] = end offset of frame i within blob
+	err  error
 }
 
-type decodeItem struct {
-	seq   int
-	frame *Frame
-	size  int64
-	err   error
+// decodeBatch is one work item's decoded output. err is either a decode
+// error at frame len(frames) of the batch or the scanner's terminal error,
+// either way to be surfaced only after frames.
+type decodeBatch struct {
+	seq    int
+	frames []*Frame
+	sizes  []int64
+	err    error
 }
 
 // pdMetrics are the optional xtc.decode.* runtime metrics.
 type pdMetrics struct {
 	frames  *metrics.Counter
+	batches *metrics.Counter
 	ns      *metrics.Histogram
 	workers *metrics.Gauge
 }
@@ -85,7 +121,7 @@ func NewParallelReader(r io.Reader, workers int) *ParallelReader {
 	return &ParallelReader{
 		r:       r,
 		workers: workers,
-		pending: make(map[int]decodeItem),
+		pending: make(map[int]decodeBatch),
 		busy:    make([]atomic.Int64, workers),
 	}
 }
@@ -98,6 +134,7 @@ func (p *ParallelReader) SetMetrics(reg *metrics.Registry) {
 	}
 	p.pm = pdMetrics{
 		frames:  reg.Counter("xtc.decode.frames"),
+		batches: reg.Counter("xtc.decode.batches"),
 		ns:      reg.Histogram("xtc.decode.ns"),
 		workers: reg.Gauge("xtc.decode.workers"),
 	}
@@ -116,10 +153,18 @@ func (p *ParallelReader) WorkerBusy() []time.Duration {
 	return out
 }
 
+// batchBytes returns the effective batch-size target.
+func (p *ParallelReader) batchBytes() int {
+	if p.BatchBytes > 0 {
+		return p.BatchBytes
+	}
+	return DefaultBatchBytes
+}
+
 func (p *ParallelReader) start() {
 	p.started = true
-	p.work = make(chan scanItem, p.workers)
-	p.results = make(chan decodeItem, p.workers+1)
+	p.work = make(chan scanBatch, p.workers)
+	p.results = make(chan decodeBatch, p.workers+1)
 	p.quit = make(chan struct{})
 	p.pm.workers.Set(int64(p.workers))
 
@@ -129,18 +174,9 @@ func (p *ParallelReader) start() {
 		go func(w int) {
 			defer wg.Done()
 			for it := range p.work {
-				t0 := time.Now()
-				f, err := decodeBytes(it.blob)
-				ns := time.Since(t0).Nanoseconds()
-				putBytes(it.blob)
-				p.busy[w].Add(ns)
-				if p.Observe != nil {
-					p.Observe(ns)
-				}
-				p.pm.ns.Observe(ns)
-				p.pm.frames.Inc()
+				d := p.decodeBatch(w, it)
 				select {
-				case p.results <- decodeItem{seq: it.seq, frame: f, size: it.size, err: err}:
+				case p.results <- d:
 				case <-p.quit:
 					return
 				}
@@ -148,30 +184,36 @@ func (p *ParallelReader) start() {
 		}(w)
 	}
 
-	// Scanner: frame boundaries only; the terminal error (io.EOF included)
-	// travels through the results channel with its sequence number, so the
-	// consumer surfaces it only after every preceding frame.
+	// Scanner: frame boundaries only, accumulated into multi-frame batch
+	// blobs. The terminal error (io.EOF included) rides on the final batch,
+	// so the consumer surfaces it only after every preceding frame.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		defer close(p.work)
 		sc := NewScanner(p.r)
+		target := p.batchBytes()
 		seq := 0
 		for {
-			blob, err := sc.Next()
-			if err != nil {
-				close(p.work)
-				select {
-				case p.results <- decodeItem{seq: seq, err: err}:
-				case <-p.quit:
+			blob := getBytes(target)[:0]
+			var ends []int
+			var scanErr error
+			for len(blob) < target && len(ends) < maxBatchFrames {
+				grown, err := sc.AppendNext(blob)
+				if err != nil {
+					scanErr = err
+					break
 				}
+				blob = grown
+				ends = append(ends, len(blob))
+			}
+			select {
+			case p.work <- scanBatch{seq: seq, blob: blob, ends: ends, err: scanErr}:
+			case <-p.quit:
+				putBytes(blob)
 				return
 			}
-			owned := getBytes(len(blob))
-			copy(owned, blob)
-			select {
-			case p.work <- scanItem{seq: seq, blob: owned, size: int64(len(blob))}:
-			case <-p.quit:
-				close(p.work)
+			if scanErr != nil {
 				return
 			}
 			seq++
@@ -182,6 +224,38 @@ func (p *ParallelReader) start() {
 		wg.Wait()
 		close(p.results)
 	}()
+}
+
+// decodeBatch decodes every frame of one batch on worker w. A decode failure
+// truncates the batch at the failing frame and replaces the batch error.
+func (p *ParallelReader) decodeBatch(w int, it scanBatch) decodeBatch {
+	d := decodeBatch{seq: it.seq, err: it.err}
+	if n := len(it.ends); n > 0 {
+		d.frames = make([]*Frame, 0, n)
+		d.sizes = make([]int64, 0, n)
+	}
+	start := 0
+	for _, end := range it.ends {
+		t0 := time.Now()
+		f, err := decodeBytes(it.blob[start:end])
+		ns := time.Since(t0).Nanoseconds()
+		p.busy[w].Add(ns)
+		if p.Observe != nil {
+			p.Observe(ns)
+		}
+		p.pm.ns.Observe(ns)
+		if err != nil {
+			d.err = err
+			break
+		}
+		p.pm.frames.Inc()
+		d.frames = append(d.frames, f)
+		d.sizes = append(d.sizes, int64(end-start))
+		start = end
+	}
+	p.pm.batches.Inc()
+	putBytes(it.blob)
+	return d
 }
 
 // ReadFrameSize decodes the next frame and reports its encoded byte length.
@@ -196,22 +270,40 @@ func (p *ParallelReader) ReadFrameSize() (*Frame, int64, error) {
 		p.start()
 	}
 	for {
+		if p.haveCur {
+			if p.curIdx < len(p.cur.frames) {
+				f, size := p.cur.frames[p.curIdx], p.cur.sizes[p.curIdx]
+				p.cur.frames[p.curIdx] = nil // allow GC as frames drain
+				p.curIdx++
+				return f, size, nil
+			}
+			if p.cur.err != nil {
+				p.err = p.cur.err
+				p.Close()
+				return nil, 0, p.err
+			}
+			p.haveCur = false
+			p.next++
+		}
 		if d, ok := p.pending[p.next]; ok {
 			delete(p.pending, p.next)
-			if d.err != nil {
-				p.err = d.err
-				p.Close()
-				return nil, 0, d.err
-			}
-			p.next++
-			return d.frame, d.size, nil
+			p.cur, p.curIdx, p.haveCur = d, 0, true
+			continue
 		}
 		d, ok := <-p.results
 		if !ok {
 			p.err = fmt.Errorf("xtc: parallel reader closed mid-stream")
 			return nil, 0, p.err
 		}
+		if d.seq == p.next {
+			// In-order fast path: no re-sequencing buffer traffic.
+			p.cur, p.curIdx, p.haveCur = d, 0, true
+			continue
+		}
 		p.pending[d.seq] = d
+		if len(p.pending) > p.maxPending {
+			p.maxPending = len(p.pending)
+		}
 	}
 }
 

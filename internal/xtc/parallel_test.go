@@ -196,6 +196,136 @@ func TestParallelReaderObserve(t *testing.T) {
 	}
 }
 
+// TestParallelReaderBatchEquivalence sweeps the batch-size target against
+// worker counts: single-frame batches, a few frames per batch, many frames,
+// and a target larger than the whole stream (which then hits the
+// maxBatchFrames cap — the stream is longer than one maximal batch). Every
+// combination must be frame-for-frame identical to the serial Reader.
+func TestParallelReaderBatchEquivalence(t *testing.T) {
+	stream := mixedStream(t, maxBatchFrames+33)
+	want, err := NewReader(bytes.NewReader(stream)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batchBytes := range []int{1, 300, 4096, 1 << 30} {
+		for _, workers := range []int{1, 2, 3, 8} {
+			pr := NewParallelReader(bytes.NewReader(stream), workers)
+			pr.BatchBytes = batchBytes
+			got, err := pr.ReadAll()
+			if err != nil {
+				t.Fatalf("batch=%d workers=%d: %v", batchBytes, workers, err)
+			}
+			framesEqual(t, got, want)
+			pr.Close()
+		}
+	}
+}
+
+// TestParallelReaderPendingBounded: the out-of-order re-sequencing buffer
+// must stay bounded by the in-flight item count (work + results channel
+// capacities), not grow with the stream.
+func TestParallelReaderPendingBounded(t *testing.T) {
+	const workers = 8
+	stream := mixedStream(t, 90)
+	pr := NewParallelReader(bytes.NewReader(stream), workers)
+	pr.BatchBytes = 1 // one frame per batch: maximal re-sequencing pressure
+	defer pr.Close()
+	if _, err := pr.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if limit := 2*workers + 1; pr.maxPending > limit {
+		t.Errorf("pending re-sequencing buffer reached %d entries, bound is %d",
+			pr.maxPending, limit)
+	}
+}
+
+// TestParallelReaderFrameSizesBatched: per-frame encoded sizes survive
+// batching — they sum to the stream length at every batch-size target.
+func TestParallelReaderFrameSizesBatched(t *testing.T) {
+	stream := mixedStream(t, 20)
+	for _, batchBytes := range []int{1, 500, 1 << 30} {
+		pr := NewParallelReader(bytes.NewReader(stream), 3)
+		pr.BatchBytes = batchBytes
+		var total int64
+		for {
+			_, size, err := pr.ReadFrameSize()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += size
+		}
+		if total != int64(len(stream)) {
+			t.Errorf("batch=%d: frame sizes sum to %d, stream is %d bytes",
+				batchBytes, total, len(stream))
+		}
+		pr.Close()
+	}
+}
+
+// TestParallelReaderCloseMidStreamBatched closes the reader while workers
+// are mid-batch, at several batch sizes, with a concurrent WorkerBusy poller
+// (documented safe at any point). Run under -race this is the shutdown
+// data-race check for the batched pipeline.
+func TestParallelReaderCloseMidStreamBatched(t *testing.T) {
+	stream := mixedStream(t, 60)
+	for _, batchBytes := range []int{1, 700, 1 << 30} {
+		pr := NewParallelReader(bytes.NewReader(stream), 4)
+		pr.BatchBytes = batchBytes
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 100; i++ {
+				pr.WorkerBusy()
+			}
+		}()
+		for i := 0; i < 3; i++ {
+			if _, err := pr.ReadFrame(); err != nil {
+				t.Fatalf("batch=%d frame %d: %v", batchBytes, i, err)
+			}
+		}
+		pr.Close()
+		pr.Close() // idempotent
+		<-done
+		if _, err := pr.ReadFrame(); err == nil {
+			t.Fatalf("batch=%d: read after Close succeeded", batchBytes)
+		}
+	}
+}
+
+// TestDecodeAllocsSteadyState asserts the ingest path is zero-copy in the
+// steady state: scanner bytes land in one pooled blob, decode scratch comes
+// from pools, and the only per-frame heap traffic left is the Frame and its
+// Coords (plus amortized slice growth) — about 3 allocations per frame
+// serial and under 5 with the batched pool (batch slices and channel items
+// amortize across maxBatchFrames).
+func TestDecodeAllocsSteadyState(t *testing.T) {
+	const frames = 64
+	stream := mixedStream(t, frames)
+	serial := func() {
+		if _, err := NewReader(bytes.NewReader(stream)).ReadAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial() // warm the pools
+	if per := testing.AllocsPerRun(10, serial) / frames; per > 3.5 {
+		t.Errorf("serial decode: %.2f allocs/frame, want <= 3.5", per)
+	}
+	parallel := func() {
+		pr := NewParallelReader(bytes.NewReader(stream), 2)
+		if _, err := pr.ReadAll(); err != nil {
+			t.Fatal(err)
+		}
+		pr.Close()
+	}
+	parallel()
+	if per := testing.AllocsPerRun(10, parallel) / frames; per > 5 {
+		t.Errorf("parallel decode: %.2f allocs/frame, want <= 5", per)
+	}
+}
+
 // TestDefaultWorkers pins the selection rule: positive passes through,
 // non-positive derives from the machine but never below 1.
 func TestDefaultWorkers(t *testing.T) {

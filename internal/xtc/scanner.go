@@ -25,90 +25,111 @@ func NewScanner(r io.Reader) *Scanner {
 	return &Scanner{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
-// grow extends s.buf by n bytes filled from the stream and returns the
-// complete buffer so far.
-func (s *Scanner) grow(n int) ([]byte, error) {
-	old := len(s.buf)
-	if cap(s.buf) < old+n {
-		nb := make([]byte, old, old+n)
-		copy(nb, s.buf)
-		s.buf = nb
+// fill extends buf by n bytes read from the stream. On a read error the
+// buffer is returned at its original length, so callers accumulating many
+// frames keep every complete frame scanned so far.
+func (s *Scanner) fill(buf []byte, n int) ([]byte, error) {
+	old := len(buf)
+	if cap(buf) < old+n {
+		// Amortized growth: an exact-size allocation per frame would make
+		// multi-frame batch accumulation quadratic.
+		newCap := 2 * cap(buf)
+		if newCap < old+n {
+			newCap = old + n
+		}
+		nb := make([]byte, old, newCap)
+		copy(nb, buf)
+		buf = nb
 	}
-	s.buf = s.buf[:old+n]
-	if _, err := io.ReadFull(s.br, s.buf[old:]); err != nil {
-		s.buf = s.buf[:old]
-		return nil, err
+	buf = buf[:old+n]
+	if _, err := io.ReadFull(s.br, buf[old:]); err != nil {
+		return buf[:old], err
 	}
-	return s.buf, nil
+	return buf, nil
+}
+
+// AppendNext appends the next frame's encoded bytes to dst and returns the
+// extended buffer. On any error dst is returned unchanged (no partial frame
+// bytes), so a batching caller keeps every frame appended before the error.
+// Errors match Next: io.EOF at a clean end of stream, io.ErrUnexpectedEOF
+// for a truncated frame. This is the zero-copy feed for batched parallel
+// decode — frames land directly in the caller's batch blob with no
+// intermediate per-frame copy.
+func (s *Scanner) AppendNext(dst []byte) ([]byte, error) {
+	head, err := s.br.Peek(4)
+	if err != nil {
+		if err == io.EOF {
+			if len(head) == 0 {
+				return dst, io.EOF
+			}
+			// A 1-3 byte tail is a torn frame header, not a clean end.
+			return dst, io.ErrUnexpectedEOF
+		}
+		return dst, err
+	}
+	magic := int32(binary.BigEndian.Uint32(head))
+	base := len(dst)
+	switch magic {
+	case MagicCompressed:
+		whole, err := s.fill(dst, headerLen)
+		if err != nil {
+			return dst[:base], unexpected(err)
+		}
+		natoms := int(int32(binary.BigEndian.Uint32(whole[base+4:])))
+		if natoms < 0 {
+			return dst[:base], fmt.Errorf("xtc: negative atom count %d", natoms)
+		}
+		s.natoms = natoms
+		if natoms <= smallAtomThreshold {
+			if whole, err = s.fill(whole, natoms*12); err != nil {
+				return dst[:base], unexpected(err)
+			}
+			s.frames++
+			return whole, nil
+		}
+		// precision + minint[3] + sizeint[3] + smallidx + bloblen
+		if whole, err = s.fill(whole, 4*9); err != nil {
+			return dst[:base], unexpected(err)
+		}
+		blobLen := int(binary.BigEndian.Uint32(whole[base+headerLen+32:]))
+		padded := blobLen + (4-blobLen%4)%4
+		if whole, err = s.fill(whole, padded); err != nil {
+			return dst[:base], unexpected(err)
+		}
+		s.frames++
+		return whole, nil
+
+	case MagicRaw:
+		whole, err := s.fill(dst, headerLen)
+		if err != nil {
+			return dst[:base], unexpected(err)
+		}
+		natoms := int(int32(binary.BigEndian.Uint32(whole[base+4:])))
+		if natoms < 0 {
+			return dst[:base], fmt.Errorf("xtc: negative atom count %d", natoms)
+		}
+		s.natoms = natoms
+		if whole, err = s.fill(whole, natoms*12); err != nil {
+			return dst[:base], unexpected(err)
+		}
+		s.frames++
+		return whole, nil
+
+	default:
+		return dst, fmt.Errorf("%w: %d", ErrBadMagic, magic)
+	}
 }
 
 // Next returns the next frame's encoded bytes. The slice is valid until the
 // following Next call. It returns io.EOF cleanly at the end of the stream
 // and io.ErrUnexpectedEOF for a truncated frame.
 func (s *Scanner) Next() ([]byte, error) {
-	head, err := s.br.Peek(4)
+	buf, err := s.AppendNext(s.buf[:0])
 	if err != nil {
-		if err == io.EOF {
-			if len(head) == 0 {
-				return nil, io.EOF
-			}
-			// A 1-3 byte tail is a torn frame header, not a clean end.
-			return nil, io.ErrUnexpectedEOF
-		}
 		return nil, err
 	}
-	magic := int32(binary.BigEndian.Uint32(head))
-	s.buf = s.buf[:0]
-	switch magic {
-	case MagicCompressed:
-		whole, err := s.grow(headerLen)
-		if err != nil {
-			return nil, unexpected(err)
-		}
-		natoms := int(int32(binary.BigEndian.Uint32(whole[4:])))
-		if natoms < 0 {
-			return nil, fmt.Errorf("xtc: negative atom count %d", natoms)
-		}
-		s.natoms = natoms
-		if natoms <= smallAtomThreshold {
-			whole, err = s.grow(natoms * 12)
-			if err != nil {
-				return nil, unexpected(err)
-			}
-			s.frames++
-			return whole, nil
-		}
-		// precision + minint[3] + sizeint[3] + smallidx + bloblen
-		if whole, err = s.grow(4 * 9); err != nil {
-			return nil, unexpected(err)
-		}
-		blobLen := int(binary.BigEndian.Uint32(whole[headerLen+32:]))
-		padded := blobLen + (4-blobLen%4)%4
-		if whole, err = s.grow(padded); err != nil {
-			return nil, unexpected(err)
-		}
-		s.frames++
-		return whole, nil
-
-	case MagicRaw:
-		whole, err := s.grow(headerLen)
-		if err != nil {
-			return nil, unexpected(err)
-		}
-		natoms := int(int32(binary.BigEndian.Uint32(whole[4:])))
-		if natoms < 0 {
-			return nil, fmt.Errorf("xtc: negative atom count %d", natoms)
-		}
-		s.natoms = natoms
-		if whole, err = s.grow(natoms * 12); err != nil {
-			return nil, unexpected(err)
-		}
-		s.frames++
-		return whole, nil
-
-	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadMagic, magic)
-	}
+	s.buf = buf
+	return buf, nil
 }
 
 // NAtoms returns the atom count of the most recently scanned frame.

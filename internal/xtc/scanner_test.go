@@ -65,10 +65,27 @@ func readAllVia(t *testing.T, kind string, stream []byte) ([]*Frame, error) {
 		pr := NewParallelReader(bytes.NewReader(stream), 3)
 		defer pr.Close()
 		return pr.ReadAll()
+	case "parallel-frame-batch":
+		// One frame per work item: the error always lands on its own batch.
+		pr := NewParallelReader(bytes.NewReader(stream), 3)
+		pr.BatchBytes = 1
+		defer pr.Close()
+		return pr.ReadAll()
+	case "parallel-whole-batch":
+		// Everything in one work item: the error rides behind intact frames
+		// inside the same batch.
+		pr := NewParallelReader(bytes.NewReader(stream), 3)
+		pr.BatchBytes = 1 << 30
+		defer pr.Close()
+		return pr.ReadAll()
 	}
 	t.Fatalf("unknown reader kind %q", kind)
 	return nil, nil
 }
+
+// readerKinds are the frame-reader variants every framing-error table runs
+// over; the batch-size extremes pin the batched pipeline's error placement.
+var readerKinds = []string{"reader", "scanner", "parallel", "parallel-frame-batch", "parallel-whole-batch"}
 
 // TestTruncationTable cuts a 3-frame stream at every interesting byte
 // boundary class of every frame and checks all three readers agree: frames
@@ -86,7 +103,7 @@ func TestTruncationTable(t *testing.T) {
 		{"mid-coord-metadata", func(f int) int64 { return offsets[f] + headerLen + 10 }},
 		{"mid-blob", func(f int) int64 { return offsets[f] + lengths[f] - 3 }},
 	}
-	for _, kind := range []string{"reader", "scanner", "parallel"} {
+	for _, kind := range readerKinds {
 		for frame := 0; frame < 3; frame++ {
 			for _, cl := range classes {
 				cut := cl.cut(frame)
@@ -112,7 +129,7 @@ func TestTruncationTable(t *testing.T) {
 		}
 	}
 	// The untouched stream reads fully everywhere.
-	for _, kind := range []string{"reader", "scanner", "parallel"} {
+	for _, kind := range readerKinds {
 		frames, err := readAllVia(t, kind, stream)
 		if err != nil || len(frames) != 3 {
 			t.Fatalf("%s over whole stream: %d frames, %v", kind, len(frames), err)
@@ -124,7 +141,7 @@ func TestTruncationTable(t *testing.T) {
 // every reader must decode the preceding frames and then report ErrBadMagic.
 func TestBadMagicAtEveryFramePosition(t *testing.T) {
 	stream, offsets, _ := threeFrameStream(t, 24)
-	for _, kind := range []string{"reader", "scanner", "parallel"} {
+	for _, kind := range readerKinds {
 		for frame := 0; frame < 3; frame++ {
 			corrupt := append([]byte(nil), stream...)
 			corrupt[offsets[frame]] = 0x7f // clobber the magic's high byte
@@ -136,6 +153,53 @@ func TestBadMagicAtEveryFramePosition(t *testing.T) {
 				t.Errorf("%s frame %d: decoded %d frames before bad magic", kind, frame, len(frames))
 			}
 		}
+	}
+}
+
+// TestScannerAppendNext: the zero-copy accumulation API concatenates frames
+// into one caller-owned buffer byte-identically to the stream, and an error
+// leaves every previously appended frame intact in the buffer.
+func TestScannerAppendNext(t *testing.T) {
+	stream, offsets, lengths := threeFrameStream(t, 24)
+	sc := NewScanner(bytes.NewReader(stream))
+	buf := make([]byte, 0, 8)
+	var ends []int
+	for {
+		grown, err := sc.AppendNext(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = grown
+		ends = append(ends, len(buf))
+	}
+	if !bytes.Equal(buf, stream) {
+		t.Fatalf("accumulated %d bytes != %d-byte stream", len(buf), len(stream))
+	}
+	for k := range ends {
+		if want := offsets[k] + lengths[k]; int64(ends[k]) != want {
+			t.Errorf("frame %d ends at %d, want %d", k, ends[k], want)
+		}
+	}
+
+	// A truncated final frame must not leak partial bytes into the buffer.
+	cut := stream[:offsets[2]+5]
+	sc = NewScanner(bytes.NewReader(cut))
+	buf = buf[:0]
+	for i := 0; i < 2; i++ {
+		var err error
+		if buf, err = sc.AppendNext(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown, err := sc.AppendNext(buf)
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame: got %v", err)
+	}
+	if len(grown) != len(buf) || !bytes.Equal(grown, stream[:offsets[2]]) {
+		t.Fatalf("torn frame left %d bytes, want the %d intact-frame bytes", len(grown), offsets[2])
 	}
 }
 
