@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-decode bench-check bench-tier test-faults test-crash test-tier clean
+.PHONY: all build test race lint bench bench-decode bench-ingest bench-check bench-tier test-faults test-crash test-tier clean
 
 all: build lint test
 
@@ -46,7 +46,7 @@ test-tier:
 
 # One iteration of every benchmark — a smoke pass proving the bench
 # harness still runs end to end, not a measurement.
-bench: bench-decode bench-tier
+bench: bench-decode bench-ingest bench-tier
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # Decode/prefetch benchmarks rendered to BENCH_decode.json (ns/op, MB/s,
@@ -56,22 +56,36 @@ bench-decode:
 	$(GO) test -run '^$$' -bench 'ParallelDecode|XTCDecode|PlaybackPrefetch' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_decode.json
 
-# Perf-regression gate: run the decode benchmarks fresh and diff against the
-# committed baseline. Fails (nonzero exit) when any benchmark slows past
-# BENCH_MAX_REGRESS percent or the 4-worker parallel speedup misses
-# BENCH_SPEEDUP — except that speedup assertions are skipped on runners with
-# fewer schedulable CPUs than the assertion's worker count (the run records a
-# "cpus" metric benchjson reads). The delta table lands in bench-delta.txt
-# for the CI artifact. After an intentional perf change, refresh the baseline
-# with `make bench-decode` and commit BENCH_decode.json.
+# Ingest wire-speed benchmarks (fused XTC encode, end-to-end serial and
+# pipelined ingest over in-memory backends) rendered to BENCH_ingest.json
+# for the CI artifact and regression tracking.
+bench-ingest:
+	$(GO) test -run '^$$' -bench 'XTCEncode|IngestParallel' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_ingest.json
+
+# Perf-regression gate: run the decode and ingest benchmarks fresh and diff
+# against the committed baselines. Fails (nonzero exit) when any benchmark
+# slows past BENCH_MAX_REGRESS percent or the 4-worker parallel speedup
+# misses BENCH_SPEEDUP — except that speedup assertions are skipped on
+# runners with fewer schedulable CPUs than the assertion's worker count (the
+# run records a "cpus" metric benchjson reads). The delta tables land in
+# bench-delta.txt and bench-ingest-delta.txt for the CI artifact. After an
+# intentional perf change, refresh the baselines with `make bench-decode
+# bench-ingest` and commit BENCH_decode.json / BENCH_ingest.json.
 BENCH_MAX_REGRESS ?= 15
 BENCH_SPEEDUP ?= workers-4:serial:3.0
 bench-check:
 	$(GO) test -run '^$$' -bench 'ParallelDecode|XTCDecode|PlaybackPrefetch' -benchmem . \
 		| $(GO) run ./cmd/benchjson > bench-new.json
+	$(GO) test -run '^$$' -bench 'XTCEncode|IngestParallel' -benchmem . \
+		| $(GO) run ./cmd/benchjson > bench-ingest-new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_decode.json bench-new.json \
 		-max-regress $(BENCH_MAX_REGRESS) -assert-speedup '$(BENCH_SPEEDUP)' \
-		> bench-delta.txt; status=$$?; cat bench-delta.txt; exit $$status
+		> bench-delta.txt; decode=$$?; cat bench-delta.txt; \
+	$(GO) run ./cmd/benchjson -compare BENCH_ingest.json bench-ingest-new.json \
+		-max-regress $(BENCH_MAX_REGRESS) \
+		> bench-ingest-delta.txt; ingest=$$?; cat bench-ingest-delta.txt; \
+	exit $$((decode + ingest))
 
 # Tiering benchmarks rendered to BENCH_tier.txt for the CI artifact:
 # migration-pipeline throughput plus the read-path A/B for the heat hook

@@ -142,6 +142,7 @@ func BenchmarkXTCEncode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportCPUs(b)
 }
 
 // reportCPUs records the scheduler width as a benchmark metric. The CI
@@ -552,6 +553,51 @@ func BenchmarkAblationParallelIngest(b *testing.B) {
 			vsec = env.Clock.Now()
 		}
 		b.ReportMetric(vsec, "vsec")
+	})
+}
+
+// BenchmarkIngestParallel measures end-to-end ingest wire speed (MB/s of
+// decompressed trajectory data through categorize + split + write) over
+// in-memory backends, serial vs pipelined. This is the CI-gated number for
+// the wire-speed ingest work: it exercises the fused encode path, the
+// allocation-free subset split, and the batched write fan-out together.
+func BenchmarkIngestParallel(b *testing.B) {
+	pdbBytes, traj := ablationDataset(b)
+	mkADA := func() *core.ADA {
+		store, err := plfs.New(
+			plfs.Backend{Name: "ssd", FS: vfs.NewMemFS(), Mount: "/m1"},
+			plfs.Backend{Name: "hdd", FS: vfs.NewMemFS(), Mount: "/m2"},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return core.New(store, nil, core.Options{Granularity: core.Fine})
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := mkADA().Ingest("/g", pdbBytes, bytes.NewReader(traj))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.SetBytes(rep.Raw)
+			}
+		}
+		reportCPUs(b)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := mkADA().IngestParallel("/g", pdbBytes, bytes.NewReader(traj), 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.SetBytes(rep.Raw)
+			}
+		}
+		reportCPUs(b)
 	})
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -78,6 +79,13 @@ type Options struct {
 	// xtc.DefaultBatchBytes). Smaller batches lower first-frame latency
 	// for live-tailing readers; larger ones amortize per-item overhead.
 	DecodeBatchBytes int
+	// WriteBatchFrames is the number of decoded frames handed to every
+	// subset writer per channel send during IngestParallel (<=0 selects
+	// defaultWriteBatchFrames). Batching amortizes the channel
+	// synchronization across frames — with eight tagged subsets, per-frame
+	// fan-out costs eight send/wake cycles per frame; writers still see
+	// every frame in order.
+	WriteBatchFrames int
 	// ReplicateActive mirrors every subset placed off the default (bulk)
 	// backend — the active "p" subsets under the paper's placement — onto
 	// it at ingest, so a corrupted or down primary fails over to a
@@ -115,7 +123,7 @@ type ingestMetrics struct {
 	bytesWritten    *metrics.Counter
 	decodeNS        *metrics.Histogram // per-frame decompress+decode
 	writeNS         *metrics.Histogram // per-frame categorize+split+write
-	queueHWM        *metrics.Gauge     // IngestParallel channel high-water mark
+	queueHWM        *metrics.Gauge     // IngestParallel fan-out queue high-water mark (batches, counting the one in flight)
 }
 
 func newIngestMetrics(reg *metrics.Registry) ingestMetrics {
@@ -307,22 +315,24 @@ type subsetWriter struct {
 	// this writer started — zero on a fresh ingest, the last journaled
 	// checkpoint on a resumed one.
 	base int64
+	// sub is the split scratch frame: each writer is driven by a single
+	// goroutine, so reusing it makes the per-frame split allocation-free.
+	sub xtc.Frame
 }
 
 // writeFrame splits one full frame into this subset and appends it.
 func (sw *subsetWriter) writeFrame(frame *xtc.Frame) error {
-	sub, err := frame.Subset(sw.indices)
-	if err != nil {
+	if err := frame.SubsetInto(sw.indices, &sw.sub); err != nil {
 		return err
 	}
 	before := sw.w.BytesWritten()
-	if err := sw.w.WriteFrame(sub); err != nil {
+	if err := sw.w.WriteFrame(&sw.sub); err != nil {
 		return fmt.Errorf("core: subset %s: %w", sw.tag, err)
 	}
 	if sw.tee.enabled {
-		sw.ib.AddWithCRC(sw.w.BytesWritten()-before, sub.NAtoms(), sw.tee.last)
+		sw.ib.AddWithCRC(sw.w.BytesWritten()-before, sw.sub.NAtoms(), sw.tee.last)
 	} else {
-		sw.ib.Add(sw.w.BytesWritten()-before, sub.NAtoms())
+		sw.ib.Add(sw.w.BytesWritten()-before, sw.sub.NAtoms())
 	}
 	return nil
 }
@@ -374,7 +384,7 @@ func (st *ingestState) addExtra(name, backend string, data []byte) {
 func (a *ADA) analyzeIngest(logical string, pdbData []byte) (*ingestState, error) {
 	// Data pre-processor, step 1: analyze the structure file.
 	a.chargeCPU("pdbparse", a.opts.Cost.parseTime(int64(len(pdbData))))
-	structure, err := pdb.Parse(strings.NewReader(string(pdbData)))
+	structure, err := pdb.Parse(bytes.NewReader(pdbData))
 	if err != nil {
 		return nil, fmt.Errorf("core: ingest %s: %w", logical, err)
 	}

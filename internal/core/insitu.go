@@ -65,12 +65,10 @@ func (a *ADA) IngestWithStats(logical string, pdbData []byte, tr TrajectoryReade
 			return nil, err
 		}
 		for i, sw := range st.writers {
-			sub, err := frame.Subset(sw.indices)
-			if err != nil {
-				st.abort()
-				return nil, err
-			}
-			if err := series[i].Add(sub); err != nil {
+			// st.writeFrame just split this frame into sw.sub; the analysis
+			// pass reuses that scratch instead of re-splitting (Add copies
+			// what it retains).
+			if err := series[i].Add(&sw.sub); err != nil {
 				st.abort()
 				return nil, fmt.Errorf("core: in-situ stats %s: %w", sw.tag, err)
 			}

@@ -16,12 +16,20 @@ type frameMsg struct {
 	seq        int
 }
 
+// defaultWriteBatchFrames is the fan-out batch size when
+// Options.WriteBatchFrames is unset: large enough that channel
+// synchronization stops showing up in profiles, small enough that at most a
+// few megabytes of decoded frames are in flight per subset.
+const defaultWriteBatchFrames = 16
+
 // IngestParallel is Ingest with the storage node's cores pipelined: an
 // xtc.ParallelReader decompresses frames on a bounded worker pool (frame
 // boundaries found by a cheap scanner, blobs fanned out, results
 // re-sequenced) while one goroutine per tagged subset splits and writes its
-// dropping. Output is byte-identical to Ingest — each subset still receives
-// every frame in order — but the virtual wall time of the CPU stages is the
+// dropping, fed in multi-frame batches (Options.WriteBatchFrames) so channel
+// synchronization amortizes across frames. Output is byte-identical to Ingest
+// — each subset still receives every frame in order — but the virtual wall
+// time of the CPU stages is the
 // slowest stage rather than their sum, and the decode stage itself is
 // charged as a concurrent pool: its wall time is the busiest worker's share
 // of the decompression, not the serial sum. Device I/O time is still charged
@@ -58,9 +66,16 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 		err   error
 	}
 	errs := make(chan result, len(st.writers)+1)
-	chans := make([]chan frameMsg, len(st.writers))
+	// Each channel element is a batch of frames shared read-only by every
+	// writer: one send per batch instead of one per frame amortizes the
+	// channel synchronization across WriteBatchFrames frames.
+	batchN := a.opts.WriteBatchFrames
+	if batchN <= 0 {
+		batchN = defaultWriteBatchFrames
+	}
+	chans := make([]chan []frameMsg, len(st.writers))
 	for i := range chans {
-		chans[i] = make(chan frameMsg, queue)
+		chans[i] = make(chan []frameMsg, queue)
 	}
 	// abort closes once on the first failure so producers stop feeding.
 	abort := make(chan struct{})
@@ -76,17 +91,20 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 		wg.Add(1)
 		go func(i int, sw *subsetWriter) {
 			defer wg.Done()
-			for msg := range chans[i] {
-				t0 := time.Now()
-				if err := sw.writeFrame(msg.frame); err != nil {
-					fail(sw.tag, fmt.Errorf("core: ingest %s: %w", logical, err))
-					// Keep draining so the producer never blocks.
-					for range chans[i] {
+			for batch := range chans[i] {
+				for _, msg := range batch {
+					t0 := time.Now()
+					if err := sw.writeFrame(msg.frame); err != nil {
+						fail(sw.tag, fmt.Errorf("core: ingest %s frame %d: %w", logical, msg.seq, err))
+						// Keep draining so the producer never blocks, even
+						// when the failure lands mid-batch.
+						for range chans[i] {
+						}
+						return
 					}
-					return
+					a.im.writeNS.Observe(time.Since(t0).Nanoseconds())
+					categorizeSec[i] += a.opts.Cost.categorizeTime(xtc.RawFrameSize(sw.natoms))
 				}
-				a.im.writeNS.Observe(time.Since(t0).Nanoseconds())
-				categorizeSec[i] += a.opts.Cost.categorizeTime(xtc.RawFrameSize(sw.natoms))
 			}
 		}(i, sw)
 	}
@@ -108,9 +126,34 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 			}
 		}()
 		seq := 0
+		batch := make([]frameMsg, 0, batchN)
+		// flush fans the accumulated batch out to every subset writer; the
+		// slice is shared read-only, so a fresh one starts the next batch.
+		// Returns false when a writer failure aborted the pipeline.
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			for _, ch := range chans {
+				// Occupancy counts the batch being sent: sampling len(ch)
+				// after the send races with the consumer and reads 0 on an
+				// idle writer even though the queue was momentarily nonempty.
+				pre := len(ch)
+				select {
+				case ch <- batch:
+					a.im.queueHWM.SetMax(int64(pre) + 1)
+				case <-abort:
+					return false
+				}
+			}
+			batch = make([]frameMsg, 0, batchN)
+			st.report.Frames = seq
+			return true
+		}
 		for {
 			frame, compressed, err := pr.ReadFrameSize()
 			if err == io.EOF {
+				flush()
 				return
 			}
 			if err != nil {
@@ -125,17 +168,11 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 			decodeSec[seq%workers] += a.opts.Cost.decompressTime(compressed)
 			st.report.Compressed += compressed
 			st.report.Raw += xtc.RawFrameSize(frame.NAtoms())
-			msg := frameMsg{frame: frame, compressed: compressed, seq: seq}
-			for _, ch := range chans {
-				select {
-				case ch <- msg:
-					a.im.queueHWM.SetMax(int64(len(ch)))
-				case <-abort:
-					return
-				}
-			}
+			batch = append(batch, frameMsg{frame: frame, compressed: compressed, seq: seq})
 			seq++
-			st.report.Frames = seq
+			if len(batch) == batchN && !flush() {
+				return
+			}
 		}
 	}()
 

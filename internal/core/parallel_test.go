@@ -2,24 +2,34 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math"
+	"regexp"
 	"testing"
 
+	"repro/internal/blockfs"
+	"repro/internal/device"
 	"repro/internal/plfs"
 	"repro/internal/sim"
 	"repro/internal/vfs"
+	"repro/internal/xtc"
 )
 
-func TestIngestParallelMatchesSerial(t *testing.T) {
-	pdbBytes, traj, _ := testDataset(t, 100, 6)
+// assertParallelMatchesSerial ingests the same dataset serially and with
+// IngestParallel at the given fan-out batch size and queue depth, and
+// requires byte-identical stored output.
+func assertParallelMatchesSerial(t *testing.T, frames, batch, queue int) {
+	t.Helper()
+	pdbBytes, traj, _ := testDataset(t, 100, frames)
 
 	serial, serialSSD, serialHDD := newADA(t, nil, Options{Granularity: Fine})
 	srep, err := serial.Ingest("/ds", pdbBytes, bytes.NewReader(traj))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, parSSD, parHDD := newADA(t, nil, Options{Granularity: Fine})
-	prep, err := par.IngestParallel("/ds", pdbBytes, bytes.NewReader(traj), 2)
+	par, parSSD, parHDD := newADA(t, nil, Options{Granularity: Fine, WriteBatchFrames: batch})
+	prep, err := par.IngestParallel("/ds", pdbBytes, bytes.NewReader(traj), queue)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +65,24 @@ func TestIngestParallelMatchesSerial(t *testing.T) {
 		})
 		if err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+func TestIngestParallelMatchesSerial(t *testing.T) {
+	assertParallelMatchesSerial(t, 6, 0, 2)
+}
+
+// TestIngestParallelBatchQueueSweep covers the fan-out batching edge cases:
+// batch 1 (every frame its own send), batch sizes that do and do not divide
+// the frame count (partial final batch), a batch larger than the whole
+// trajectory, and both shallow and deep queues.
+func TestIngestParallelBatchQueueSweep(t *testing.T) {
+	for _, batch := range []int{1, 2, 3, 16} {
+		for _, queue := range []int{1, 4} {
+			t.Run(fmt.Sprintf("batch=%d/queue=%d", batch, queue), func(t *testing.T) {
+				assertParallelMatchesSerial(t, 7, batch, queue)
+			})
 		}
 	}
 }
@@ -160,6 +188,76 @@ func TestIngestParallelErrors(t *testing.T) {
 	c, _, _ := newADA(t, nil, Options{})
 	if _, err := c.IngestParallel("/z", []byte("junk"), bytes.NewReader(traj), 2); err == nil {
 		t.Error("bad pdb should fail")
+	}
+}
+
+// TestIngestParallelWriterFailureMidBatch drives a writer into a device-full
+// failure partway through a multi-frame batch, with enough frames still
+// queued and in flight that a feeder not drained by the failing writer would
+// deadlock. The pipeline must return the failure (not hang) and the error
+// must name the frame the write failed on.
+func TestIngestParallelWriterFailureMidBatch(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 50, 200)
+	for _, cfg := range []struct{ batch, queue int }{{4, 1}, {1, 1}, {16, 2}} {
+		t.Run(fmt.Sprintf("batch=%d/queue=%d", cfg.batch, cfg.queue), func(t *testing.T) {
+			dev := device.Device{
+				Name: "tiny", ReadBW: 100 * device.MB, WriteBW: 100 * device.MB,
+				Capacity: 6 * blockfs.BlockSize,
+			}
+			containers, err := plfs.New(
+				plfs.Backend{Name: "ssd", FS: blockfs.New("tiny-ssd", dev, nil), Mount: "/m1"},
+				plfs.Backend{Name: "hdd", FS: vfs.NewMemFS(), Mount: "/m2"},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := New(containers, nil, Options{WriteBatchFrames: cfg.batch})
+			_, err = a.IngestParallel("/ds", pdbBytes, bytes.NewReader(traj), cfg.queue)
+			if err == nil {
+				t.Fatal("parallel ingest onto a full device should fail")
+			}
+			if !errors.Is(err, blockfs.ErrNoSpace) {
+				t.Errorf("err = %v, want ErrNoSpace in the chain", err)
+			}
+			if !regexp.MustCompile(`frame \d+`).MatchString(err.Error()) {
+				t.Errorf("err = %q, want the failing frame index in the message", err)
+			}
+		})
+	}
+}
+
+// TestSubsetWriterFrameAllocs bounds the steady-state allocation cost of the
+// per-subset write path: with the SubsetInto scratch and pooled encode
+// buffers, splitting and appending one frame must not allocate per frame
+// (modulo amortized growth of the output file).
+func TestSubsetWriterFrameAllocs(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 2)
+	a, _, _ := newADA(t, nil, Options{})
+	st, err := a.prepareIngest("/ds", pdbBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.abort()
+	frame, err := xtc.NewReader(bytes.NewReader(traj)).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := st.writers[0]
+	for i := 0; i < 4; i++ {
+		if err := sw.writeFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := sw.writeFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// MemFS doubles its backing array as the dropping grows, so a fraction
+	// of runs see one allocation; anything at or above one alloc per frame
+	// means the scratch reuse regressed.
+	if avg >= 1 {
+		t.Errorf("subsetWriter.writeFrame steady state = %.2f allocs/frame, want < 1", avg)
 	}
 }
 

@@ -59,6 +59,10 @@ type FS struct {
 	usage    map[string]int64 // backend name -> bytes of dropping data on disk
 	seeded   map[string]bool  // backend name -> usage counter seeded from a walk
 	reg      *metrics.Registry
+	// bytesGauge caches each backend's usage gauge: the ingest write path
+	// updates usage once per frame per subset, and rebuilding the metric
+	// name allocates on every call. Reset when reg changes (SetMetrics).
+	bytesGauge map[string]*metrics.Gauge
 }
 
 // New returns a container store over the given backends. Backend names must
@@ -95,8 +99,9 @@ func (p *FS) SetMetrics(reg *metrics.Registry) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.reg = reg
+	p.bytesGauge = nil
 	for name, v := range p.usage {
-		reg.Gauge("plfs.backend." + name + ".bytes").Set(v)
+		p.usageGaugeLocked(name).Set(v)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"path"
 	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/vfs"
 )
 
@@ -44,7 +45,23 @@ func (p *FS) ensureUsageLocked(b *Backend) {
 		return nil
 	})
 	p.usage[b.Name] = total
-	p.reg.Gauge("plfs.backend." + b.Name + ".bytes").Set(total)
+	p.usageGaugeLocked(b.Name).Set(total)
+}
+
+// usageGaugeLocked returns the cached plfs.backend.<name>.bytes gauge,
+// resolving it from the registry on first use (and again after SetMetrics):
+// the write path updates it once per frame per subset, so per-call name
+// construction would allocate in the ingest hot loop.
+func (p *FS) usageGaugeLocked(name string) *metrics.Gauge {
+	if g, ok := p.bytesGauge[name]; ok {
+		return g
+	}
+	if p.bytesGauge == nil {
+		p.bytesGauge = map[string]*metrics.Gauge{}
+	}
+	g := p.reg.Gauge("plfs.backend." + name + ".bytes")
+	p.bytesGauge[name] = g
+	return g
 }
 
 // addUsageLocked applies a byte delta to one backend's counter and mirrors
@@ -56,7 +73,7 @@ func (p *FS) addUsageLocked(name string, delta int64) {
 		v = 0
 	}
 	p.usage[name] = v
-	p.reg.Gauge("plfs.backend." + name + ".bytes").Set(v)
+	p.usageGaugeLocked(name).Set(v)
 }
 
 func (p *FS) addUsage(name string, delta int64) {

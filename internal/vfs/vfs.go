@@ -434,12 +434,22 @@ func (f *memFile) Write(p []byte) (int, error) {
 	}
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
-	// Append-at-offset semantics: extend with zeros if needed.
+	// Append-at-offset semantics: extend with zeros if needed. Growth is
+	// geometric — an exact-size reallocation here would copy the whole
+	// file once per appended frame, turning streaming ingest quadratic.
 	end := f.off + int64(len(p))
 	if end > int64(len(f.node.data)) {
-		grown := make([]byte, end)
-		copy(grown, f.node.data)
-		f.node.data = grown
+		if end <= int64(cap(f.node.data)) {
+			f.node.data = f.node.data[:end]
+		} else {
+			newCap := 2 * cap(f.node.data)
+			if int64(newCap) < end {
+				newCap = int(end)
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, f.node.data)
+			f.node.data = grown
+		}
 	}
 	copy(f.node.data[f.off:], p)
 	f.off = end

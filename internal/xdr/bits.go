@@ -7,11 +7,14 @@ import (
 
 // BitWriter packs values of arbitrary bit width into a byte stream,
 // most-significant bit first, matching the packing order used by the
-// GROMACS trajectory compressor.
+// GROMACS trajectory compressor. It is the mirror of BitReader: bits
+// accumulate right-aligned in a 64-bit register and drain to the buffer in
+// bulk 8-byte stores, so the common small-width writes on the XTC encode
+// hot path are a shift and an or instead of a per-byte loop.
 type BitWriter struct {
 	buf    []byte
-	cur    uint32 // bits accumulated, left-aligned within lastbits
-	nbits  uint   // number of valid bits in cur (0..7 between calls)
+	acc    uint64 // low n bits are valid, MSB-first stream order
+	n      uint   // valid bits in acc (0..63 between calls)
 	closed bool
 }
 
@@ -20,31 +23,46 @@ func NewBitWriter(capacity int) *BitWriter {
 	return &BitWriter{buf: make([]byte, 0, capacity)}
 }
 
+// Reset truncates the writer to empty, retaining the underlying storage so
+// pooled writers do not reallocate per frame.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.acc, w.n = 0, 0
+	w.closed = false
+}
+
 // WriteBits appends the low nbits bits of v, MSB first.
 // nbits must be in [0, 32].
 func (w *BitWriter) WriteBits(v uint32, nbits uint) {
 	if nbits > 32 {
 		panic(fmt.Sprintf("xdr: WriteBits width %d out of range", nbits))
 	}
-	if nbits < 32 {
-		v &= (1 << nbits) - 1
-	}
-	for nbits > 0 {
-		take := 8 - w.nbits
-		if take > nbits {
-			take = nbits
-		}
-		w.cur = (w.cur << take) | (v >> (nbits - take) & ((1 << take) - 1))
-		w.nbits += take
-		nbits -= take
-		if w.nbits == 8 {
-			w.buf = append(w.buf, byte(w.cur))
-			w.cur, w.nbits = 0, 0
-		}
-	}
+	w.WriteBits64(uint64(v)&mask64(nbits), nbits)
 }
 
-// WriteBitsBig appends a value wider than 32 bits expressed as a slice of
+// WriteBits64 appends the low nbits bits of v, MSB first. nbits must be in
+// [0, 64]. It is the inverse of BitReader.ReadBits64 and the entry point the
+// XTC coordinate compressor packs whole triplets through.
+func (w *BitWriter) WriteBits64(v uint64, nbits uint) {
+	if nbits > 64 {
+		panic(fmt.Sprintf("xdr: WriteBits64 width %d out of range", nbits))
+	}
+	v &= mask64(nbits)
+	if w.n+nbits < 64 {
+		w.acc = w.acc<<nbits | v
+		w.n += nbits
+		return
+	}
+	// Top the accumulator up to exactly 64 bits and drain it as one
+	// big-endian 8-byte store; the remainder restarts the accumulator.
+	take := 64 - w.n
+	rest := nbits - take
+	w.buf = binary.BigEndian.AppendUint64(w.buf, w.acc<<take|v>>rest)
+	w.acc = v & mask64(rest)
+	w.n = rest
+}
+
+// WriteBitsBig appends a value wider than 64 bits expressed as a slice of
 // bytes in big-endian order, using exactly nbits bits.
 func (w *BitWriter) WriteBitsBig(bytes []byte, nbits uint) {
 	rem := nbits % 8
@@ -59,20 +77,26 @@ func (w *BitWriter) WriteBitsBig(bytes []byte, nbits uint) {
 }
 
 // Bytes flushes any partial byte (zero-padded on the right) and returns the
-// packed buffer. After Bytes the writer must not be written to again.
+// packed buffer. After Bytes the writer must not be written to again until
+// Reset.
 func (w *BitWriter) Bytes() []byte {
 	if !w.closed {
-		if w.nbits > 0 {
-			w.buf = append(w.buf, byte(w.cur<<(8-w.nbits)))
-			w.cur, w.nbits = 0, 0
+		for w.n >= 8 {
+			w.n -= 8
+			w.buf = append(w.buf, byte(w.acc>>w.n))
 		}
+		if w.n > 0 {
+			w.buf = append(w.buf, byte(w.acc<<(8-w.n)))
+			w.n = 0
+		}
+		w.acc = 0
 		w.closed = true
 	}
 	return w.buf
 }
 
 // BitLen returns the number of bits written so far.
-func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.nbits) }
+func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.n) }
 
 // BitReader unpacks values written by BitWriter. It keeps a 64-bit
 // accumulator refilled a byte at a time from the buffer, so the common

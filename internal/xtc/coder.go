@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/xdr"
 )
@@ -78,46 +79,59 @@ func (s *coderState) adjust(dir int) {
 	}
 }
 
-// fitsSmall reports whether delta d can be coded at the current width:
-// each component offset by smallNum must land in [0, sizeSmall).
-func (s *coderState) fitsSmall(d [3]int32) bool {
-	for _, c := range d {
-		v := c + s.smallNum
-		if v < 0 || uint32(v) >= s.sizeSmall {
-			return false
-		}
-	}
-	return true
-}
-
-// isSmaller reports whether delta d would also fit one table step down.
-func (s *coderState) isSmaller(d [3]int32) bool {
-	for _, c := range d {
-		if c > s.smaller || c < -s.smaller {
-			return false
-		}
-	}
-	return true
-}
-
-// quantize converts coords to integers at the given precision.
+// quantize converts coords to integers at the given precision. The inner
+// loop avoids the per-coordinate sign branch (coordinates alternate sign
+// unpredictably): Abs/Copysign are compiler intrinsics that reduce to bit
+// masks, and a single !(|f| < max) compare also rejects NaN, since NaN
+// fails every comparison.
 func quantize(coords []Vec3, precision float32, out []int32) error {
 	for i, c := range coords {
 		for d := 0; d < 3; d++ {
 			f := float64(c[d]) * float64(precision)
-			if f >= maxQuantized || f <= -maxQuantized || math.IsNaN(f) {
+			if !(math.Abs(f) < maxQuantized) {
 				return fmt.Errorf("%w: atom %d dim %d value %g at precision %g",
 					ErrPrecision, i, d, c[d], precision)
 			}
-			if f >= 0 {
-				out[i*3+d] = int32(f + 0.5)
-			} else {
-				out[i*3+d] = int32(f - 0.5)
-			}
+			out[i*3+d] = int32(f + math.Copysign(0.5, f))
 		}
 	}
 	return nil
 }
+
+// halfMagic[i] = magicints[i]/2, the per-component bound the small-delta
+// coder tests against, precomputed so hot loops compare in uint32. Three
+// all-ones sentinel entries pad the tail so initialSmallIdx's fixed
+// three-probe lookup never reads out of bounds (no real bound reaches
+// MaxUint32, so the sentinels never count).
+var halfMagic = func() (t [len(magicints) + 3]uint32) {
+	for i, m := range magicints {
+		t[i] = m / 2
+	}
+	for i := len(magicints); i < len(t); i++ {
+		t[i] = math.MaxUint32
+	}
+	return t
+}()
+
+// smallIdxStart[L] is the first usable table index whose half-size exceeds
+// the smallest value of bit length L, so the per-delta table lookup in
+// initialSmallIdx starts at most a couple of entries early instead of
+// scanning the whole table (the ratio between entries is ~2^(1/3), so at
+// most three entries share a bit length).
+var smallIdxStart = func() (t [34]int) {
+	for l := range t {
+		lo := uint32(0)
+		if l > 0 {
+			lo = 1 << (l - 1)
+		}
+		idx := firstIdx
+		for idx < lastIdx && halfMagic[idx] <= lo {
+			idx++
+		}
+		t[l] = idx
+	}
+	return t
+}()
 
 // initialSmallIdx picks the starting table index so that roughly 60% of
 // consecutive-atom displacements fit the small-delta coder. (The original
@@ -125,6 +139,11 @@ func quantize(coords []Vec3, precision float32, out []int32) error {
 // a frame mixes tightly bonded hydrogens with molecule-to-molecule hops;
 // the in-stream adaptation window is anchored at this index, so a robust
 // percentile start compresses noticeably better. See DESIGN.md.)
+//
+// This pre-pass touches every atom once, so its inner loop is branchless:
+// quantized values are bounded by ±2^30, deltas therefore fit int32 exactly,
+// and the arithmetic-shift absolute value plus uint32 compares emit no
+// data-dependent branches (which mispredict ~50% on thermal-noise deltas).
 func initialSmallIdx(ints []int32) int {
 	n := len(ints) / 3
 	if n < 2 {
@@ -132,20 +151,40 @@ func initialSmallIdx(ints []int32) int {
 	}
 	// Histogram of the table index each consecutive delta needs.
 	var hist [len(magicints)]int
+	px, py, pz := ints[0], ints[1], ints[2]
 	for i := 1; i < n; i++ {
-		var need int64
-		for d := 0; d < 3; d++ {
-			c := int64(ints[i*3+d]) - int64(ints[(i-1)*3+d])
-			if c < 0 {
-				c = -c
-			}
-			if c > need {
-				need = c
-			}
+		x, y, z := ints[i*3], ints[i*3+1], ints[i*3+2]
+		dx, dy, dz := x-px, y-py, z-pz
+		px, py, pz = x, y, z
+		mx, my, mz := dx>>31, dy>>31, dz>>31
+		ax := uint32((dx ^ mx) - mx)
+		ay := uint32((dy ^ my) - my)
+		az := uint32((dz ^ mz) - mz)
+		need := ax
+		if ay > need {
+			need = ay
 		}
-		idx := firstIdx
-		for idx < lastIdx && int64(magicints[idx]/2) <= need {
-			idx++
+		if az > need {
+			need = az
+		}
+		// The table ratio is ~2^(1/3), so at most three entries share a
+		// bit length: the residual scan is a fixed prefix count over three
+		// probes of the monotone table (a variable-trip loop here
+		// mispredicts on nearly every delta).
+		idx := smallIdxStart[bits.Len32(need)]
+		c0, c1, c2 := 0, 0, 0
+		if halfMagic[idx] <= need {
+			c0 = 1
+		}
+		if halfMagic[idx+1] <= need {
+			c1 = 1
+		}
+		if halfMagic[idx+2] <= need {
+			c2 = 1
+		}
+		idx += c0 + c1 + c2
+		if idx > lastIdx {
+			idx = lastIdx
 		}
 		hist[idx]++
 	}
@@ -190,9 +229,10 @@ func frameBounds(ints []int32) (minInt [3]int32, sizeInt [3]uint32) {
 	return minInt, sizeInt
 }
 
-// compressCoords writes the bit stream for the quantized coordinates.
-// Returns the chosen initial small index (stored in the frame header).
-func compressCoords(ints []int32, minInt [3]int32, sizeInt [3]uint32) (blob []byte, smallIdx int) {
+// compressCoords writes the bit stream for the quantized coordinates into w
+// (a pooled writer on the hot path). Returns the chosen initial small index
+// (stored in the frame header).
+func compressCoords(w *xdr.BitWriter, ints []int32, minInt [3]int32, sizeInt [3]uint32) (smallIdx int) {
 	natoms := len(ints) / 3
 	smallIdx = initialSmallIdx(ints)
 	st := newCoderState(smallIdx)
@@ -208,8 +248,9 @@ func compressCoords(ints []int32, minInt [3]int32, sizeInt [3]uint32) (blob []by
 		bitSize = sizeOfInts(sizeInt[:])
 	}
 
-	w := xdr.NewBitWriter(natoms*3 + 64)
-	writeAbs := func(i int) {
+	i := 0
+	for i < natoms {
+		// Absolutely coded atom.
 		var vals [3]uint32
 		for d := 0; d < 3; d++ {
 			vals[d] = uint32(int64(ints[i*3+d]) - int64(minInt[d]))
@@ -221,33 +262,35 @@ func compressCoords(ints []int32, minInt [3]int32, sizeInt [3]uint32) (blob []by
 		} else {
 			packInts(w, bitSize, sizeInt[:], vals[:])
 		}
-	}
-
-	i := 0
-	for i < natoms {
-		writeAbs(i)
 		prev := [3]int32{ints[i*3], ints[i*3+1], ints[i*3+2]}
 		i++
 
-		// Collect the delta run.
-		var deltas [maxRunAtoms][3]int32
+		// Collect the delta run, storing each triplet already biased by
+		// smallNum (the form both the fits test and the packer consume; the
+		// state only adapts between runs, so the bias is constant here).
+		// fitsSmall's two signed comparisons per component collapse into
+		// one unsigned one: a negative biased component wraps to a huge
+		// uint32 and fails the < sizeSmall test the same way.
+		var biased [maxRunAtoms][3]uint32
+		sn, sizeSmall, smaller := st.smallNum, st.sizeSmall, st.smaller
 		run := 0
 		allSmaller := true
 		for i < natoms && run < maxRunAtoms {
-			var d [3]int32
-			for k := 0; k < 3; k++ {
-				d[k] = ints[i*3+k] - prev[k]
-			}
-			if !st.fitsSmall(d) {
+			dx := ints[i*3] - prev[0]
+			dy := ints[i*3+1] - prev[1]
+			dz := ints[i*3+2] - prev[2]
+			bx, by, bz := uint32(dx+sn), uint32(dy+sn), uint32(dz+sn)
+			if bx >= sizeSmall || by >= sizeSmall || bz >= sizeSmall {
 				break
 			}
-			if !st.isSmaller(d) {
+			if allSmaller &&
+				(dx > smaller || dx < -smaller ||
+					dy > smaller || dy < -smaller ||
+					dz > smaller || dz < -smaller) {
 				allSmaller = false
 			}
-			deltas[run] = d
-			for k := 0; k < 3; k++ {
-				prev[k] = ints[i*3+k]
-			}
+			biased[run] = [3]uint32{bx, by, bz}
+			prev[0], prev[1], prev[2] = ints[i*3], ints[i*3+1], ints[i*3+2]
 			run++
 			i++
 		}
@@ -264,17 +307,28 @@ func compressCoords(ints []int32, minInt [3]int32, sizeInt [3]uint32) (blob []by
 
 		// 5-bit run field: 3*runAtoms + (dir+1), exactly as XTC.
 		w.WriteBits(uint32(3*run+dir+1), 5)
-		sizes := [3]uint32{st.sizeSmall, st.sizeSmall, st.sizeSmall}
-		for k := 0; k < run; k++ {
-			var vals [3]uint32
-			for d := 0; d < 3; d++ {
-				vals[d] = uint32(deltas[k][d] + st.smallNum)
+		if st.nbitsRun <= 64 {
+			// Fused small-delta path, the encode hot spot: each biased
+			// triplet combines with two uint64 multiplies into one <=64-bit
+			// accumulator write, with no per-value call or slice traffic.
+			// The mirror of decompressCoords' fused run loop.
+			small := uint64(sizeSmall)
+			nb := st.nbitsRun
+			for k := 0; k < run; k++ {
+				x := uint64(biased[k][0])
+				y := uint64(biased[k][1])
+				z := uint64(biased[k][2])
+				w.WriteBits64((x*small+y)*small+z, nb)
 			}
-			packInts(w, st.nbitsRun, sizes[:], vals[:])
+		} else {
+			sizes := [3]uint32{sizeSmall, sizeSmall, sizeSmall}
+			for k := 0; k < run; k++ {
+				packIntsBig(w, st.nbitsRun, sizes[:], biased[k][:])
+			}
 		}
 		st.adjust(dir)
 	}
-	return w.Bytes(), smallIdx
+	return smallIdx
 }
 
 // decompressCoords is the inverse of compressCoords.

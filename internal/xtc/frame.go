@@ -68,7 +68,8 @@ func (f *Frame) AppendEncoded(w *xdr.Writer) error {
 		return err
 	}
 	minInt, sizeInt := frameBounds(ints)
-	blob, smallIdx := compressCoords(ints, minInt, sizeInt)
+	bw := getBitWriter()
+	smallIdx := compressCoords(bw, ints, minInt, sizeInt)
 
 	w.Float32(prec)
 	for d := 0; d < 3; d++ {
@@ -78,7 +79,8 @@ func (f *Frame) AppendEncoded(w *xdr.Writer) error {
 		w.Uint32(sizeInt[d])
 	}
 	w.Int32(int32(smallIdx))
-	w.VarOpaque(blob)
+	w.VarOpaque(bw.Bytes())
+	putBitWriter(bw)
 	return nil
 }
 
@@ -190,13 +192,28 @@ func DecodeFrame(r *xdr.Reader) (*Frame, error) {
 // listed in idx (which must be sorted ascending for meaningful trajectories,
 // though any order is accepted).
 func (f *Frame) Subset(idx []int) (*Frame, error) {
-	g := *f
-	g.Coords = make([]Vec3, len(idx))
+	g := &Frame{}
+	if err := f.SubsetInto(idx, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SubsetInto fills dst with the atoms of f selected by idx, reusing
+// dst.Coords' capacity. It is the allocation-free form of Subset for hot
+// paths that split every frame once per tagged subset; on error dst's
+// contents are unspecified.
+func (f *Frame) SubsetInto(idx []int, dst *Frame) error {
+	dst.Step, dst.Time, dst.Box, dst.Precision = f.Step, f.Time, f.Box, f.Precision
+	if cap(dst.Coords) < len(idx) {
+		dst.Coords = make([]Vec3, len(idx))
+	}
+	dst.Coords = dst.Coords[:len(idx)]
 	for i, a := range idx {
 		if a < 0 || a >= len(f.Coords) {
-			return nil, fmt.Errorf("xtc: subset index %d out of range (natoms=%d)", a, len(f.Coords))
+			return fmt.Errorf("xtc: subset index %d out of range (natoms=%d)", a, len(f.Coords))
 		}
-		g.Coords[i] = f.Coords[a]
+		dst.Coords[i] = f.Coords[a]
 	}
-	return &g, nil
+	return nil
 }

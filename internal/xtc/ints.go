@@ -5,8 +5,22 @@ import "repro/internal/xdr"
 // packInts combines vals (each in [0, sizes[i])) into one multi-precision
 // integer N = ((vals[0]*sizes[1]) + vals[1])*sizes[2] + vals[2] ... and
 // writes exactly nbits bits of it to w, most-significant bit first.
-// nbits must come from sizeOfInts(sizes).
+// nbits must come from sizeOfInts(sizes). Combined values of up to 64 bits
+// — every delta run and almost every absolute triplet — take a fused fast
+// path: two uint64 multiplies and one accumulator write, the exact inverse
+// of unpackInts' divide fast path.
 func packInts(w *xdr.BitWriter, nbits uint, sizes, vals []uint32) {
+	if nbits <= 64 && len(sizes) == 3 {
+		v := (uint64(vals[0])*uint64(sizes[1])+uint64(vals[1]))*uint64(sizes[2]) + uint64(vals[2])
+		w.WriteBits64(v, nbits)
+		return
+	}
+	packIntsBig(w, nbits, sizes, vals)
+}
+
+// packIntsBig is the general byte-wise multi-precision path for combined
+// values wider than 64 bits (huge per-frame bounding boxes).
+func packIntsBig(w *xdr.BitWriter, nbits uint, sizes, vals []uint32) {
 	// Multi-precision accumulate in little-endian bytes.
 	var bytes [16]byte
 	nbytes := 1

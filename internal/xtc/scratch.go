@@ -46,6 +46,20 @@ func putBytes(s []byte) {
 	bytesPool.Put(&s)
 }
 
+// bitWriterPool recycles the encode-side bit writers: without it every
+// compressed frame allocates a natoms*3-byte buffer — once per frame per
+// tagged subset on the ingest write path.
+var bitWriterPool = sync.Pool{New: func() any { return xdr.NewBitWriter(1 << 16) }}
+
+// getBitWriter returns an empty BitWriter, reusing pooled capacity.
+func getBitWriter() *xdr.BitWriter {
+	w := bitWriterPool.Get().(*xdr.BitWriter)
+	w.Reset()
+	return w
+}
+
+func putBitWriter(w *xdr.BitWriter) { bitWriterPool.Put(w) }
+
 // xdrReaderPool recycles xdr.Readers so each decoded frame does not allocate
 // one.
 var xdrReaderPool = sync.Pool{New: func() any { return xdr.NewReader(nil) }}
