@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-decode bench-ingest bench-check bench-tier test-faults test-crash test-tier clean
+.PHONY: all build test race lint bench bench-decode bench-ingest bench-serve bench-check bench-tier test-faults test-crash test-tier clean
 
 all: build lint test
 
@@ -46,7 +46,7 @@ test-tier:
 
 # One iteration of every benchmark — a smoke pass proving the bench
 # harness still runs end to end, not a measurement.
-bench: bench-decode bench-ingest bench-tier
+bench: bench-decode bench-ingest bench-serve bench-tier
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # Decode/prefetch benchmarks rendered to BENCH_decode.json (ns/op, MB/s,
@@ -62,6 +62,15 @@ bench-decode:
 bench-ingest:
 	$(GO) test -run '^$$' -bench 'XTCEncode|IngestParallel' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_ingest.json
+
+# Serve-fabric latency baseline: cmd/adaload replays the standard
+# multi-tenant workload (interactive viewers vs a saturating bulk scan)
+# through the deterministic fabric simulator and benchjson renders the
+# per-tenant/per-class p50/p99 latencies to BENCH_serve.json. Virtual-clock
+# percentiles are bit-identical run to run, so the regression bar on them is
+# meaningful at any tightness.
+bench-serve:
+	$(GO) run ./cmd/adaload | $(GO) run ./cmd/benchjson > BENCH_serve.json
 
 # Perf-regression gate: run the decode and ingest benchmarks fresh and diff
 # against the committed baselines. Fails (nonzero exit) when any benchmark
@@ -79,13 +88,17 @@ bench-check:
 		| $(GO) run ./cmd/benchjson > bench-new.json
 	$(GO) test -run '^$$' -bench 'XTCEncode|IngestParallel' -benchmem . \
 		| $(GO) run ./cmd/benchjson > bench-ingest-new.json
+	$(GO) run ./cmd/adaload | $(GO) run ./cmd/benchjson > bench-serve-new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_decode.json bench-new.json \
 		-max-regress $(BENCH_MAX_REGRESS) -assert-speedup '$(BENCH_SPEEDUP)' \
 		> bench-delta.txt; decode=$$?; cat bench-delta.txt; \
 	$(GO) run ./cmd/benchjson -compare BENCH_ingest.json bench-ingest-new.json \
 		-max-regress $(BENCH_MAX_REGRESS) \
 		> bench-ingest-delta.txt; ingest=$$?; cat bench-ingest-delta.txt; \
-	exit $$((decode + ingest))
+	$(GO) run ./cmd/benchjson -compare BENCH_serve.json bench-serve-new.json \
+		-max-regress $(BENCH_MAX_REGRESS) \
+		> bench-serve-delta.txt; serve=$$?; cat bench-serve-delta.txt; \
+	exit $$((decode + ingest + serve))
 
 # Tiering benchmarks rendered to BENCH_tier.txt for the CI artifact:
 # migration-pipeline throughput plus the read-path A/B for the heat hook

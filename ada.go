@@ -43,6 +43,7 @@ import (
 	"repro/internal/pdb"
 	"repro/internal/plfs"
 	"repro/internal/rpc"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/tier"
 	"repro/internal/vfs"
@@ -396,6 +397,39 @@ var (
 // Select evaluates a VMD-style atom-selection expression ("protein and
 // chain A") against a structure, returning the matching atom index ranges.
 var Select = vmd.Select
+
+// Multi-tenant serving (internal/serve): many playback sessions multiplex
+// over one shared, size-bounded frame cache with heat-aware admission,
+// deficit-round-robin fair-share scheduling, per-tenant quotas, and
+// singleflight request coalescing. A ServeHandle is a playback FrameSource,
+// so sessions play through the fabric with Session.PlayThrough.
+type (
+	// ServeFabric is the live multi-tenant serving layer.
+	ServeFabric = serve.Fabric
+	// ServeConfig sizes a fabric (cache budget, DRR quantum, quotas).
+	ServeConfig = serve.Config
+	// ServeHandle is one tenant's view of a dataset subset in the fabric.
+	ServeHandle = serve.Handle
+	// ServeSimSession is one synthetic client in a SimulateServe run.
+	ServeSimSession = serve.SimSession
+	// ServeSimReport summarizes a SimulateServe run.
+	ServeSimReport = serve.SimReport
+	// ServeCostModel prices the simulated node's decode and hit paths.
+	ServeCostModel = serve.CostModel
+)
+
+// DefaultServeCostModel matches the repo's measured decode rate.
+var DefaultServeCostModel = serve.DefaultCostModel
+
+// NewServeFabric starts a live serving fabric; Close it when done.
+func NewServeFabric(cfg ServeConfig) *ServeFabric { return serve.New(cfg) }
+
+// SimulateServe replays sessions through the fabric's deterministic
+// discrete-event simulator (virtual clock, one decode server); latency
+// percentiles land in cfg.Metrics under serve.tenant.* / serve.class.*.
+func SimulateServe(cfg ServeConfig, cost ServeCostModel, sessions []ServeSimSession) ServeSimReport {
+	return serve.Simulate(cfg, cost, sessions)
+}
 
 // Runtime observability (see internal/metrics): the storage stack —
 // container store, RPC nodes, ingest pipeline, playback cache — records

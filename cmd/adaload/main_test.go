@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testConfig() *config {
+	return &config{
+		viewers: 2, window: 12, sweeps: 2, thinkMS: 2, iaAtoms: 500,
+		scans: 2, scanFrames: 300, bulkAtoms: 8000,
+		cacheMB: 8, quantumKB: 128,
+	}
+}
+
+// TestRunDeterministic: two runs with identical flags produce byte-identical
+// bench output — the property the regression gate leans on.
+func TestRunDeterministic(t *testing.T) {
+	var out1, out2, errBuf bytes.Buffer
+	if err := run(testConfig(), &out1, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(testConfig(), &out2, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("output differs between identical runs:\n%s\n---\n%s", out1.String(), out2.String())
+	}
+}
+
+// TestRunEmitsParseableBenchLines: every stdout line is a bench result row
+// (name, iterations, value/unit pairs) covering both scenarios, every
+// tenant, and both percentiles.
+func TestRunEmitsParseableBenchLines(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(testConfig(), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	seen := map[string]bool{}
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkServe/") {
+			t.Fatalf("not a bench result line: %q", line)
+		}
+		if (len(fields)-2)%2 != 0 {
+			t.Fatalf("odd value/unit pairing: %q", line)
+		}
+		seen[fields[0]] = true
+	}
+	for _, want := range []string{
+		"BenchmarkServe/solo/class=interactive/p50",
+		"BenchmarkServe/solo/class=interactive/p99",
+		"BenchmarkServe/contended/class=interactive/p99",
+		"BenchmarkServe/contended/class=bulk/p99",
+		"BenchmarkServe/contended/tenant=ia0/p50",
+		"BenchmarkServe/contended/tenant=ia1/p99",
+		"BenchmarkServe/contended/tenant=bulk/p50",
+		"BenchmarkServe/contended/makespan",
+	} {
+		if !seen[want] {
+			t.Errorf("missing bench line %s; got %v", want, seen)
+		}
+	}
+}
+
+func TestParseFlagsRejectsJunk(t *testing.T) {
+	var errBuf bytes.Buffer
+	if _, err := parseFlags([]string{"-viewers", "0"}, &errBuf); err == nil {
+		t.Error("zero viewers accepted")
+	}
+	if _, err := parseFlags([]string{"stray"}, &errBuf); err == nil {
+		t.Error("stray argument accepted")
+	}
+}

@@ -47,6 +47,8 @@ type config struct {
 	faultSpec   string
 	scrubRate   int64
 	tierSpec    string
+	tenantRate  float64
+	tenantBurst float64
 }
 
 // parseFlags parses args (without the program name). It returns
@@ -68,12 +70,20 @@ resilience testing (e.g. "seed=42; drop:conn.read:every=3"; see DESIGN.md)`)
 	fs.StringVar(&cfg.tierSpec, "tier-spec", "",
 		`run heat-driven tiering over the served store, treating -dir as a
 two-tier container store (e.g. "fast=ssd,slow=hdd,cap=64MiB"; see DESIGN.md)`)
+	fs.Float64Var(&cfg.tenantRate, "tenant-rate", 0,
+		"per-tenant read quota in bytes/second for connections that identify"+
+			" a tenant (0 disables metering)")
+	fs.Float64Var(&cfg.tenantBurst, "tenant-burst", 8<<20,
+		"per-tenant read burst capacity in bytes (used with -tenant-rate)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if fs.NArg() != 0 {
 		fs.Usage()
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.tenantRate < 0 || cfg.tenantBurst < 0 {
+		return nil, fmt.Errorf("-tenant-rate and -tenant-burst must be non-negative")
 	}
 	return cfg, nil
 }
@@ -149,6 +159,11 @@ func run(cfg *config, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "adanode serving %s on %s\n", base.Root(), ln.Addr())
 	srv := rpc.NewServer(fsys, logger)
+	if cfg.tenantRate > 0 {
+		srv.SetTenantQuota(cfg.tenantRate, cfg.tenantBurst)
+		fmt.Fprintf(stdout, "adanode tenant read quota: %.0f B/s, burst %.0f B\n",
+			cfg.tenantRate, cfg.tenantBurst)
+	}
 	// SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
 	// requests, then exit cleanly.
 	sigs := make(chan os.Signal, 1)

@@ -123,7 +123,8 @@ type ingestMetrics struct {
 	bytesWritten    *metrics.Counter
 	decodeNS        *metrics.Histogram // per-frame decompress+decode
 	writeNS         *metrics.Histogram // per-frame categorize+split+write
-	queueHWM        *metrics.Gauge     // IngestParallel fan-out queue high-water mark (batches, counting the one in flight)
+	queueHWM        *metrics.Gauge     // IngestParallel fan-out queue high-water mark, in queued frames (counting the batch in flight)
+	progressFrames  *metrics.Gauge     // frames sequenced by the in-flight ingest (live progress)
 }
 
 func newIngestMetrics(reg *metrics.Registry) ingestMetrics {
@@ -136,6 +137,7 @@ func newIngestMetrics(reg *metrics.Registry) ingestMetrics {
 		decodeNS:        reg.Histogram("ingest.decode.ns"),
 		writeNS:         reg.Histogram("ingest.write.ns"),
 		queueHWM:        reg.Gauge("ingest.queue_depth_hwm"),
+		progressFrames:  reg.Gauge("ingest.progress_frames"),
 	}
 }
 
@@ -508,6 +510,7 @@ func (st *ingestState) writeFrame(frame *xtc.Frame, compressedBytes int64) error
 		}
 	}
 	st.report.Frames++
+	st.a.im.progressFrames.Set(int64(st.report.Frames))
 	if st.journal != nil && st.report.Frames%journalCkptEvery == 0 {
 		if err := st.checkpoint(); err != nil {
 			return fmt.Errorf("core: ingest %s: %w", st.logical, err)

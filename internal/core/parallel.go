@@ -141,13 +141,17 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 				pre := len(ch)
 				select {
 				case ch <- batch:
-					a.im.queueHWM.SetMax(int64(pre) + 1)
+					// The metric is denominated in queued *frames*, as it was
+					// before batched fan-out: every batch already in the
+					// channel is full (only the final flush can be partial,
+					// and nothing is sent after it), plus the batch in flight
+					// at its actual length.
+					a.im.queueHWM.SetMax(int64(pre)*int64(batchN) + int64(len(batch)))
 				case <-abort:
 					return false
 				}
 			}
 			batch = make([]frameMsg, 0, batchN)
-			st.report.Frames = seq
 			return true
 		}
 		for {
@@ -170,6 +174,12 @@ func (a *ADA) IngestParallel(logical string, pdbData []byte, traj io.Reader, que
 			st.report.Raw += xtc.RawFrameSize(frame.NAtoms())
 			batch = append(batch, frameMsg{frame: frame, compressed: compressed, seq: seq})
 			seq++
+			// Progress advances as frames are sequenced, not at batch
+			// flushes: the report (and the progress gauge an operator polls
+			// mid-run) would otherwise lag actual pipeline progress by up to
+			// a full batch.
+			st.report.Frames = seq
+			a.im.progressFrames.Set(int64(seq))
 			if len(batch) == batchN && !flush() {
 				return
 			}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math"
 	"regexp"
+	"strings"
 	"testing"
 
 	"repro/internal/blockfs"
 	"repro/internal/device"
+	"repro/internal/metrics"
 	"repro/internal/plfs"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -223,6 +225,65 @@ func TestIngestParallelWriterFailureMidBatch(t *testing.T) {
 				t.Errorf("err = %q, want the failing frame index in the message", err)
 			}
 		})
+	}
+}
+
+// TestIngestParallelQueueHWMCountsFrames pins the unit of the fan-out
+// queue high-water mark: queued *frames*, as the metric meant before
+// batched fan-out, not channel occupancy in batches. With a batch of 8 the
+// mark must be at least one full batch (8 frames) — occupancy-denominated
+// reporting would cap it at queue+1 = 3 — and can never exceed a full
+// channel plus the batch in flight.
+func TestIngestParallelQueueHWMCountsFrames(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 100, 40)
+	const batch, queue = 8, 2
+	reg := metrics.NewRegistry()
+	a, _, _ := newADA(t, nil, Options{Metrics: reg, WriteBatchFrames: batch})
+	if _, err := a.IngestParallel("/ds", pdbBytes, bytes.NewReader(traj), queue); err != nil {
+		t.Fatal(err)
+	}
+	hwm := reg.Snapshot().Gauges["ingest.queue_depth_hwm"]
+	if hwm < batch {
+		t.Errorf("queue_depth_hwm = %d, want ≥ %d (one full batch of frames)", hwm, batch)
+	}
+	if max := int64((queue + 1) * batch); hwm > max {
+		t.Errorf("queue_depth_hwm = %d, want ≤ %d (full channel + in-flight batch)", hwm, max)
+	}
+}
+
+// TestIngestParallelProgressNotBatchLagged covers the decode-error-mid-batch
+// report: frames sequenced into a not-yet-flushed batch must already appear
+// in the progress gauge and in the error's frame index. Before the fix both
+// were only advanced at batch flushes, so an error landing mid-batch
+// reported progress rounded down to the last batch boundary.
+func TestIngestParallelProgressNotBatchLagged(t *testing.T) {
+	const batch, frames = 16, 21
+	pdbBytes, traj, _ := testDataset(t, 100, frames)
+	reg := metrics.NewRegistry()
+	a, _, _ := newADA(t, nil, Options{Metrics: reg, WriteBatchFrames: batch})
+	// Truncating the stream corrupts the final frame: the decode error lands
+	// at frame 20, five frames into the second (unflushed) batch.
+	_, err := a.IngestParallel("/ds", pdbBytes, bytes.NewReader(traj[:len(traj)-7]), 2)
+	if err == nil {
+		t.Fatal("truncated trajectory should fail")
+	}
+	if want := fmt.Sprintf("frame %d", frames-1); !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %q, want the mid-batch failing frame (%s) named", err, want)
+	}
+	if got := reg.Snapshot().Gauges["ingest.progress_frames"]; got != frames-1 {
+		t.Errorf("ingest.progress_frames = %d after error at frame %d, want %d (not the last batch boundary %d)",
+			got, frames-1, frames-1, batch)
+	}
+	// A clean run leaves the gauge at the full frame count, matching the
+	// report.
+	b, _, _ := newADA(t, nil, Options{Metrics: reg, WriteBatchFrames: batch})
+	rep, err := b.IngestParallel("/ds2", pdbBytes, bytes.NewReader(traj), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != frames || reg.Snapshot().Gauges["ingest.progress_frames"] != frames {
+		t.Errorf("Frames = %d, progress gauge = %d, want %d",
+			rep.Frames, reg.Snapshot().Gauges["ingest.progress_frames"], frames)
 	}
 }
 

@@ -43,6 +43,7 @@ type Client struct {
 	mu     sync.Mutex
 	conn   net.Conn // nil after a transport teardown until the next redial
 	addr   string   // non-empty iff dialed (enables redial retry)
+	tenant string   // re-declared on every redial once SetTenant is called
 	closed bool
 	policy RetryPolicy
 	dial   Dialer
@@ -119,6 +120,41 @@ func (c *Client) SetMetrics(reg *metrics.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m = newClientMetrics(reg)
+}
+
+// SetTenant identifies this client's traffic as belonging to tenant: the
+// node accounts (and, when configured, rate-limits) its reads under
+// rpc.tenant.<name>.*. The identity sticks to the client, not the
+// connection — after a redial the next attempt re-declares it before
+// resending the interrupted call, so per-tenant accounting survives
+// transport blips. Identifying is idempotent; the last name sent wins.
+func (c *Client) SetTenant(tenant string) error {
+	req := request(opIdent)
+	req.String(tenant)
+	c.mu.Lock()
+	c.tenant = tenant
+	c.mu.Unlock()
+	_, err := c.call(req)
+	return err
+}
+
+// ident declares c.tenant on conn (a fresh redial). Callers hold c.mu and
+// have already armed the call deadline. The real request has not been sent
+// yet, so a failure here is always safe to retry.
+func (c *Client) ident(conn net.Conn) error {
+	req := request(opIdent)
+	req.String(c.tenant)
+	raw := req.Bytes()
+	if err := writeFrame(conn, raw); err != nil {
+		return fmt.Errorf("rpc: ident send: %w", err)
+	}
+	c.m.bytesOut.Add(int64(len(raw)) + 4)
+	payload, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("rpc: ident receive: %w", err)
+	}
+	c.m.bytesIn.Add(int64(len(payload)) + 4)
+	return decodeStatus(xdr.NewReader(payload))
 }
 
 // SetRetryPolicy replaces the retry policy for subsequent calls.
@@ -222,6 +258,7 @@ func (c *Client) exchange(op uint32, req []byte) ([]byte, error) {
 // request frame was completely handed to the transport — when false the
 // server provably never parsed the request, so any op is safe to re-send.
 func (c *Client) attempt(req []byte) (sent bool, payload []byte, err error) {
+	fresh := false
 	if c.conn == nil {
 		if c.addr == "" {
 			return false, nil, fmt.Errorf("rpc: connection lost: %w", vfs.ErrBackendDown)
@@ -231,11 +268,20 @@ func (c *Client) attempt(req []byte) (sent bool, payload []byte, err error) {
 			return false, nil, fmt.Errorf("rpc: redial %s: %w", c.addr, derr)
 		}
 		c.conn = conn
+		fresh = true
 	}
 	conn := c.conn
 	if t := c.policy.CallTimeout; t > 0 {
 		conn.SetDeadline(time.Now().Add(t))
 		defer conn.SetDeadline(time.Time{})
+	}
+	if fresh && c.tenant != "" {
+		// Re-declare the tenant before the interrupted call goes out, so
+		// the new connection's reads stay attributed. The request frame has
+		// not been sent, so sent=false keeps any op retry-safe.
+		if ierr := c.ident(conn); ierr != nil {
+			return false, nil, ierr
+		}
 	}
 	if werr := writeFrame(conn, req); werr != nil {
 		return false, nil, fmt.Errorf("rpc: send: %w", werr)

@@ -37,6 +37,7 @@ const (
 	opRemove
 	opSize
 	opRename
+	opIdent // declare the connection's tenant for per-tenant accounting
 )
 
 // MaxPayload bounds a single message (catches corrupt length prefixes).

@@ -54,12 +54,13 @@ func DefaultRetryPolicy() RetryPolicy {
 //   - open/read/stat/readdir/size: pure reads (a retried open can leak one
 //     server handle, which is benign — the handle table is per-process).
 //   - mkdirall: converges to the same state on re-application.
+//   - ident: declares the connection's tenant; re-declaring is a no-op.
 //   - create/write/close/remove/rename: a second application truncates
 //     data, appends bytes twice, or fails on the now-missing
 //     handle/file/source path.
 func idempotentOp(op uint32) bool {
 	switch op {
-	case opOpen, opRead, opStat, opReadDir, opSize, opMkdirAll:
+	case opOpen, opRead, opStat, opReadDir, opSize, opMkdirAll, opIdent:
 		return true
 	}
 	return false

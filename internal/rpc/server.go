@@ -36,6 +36,11 @@ type Server struct {
 	nextFD  uint32
 	handles map[uint32]vfs.File
 
+	quotaMu    sync.Mutex
+	quotaRate  float64 // read bytes/second per tenant (0 = unmetered)
+	quotaBurst float64
+	quotas     map[string]*tenantState
+
 	connMu    sync.Mutex
 	closed    bool
 	listeners map[net.Listener]struct{}
@@ -46,6 +51,7 @@ type Server struct {
 // serverMetrics are the node-side request/response/error handles, plus a
 // per-opcode request breakdown.
 type serverMetrics struct {
+	reg         *metrics.Registry // for per-tenant counters minted at ident time
 	requests    *metrics.Counter
 	responses   *metrics.Counter
 	errors      *metrics.Counter
@@ -53,7 +59,8 @@ type serverMetrics struct {
 	bytesIn     *metrics.Counter
 	bytesOut    *metrics.Counter
 	latency     *metrics.Histogram
-	perOp       [opRename + 1]*metrics.Counter
+	throttleNS  *metrics.Histogram
+	perOp       [opIdent + 1]*metrics.Counter
 }
 
 // opName names an opcode for metrics and logs.
@@ -62,7 +69,7 @@ func opName(op uint32) string {
 		opCreate: "create", opOpen: "open", opRead: "read", opWrite: "write",
 		opClose: "close", opStat: "stat", opReadDir: "readdir",
 		opMkdirAll: "mkdirall", opRemove: "remove", opSize: "size",
-		opRename: "rename",
+		opRename: "rename", opIdent: "ident",
 	}
 	if op < uint32(len(names)) && names[op] != "" {
 		return names[op]
@@ -72,6 +79,7 @@ func opName(op uint32) string {
 
 func newServerMetrics(reg *metrics.Registry) serverMetrics {
 	m := serverMetrics{
+		reg:         reg,
 		requests:    reg.Counter("rpc.server.requests"),
 		responses:   reg.Counter("rpc.server.responses"),
 		errors:      reg.Counter("rpc.server.errors"),
@@ -79,8 +87,9 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		bytesIn:     reg.Counter("rpc.server.bytes_received"),
 		bytesOut:    reg.Counter("rpc.server.bytes_sent"),
 		latency:     reg.Histogram("rpc.server.dispatch.ns"),
+		throttleNS:  reg.Histogram("rpc.server.throttle.ns"),
 	}
-	for op := opCreate; op <= opRename; op++ {
+	for op := opCreate; op <= opIdent; op++ {
 		m.perOp[op] = reg.Counter("rpc.server.op." + opName(op))
 	}
 	return m
@@ -93,6 +102,7 @@ func NewServer(fsys vfs.FS, logger *log.Logger) *Server {
 		fsys: fsys, logger: logger,
 		m:         newServerMetrics(metrics.Default),
 		handles:   map[uint32]vfs.File{},
+		quotas:    map[string]*tenantState{},
 		listeners: map[net.Listener]struct{}{},
 		conns:     map[net.Conn]struct{}{},
 	}
@@ -101,6 +111,75 @@ func NewServer(fsys vfs.FS, logger *log.Logger) *Server {
 // SetMetrics points the server's counters at reg (metrics.Default by
 // default; nil disables collection). Call before Serve.
 func (s *Server) SetMetrics(reg *metrics.Registry) { s.m = newServerMetrics(reg) }
+
+// SetTenantQuota rate-limits read bytes per identified tenant (opIdent) to
+// rate bytes/second with the given burst capacity. Zero rate disables
+// metering; unidentified connections are never metered. Call before Serve.
+//
+// The throttle is a token bucket per tenant shared across that tenant's
+// connections: an over-quota read sleeps the serving goroutine until the
+// bucket refills, pushing backpressure onto exactly the tenant that
+// overspent while other connections keep being served. Sleeps land in the
+// rpc.server.throttle.ns histogram.
+func (s *Server) SetTenantQuota(rate, burst float64) {
+	s.quotaMu.Lock()
+	defer s.quotaMu.Unlock()
+	s.quotaRate = rate
+	s.quotaBurst = burst
+	s.quotas = map[string]*tenantState{}
+}
+
+// tenantState is the server-wide accounting for one tenant: read counters
+// (minted once, shared by every connection the tenant identifies on) and
+// its quota bucket.
+type tenantState struct {
+	reads  *metrics.Counter
+	bytes  *metrics.Counter
+	tokens float64
+	last   time.Time
+}
+
+// tenant returns (creating on first ident) the shared state for name.
+func (s *Server) tenant(name string) *tenantState {
+	s.quotaMu.Lock()
+	defer s.quotaMu.Unlock()
+	ts, ok := s.quotas[name]
+	if !ok {
+		ts = &tenantState{
+			reads: s.m.reg.Counter("rpc.tenant." + name + ".reads"),
+			bytes: s.m.reg.Counter("rpc.tenant." + name + ".read_bytes"),
+		}
+		ts.tokens = s.quotaBurst
+		s.quotas[name] = ts
+	}
+	return ts
+}
+
+// chargeRead debits n read bytes from ts's bucket and returns how long the
+// caller must sleep to respect the tenant's rate. Debt is allowed (the read
+// already happened); the sleep amortizes it before the next one.
+func (s *Server) chargeRead(ts *tenantState, n int64) time.Duration {
+	s.quotaMu.Lock()
+	defer s.quotaMu.Unlock()
+	ts.reads.Inc()
+	ts.bytes.Add(n)
+	if s.quotaRate <= 0 {
+		return 0
+	}
+	now := time.Now()
+	if !ts.last.IsZero() {
+		ts.tokens += now.Sub(ts.last).Seconds() * s.quotaRate
+		if ts.tokens > s.quotaBurst {
+			ts.tokens = s.quotaBurst
+		}
+	}
+	ts.last = now
+	ts.tokens -= float64(n)
+	if ts.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-ts.tokens / s.quotaRate * float64(time.Second))
+}
 
 func (s *Server) logf(format string, args ...interface{}) {
 	if s.logger != nil {
@@ -193,6 +272,9 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 	s.m.connections.Inc()
 	s.logf("rpc: client %s connected", conn.RemoteAddr())
+	// cs carries per-connection state across dispatches: the tenant the
+	// connection identified as (opIdent), if any.
+	cs := &connState{}
 	for {
 		payload, err := readFrame(conn)
 		if err != nil {
@@ -207,12 +289,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.m.bytesIn.Add(int64(len(payload)) + 4)
 		s.m.requests.Inc()
 		if len(payload) >= 4 {
-			if op := binary.BigEndian.Uint32(payload); op <= opRename {
+			if op := binary.BigEndian.Uint32(payload); op <= opIdent {
 				s.m.perOp[op].Inc()
 			}
 		}
 		start := time.Now()
-		resp := s.dispatch(payload)
+		resp := s.dispatch(cs, payload)
 		s.m.latency.Observe(time.Since(start).Nanoseconds())
 		// Response status word: 0 = OK, anything else = error reply.
 		if len(resp) >= 4 && binary.BigEndian.Uint32(resp) != 0 {
@@ -232,7 +314,15 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(payload []byte) []byte {
+// connState is the per-connection dispatch context. A connection starts
+// anonymous; an opIdent binds it to a tenant, and every later read on it is
+// accounted (and, under SetTenantQuota, throttled) against that tenant.
+type connState struct {
+	tenant string
+	ts     *tenantState
+}
+
+func (s *Server) dispatch(cs *connState, payload []byte) []byte {
 	r := xdr.NewReader(payload)
 	op := r.Uint32()
 	if err := r.Err(); err != nil {
@@ -282,6 +372,12 @@ func (s *Server) dispatch(payload []byte) []byte {
 		got, err := f.ReadAt(buf, off)
 		if err != nil && err != io.EOF {
 			return respondErr(err)
+		}
+		if cs.ts != nil {
+			if d := s.chargeRead(cs.ts, int64(got)); d > 0 {
+				s.m.throttleNS.Observe(int64(d))
+				time.Sleep(d)
+			}
 		}
 		w := respondOK()
 		w.Uint32(boolWord(err == io.EOF))
@@ -383,6 +479,18 @@ func (s *Server) dispatch(payload []byte) []byte {
 		if err := s.fsys.Remove(name); err != nil {
 			return respondErr(err)
 		}
+		return respondOK().Bytes()
+
+	case opIdent:
+		tenant := r.String()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		if tenant == "" {
+			return respondErr(fmt.Errorf("%w: empty tenant name", ErrProtocol))
+		}
+		cs.tenant = tenant
+		cs.ts = s.tenant(tenant)
 		return respondOK().Bytes()
 
 	case opRename:

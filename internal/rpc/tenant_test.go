@@ -1,0 +1,158 @@
+package rpc
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// readAll opens name and reads n bytes at offset 0 through the client.
+func readAll(t *testing.T, c *Client, name string, n int) {
+	t.Helper()
+	f, err := c.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if got, err := f.ReadAt(buf, 0); got != n {
+		t.Fatalf("ReadAt = %d, %v; want %d bytes", got, err, n)
+	}
+}
+
+// TestTenantAccountingSurvivesRedial: a client that identified as a tenant
+// keeps its reads attributed after the transport drops and the retry loop
+// redials — the new connection re-declares the tenant before resending.
+func TestTenantAccountingSurvivesRedial(t *testing.T) {
+	sreg := metrics.NewRegistry()
+	fsys := vfs.NewMemFS()
+	if err := vfs.WriteFile(fsys, "/data.bin", make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startMeteredNode(t, fsys, sreg, false)
+	defer stop()
+
+	// The dialer remembers the live connection so the test can cut it.
+	var dmu sync.Mutex
+	var last net.Conn
+	dialer := func(a string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", a)
+		if err == nil {
+			dmu.Lock()
+			last = conn
+			dmu.Unlock()
+		}
+		return conn, err
+	}
+	c, err := DialWith(addr, dialer, DefaultRetryPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetMetrics(metrics.NewRegistry())
+	if err := c.SetTenant("alice"); err != nil {
+		t.Fatal(err)
+	}
+
+	readAll(t, c, "/data.bin", 4096)
+
+	// Cut the transport under the client; the next call must redial,
+	// re-ident, and stay attributed to alice.
+	dmu.Lock()
+	last.Close()
+	dmu.Unlock()
+	readAll(t, c, "/data.bin", 4096)
+
+	ss := sreg.Snapshot()
+	if got := ss.Counters["rpc.tenant.alice.reads"]; got != 2 {
+		t.Errorf("rpc.tenant.alice.reads = %d, want 2", got)
+	}
+	if got := ss.Counters["rpc.tenant.alice.read_bytes"]; got != 8192 {
+		t.Errorf("rpc.tenant.alice.read_bytes = %d, want 8192", got)
+	}
+	if got := ss.Counters["rpc.server.op.ident"]; got < 2 {
+		t.Errorf("rpc.server.op.ident = %d, want >= 2 (initial + redial re-ident)", got)
+	}
+}
+
+// TestTenantQuotaThrottlesReads: with a per-tenant quota set, an identified
+// tenant's reads are paced to the configured rate while anonymous
+// connections stay unmetered.
+func TestTenantQuotaThrottlesReads(t *testing.T) {
+	sreg := metrics.NewRegistry()
+	fsys := vfs.NewMemFS()
+	const frame = 8192
+	if err := vfs.WriteFile(fsys, "/big.bin", make([]byte, frame)); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srv := NewServer(fsys, nil)
+	srv.SetMetrics(sreg)
+	// No burst: every metered read sleeps out its full cost (8 KiB at
+	// 80 KiB/s = 100 ms), which a wall clock can assert robustly.
+	srv.SetTenantQuota(80<<10, 0)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.handleConn(conn)
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetMetrics(metrics.NewRegistry())
+	if err := c.SetTenant("bulk"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	readAll(t, c, "/big.bin", frame)
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("metered read took %v, want >= ~100ms at 80 KiB/s", elapsed)
+	}
+
+	anon, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anon.Close()
+	anon.SetMetrics(metrics.NewRegistry())
+	readAll(t, anon, "/big.bin", frame)
+
+	ss := sreg.Snapshot()
+	if got := ss.Histograms["rpc.server.throttle.ns"].Count; got < 1 {
+		t.Error("no throttle sleeps recorded for the metered tenant")
+	}
+	if got := ss.Counters["rpc.tenant.bulk.reads"]; got != 1 {
+		t.Errorf("rpc.tenant.bulk.reads = %d, want 1 (anonymous read must not count)", got)
+	}
+}
+
+// TestSetTenantRejectsEmptyName: the server refuses an empty tenant, so
+// misconfigured clients fail loudly instead of minting a nameless bucket.
+func TestSetTenantRejectsEmptyName(t *testing.T) {
+	addr, stop := startMeteredNode(t, vfs.NewMemFS(), metrics.NewRegistry(), false)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetMetrics(metrics.NewRegistry())
+	if err := c.SetTenant(""); err == nil {
+		t.Fatal("SetTenant(\"\") succeeded")
+	}
+}

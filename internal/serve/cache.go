@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"container/list"
+
+	"repro/internal/xtc"
+)
+
+// Key names one decoded frame in the shared cache: a dataset, a tagged
+// subset of it, and a frame number.
+type Key struct {
+	Logical string
+	Tag     string
+	Frame   int
+}
+
+// droppingPrefix matches core's subset dropping naming, so serve-side heat
+// shares a namespace with the tiering tracker's.
+const droppingPrefix = "subset."
+
+func (k Key) dropping() string { return droppingPrefix + k.Tag }
+
+type centry struct {
+	key   Key
+	frame *xtc.Frame
+	bytes int64
+}
+
+// frameCache is the fabric's shared decoded-frame store: plain LRU under a
+// byte budget, with the admission decision (heat comparison against the
+// would-be victims) made by the caller via evictOK. It is guarded by the
+// fabric's mutex.
+type frameCache struct {
+	budget int64
+	used   int64
+	lru    *list.List // front = most recent; values *centry
+	lookup map[Key]*list.Element
+}
+
+func newFrameCache(budget int64) *frameCache {
+	return &frameCache{budget: budget, lru: list.New(), lookup: map[Key]*list.Element{}}
+}
+
+// get returns the cached frame and refreshes its recency.
+func (c *frameCache) get(k Key) (*xtc.Frame, bool) {
+	e, ok := c.lookup[k]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*centry).frame, true
+}
+
+// admit inserts the frame if it fits the budget after evicting LRU victims,
+// asking evictOK before each eviction. A false answer — the victim is worth
+// more than the incoming frame — rejects the insertion instead. Returns
+// (admitted, victims evicted); the frame is served to its waiters either
+// way, only residency is at stake.
+func (c *frameCache) admit(k Key, f *xtc.Frame, bytes int64, evictOK func(victim Key) bool) (bool, int) {
+	if bytes > c.budget {
+		return false, 0
+	}
+	evicted := 0
+	for c.used+bytes > c.budget {
+		e := c.lru.Back()
+		if e == nil {
+			break
+		}
+		victim := e.Value.(*centry)
+		if !evictOK(victim.key) {
+			return false, evicted
+		}
+		c.remove(e)
+		evicted++
+	}
+	if e, ok := c.lookup[k]; ok {
+		// A racing decode of the same key already published: keep the
+		// resident copy.
+		c.lru.MoveToFront(e)
+		return true, evicted
+	}
+	c.lookup[k] = c.lru.PushFront(&centry{key: k, frame: f, bytes: bytes})
+	c.used += bytes
+	return true, evicted
+}
+
+func (c *frameCache) remove(e *list.Element) {
+	ent := e.Value.(*centry)
+	c.lru.Remove(e)
+	delete(c.lookup, ent.key)
+	c.used -= ent.bytes
+}
+
+// len returns the number of resident frames.
+func (c *frameCache) len() int { return c.lru.Len() }

@@ -1,0 +1,387 @@
+// Package serve turns the storage node's read side from one-reader-one-cache
+// into a multi-tenant serving fabric: many playback sessions multiplex over
+// a single size-bounded decoded-frame cache with heat-aware admission
+// (the tiering tracker's decayed byte heat decides whether an incoming frame
+// may displace a resident one), per-tenant token-bucket quotas with
+// deficit-round-robin fair-share dispatch (one bulk scan cannot starve
+// interactive playback), and singleflight request coalescing (N sessions
+// demanding the same frame trigger one decode).
+//
+// A session opens a Handle naming its tenant and subset; the handle
+// satisfies vmd.FrameSource, so existing playback code plugs in unchanged —
+// sessions become views into the shared fabric instead of owning caches.
+// Cache hits bypass the scheduler entirely; misses queue as flights, and
+// every flight is dispatched by the fair-share scheduler and decoded once
+// regardless of how many sessions wait on it.
+//
+// The same scheduler and cache run in two harnesses: the live Fabric
+// (goroutine workers, wall clock) and Simulate (single-threaded
+// discrete-event loop on a virtual clock) — the latter is what the fairness
+// tests and the adaload baseline use, so latency percentiles are
+// deterministic run-to-run.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tier"
+	"repro/internal/xtc"
+)
+
+// ErrClosed is returned for reads issued to (or stranded in) a closed
+// fabric.
+var ErrClosed = errors.New("serve: fabric closed")
+
+// FrameSource is the random-access frame interface the fabric serves from
+// and exposes; it matches vmd.FrameSource structurally, so serve.Handle
+// plugs into vmd playback and core.SubsetRandomReader plugs into Open.
+type FrameSource interface {
+	Frames() int
+	ReadFrameAt(i int) (*xtc.Frame, error)
+}
+
+// concurrentSource mirrors vmd's marker: sources that declare concurrent
+// reads are decoded by several workers at once, others serialize behind a
+// per-handle mutex.
+type concurrentSource interface {
+	ConcurrentFrameReads() bool
+}
+
+// Config sizes a fabric. Zero values select defaults.
+type Config struct {
+	// CacheBytes bounds the shared decoded-frame cache (default 256 MiB).
+	CacheBytes int64
+	// RateBps is each tenant's decode quota in raw bytes/sec; <=0 leaves
+	// tenants unmetered (fair-share DRR still applies).
+	RateBps float64
+	// BurstBytes is the token-bucket capacity (default 8 MiB).
+	BurstBytes int64
+	// QuantumBytes is the DRR credit granted per scheduler visit
+	// (default 1 MiB — a handful of frames).
+	QuantumBytes int64
+	// HeatHalfLife is the cache-admission heat decay in clock seconds
+	// (default 300).
+	HeatHalfLife float64
+	// Now supplies the clock for quotas and heat (default: wall clock).
+	// Simulate ignores it and drives its own event time.
+	Now func() float64
+	// Metrics receives serve.* instrumentation (default metrics.Default).
+	Metrics *metrics.Registry
+	// Workers is the number of live decode dispatchers (default
+	// xtc.DefaultWorkers). Unused by Simulate.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.BurstBytes <= 0 {
+		c.BurstBytes = 8 << 20
+	}
+	if c.QuantumBytes <= 0 {
+		c.QuantumBytes = 1 << 20
+	}
+	if c.HeatHalfLife <= 0 {
+		c.HeatHalfLife = 300
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.Default
+	}
+	if c.Now == nil {
+		c.Now = tier.WallClock()
+	}
+	c.Workers = xtc.DefaultWorkers(c.Workers)
+	return c
+}
+
+// flight is one in-progress decode: the unit of scheduling and of
+// coalescing. Every session demanding its key between submit and completion
+// attaches to the same flight; the first demander's tenant pays for it.
+type flight struct {
+	key    Key
+	tenant string
+	cost   int64
+	h      *Handle
+	done   chan struct{}
+	frame  *xtc.Frame
+	err    error
+}
+
+// serveMetrics is the fabric's serve.* instrumentation set.
+type serveMetrics struct {
+	requests  *metrics.Counter
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+	rejected  *metrics.Counter
+	decodes   *metrics.Counter
+	coalesced *metrics.Counter
+	throttled *metrics.Counter
+	bytes     *metrics.Gauge
+	queueHWM  *metrics.Gauge
+}
+
+func newServeMetrics(reg *metrics.Registry) serveMetrics {
+	return serveMetrics{
+		requests:  reg.Counter("serve.requests"),
+		hits:      reg.Counter("serve.cache.hits"),
+		misses:    reg.Counter("serve.cache.misses"),
+		evictions: reg.Counter("serve.cache.evictions"),
+		rejected:  reg.Counter("serve.cache.rejected"),
+		decodes:   reg.Counter("serve.decodes"),
+		coalesced: reg.Counter("serve.coalesced"),
+		throttled: reg.Counter("serve.throttled"),
+		bytes:     reg.Gauge("serve.cache.bytes"),
+		queueHWM:  reg.Gauge("serve.queue_depth_hwm"),
+	}
+}
+
+// tenantMetrics are the per-tenant handles a Handle caches at Open.
+type tenantMetrics struct {
+	requests *metrics.Counter
+	readNS   *metrics.Histogram
+}
+
+func newTenantMetrics(reg *metrics.Registry, tenant string) tenantMetrics {
+	return tenantMetrics{
+		requests: reg.Counter(fmt.Sprintf("serve.tenant.%s.requests", tenant)),
+		readNS:   reg.Histogram(fmt.Sprintf("serve.tenant.%s.read_ns", tenant)),
+	}
+}
+
+// Fabric is the live multi-tenant serving layer. Open handles, read frames
+// through them from any number of goroutines, Close when done.
+type Fabric struct {
+	cfg  Config
+	now  func() float64
+	reg  *metrics.Registry
+	heat *tier.Tracker
+	sm   serveMetrics
+	// sleep is the throttle wait, replaceable in tests.
+	sleep func(sec float64)
+
+	mu      sync.Mutex
+	cond    *sync.Cond // wakes workers on submit and on close
+	cache   *frameCache
+	sched   *scheduler
+	flights map[Key]*flight
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New starts a fabric with cfg.Workers decode dispatchers.
+func New(cfg Config) *Fabric {
+	cfg = cfg.withDefaults()
+	f := &Fabric{
+		cfg:     cfg,
+		now:     cfg.Now,
+		reg:     cfg.Metrics,
+		heat:    tier.NewTracker(cfg.Now, cfg.HeatHalfLife),
+		sm:      newServeMetrics(cfg.Metrics),
+		cache:   newFrameCache(cfg.CacheBytes),
+		sched:   newScheduler(cfg.QuantumBytes, cfg.RateBps, cfg.BurstBytes),
+		flights: map[Key]*flight{},
+		sleep: func(sec float64) {
+			time.Sleep(time.Duration(sec * float64(time.Second)))
+		},
+	}
+	f.cond = sync.NewCond(&f.mu)
+	for w := 0; w < cfg.Workers; w++ {
+		f.wg.Add(1)
+		go f.worker()
+	}
+	return f
+}
+
+// Heat exposes the fabric's admission tracker (shared eviction signal;
+// adanode also feeds it to the tier migrator so cache admission and tier
+// placement agree on what is hot).
+func (f *Fabric) Heat() *tier.Tracker { return f.heat }
+
+// Close fails every queued flight with ErrClosed, stops the workers, and
+// waits for in-progress decodes to finish. Idempotent.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	for _, fl := range f.sched.drain() {
+		delete(f.flights, fl.key)
+		fl.err = ErrClosed
+		close(fl.done)
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// Open returns a tenant's handle onto one subset of one dataset. natoms
+// sizes the subset's frames — the unit of quota and admission accounting.
+// The handle satisfies vmd.FrameSource and is safe for concurrent use.
+func (f *Fabric) Open(tenant, logical, tag string, natoms int, src FrameSource) *Handle {
+	h := &Handle{
+		f:       f,
+		tenant:  tenant,
+		logical: logical,
+		tag:     tag,
+		natoms:  natoms,
+		cost:    xtc.RawFrameSize(natoms),
+		src:     src,
+		tm:      newTenantMetrics(f.reg, tenant),
+	}
+	if cs, ok := src.(concurrentSource); !ok || !cs.ConcurrentFrameReads() {
+		h.srcMu = &sync.Mutex{}
+	}
+	return h
+}
+
+// Handle is one tenant's view into the fabric: a FrameSource whose reads go
+// through the shared cache, the fair-share scheduler, and coalescing.
+type Handle struct {
+	f       *Fabric
+	tenant  string
+	logical string
+	tag     string
+	natoms  int
+	cost    int64
+	src     FrameSource
+	srcMu   *sync.Mutex
+	tm      tenantMetrics
+}
+
+// Frames returns the underlying source's frame count.
+func (h *Handle) Frames() int { return h.src.Frames() }
+
+// Tenant returns the handle's tenant name.
+func (h *Handle) Tenant() string { return h.tenant }
+
+// read decodes one frame from the handle's source, serialized when the
+// source does not support concurrent reads.
+func (h *Handle) read(i int) (*xtc.Frame, error) {
+	if h.srcMu != nil {
+		h.srcMu.Lock()
+		defer h.srcMu.Unlock()
+	}
+	return h.src.ReadFrameAt(i)
+}
+
+// ReadFrameAt returns frame i through the fabric: a cache hit is immediate;
+// a miss either attaches to the in-flight decode of the same frame
+// (coalesced — counted once as a decode, however many handles wait) or
+// submits a new flight to the fair-share scheduler and waits for a worker.
+func (h *Handle) ReadFrameAt(i int) (*xtc.Frame, error) {
+	f := h.f
+	start := time.Now()
+	f.heat.Record(h.logical, droppingPrefix+h.tag, h.cost)
+	f.sm.requests.Inc()
+	h.tm.requests.Inc()
+
+	k := Key{Logical: h.logical, Tag: h.tag, Frame: i}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if fr, ok := f.cache.get(k); ok {
+		f.sm.hits.Inc()
+		f.mu.Unlock()
+		h.tm.readNS.Observe(time.Since(start).Nanoseconds())
+		return fr, nil
+	}
+	f.sm.misses.Inc()
+	if fl, ok := f.flights[k]; ok {
+		f.sm.coalesced.Inc()
+		f.mu.Unlock()
+		<-fl.done
+		h.tm.readNS.Observe(time.Since(start).Nanoseconds())
+		return fl.frame, fl.err
+	}
+	fl := &flight{key: k, tenant: h.tenant, cost: h.cost, h: h, done: make(chan struct{})}
+	f.flights[k] = fl
+	f.sched.submit(fl)
+	f.sm.queueHWM.SetMax(int64(f.sched.pending))
+	f.cond.Signal()
+	f.mu.Unlock()
+
+	<-fl.done
+	h.tm.readNS.Observe(time.Since(start).Nanoseconds())
+	return fl.frame, fl.err
+}
+
+// admitLocked runs heat-based admission for a completed decode. Must be
+// called with f.mu held.
+func (f *Fabric) admitLocked(k Key, fr *xtc.Frame, bytes int64) {
+	incoming := f.heat.Heat(k.Logical, k.dropping())
+	ok, evicted := f.cache.admit(k, fr, bytes, func(victim Key) bool {
+		// An incoming frame may displace a victim only if its subset is at
+		// least as hot; rejecting the newcomer otherwise keeps a bulk scan's
+		// one-touch frames from flushing an interactive session's working
+		// set.
+		return f.heat.Heat(victim.Logical, victim.dropping()) <= incoming
+	})
+	f.sm.evictions.Add(int64(evicted))
+	if !ok {
+		f.sm.rejected.Inc()
+	}
+	f.sm.bytes.Set(f.cache.used)
+}
+
+// worker is one decode dispatcher: it pulls flights off the fair-share
+// scheduler, decodes them, publishes results (waking every coalesced
+// waiter), and feeds the cache through admission.
+func (f *Fabric) worker() {
+	defer f.wg.Done()
+	for {
+		f.mu.Lock()
+		var fl *flight
+		for fl == nil {
+			if f.closed {
+				f.mu.Unlock()
+				return
+			}
+			var notBefore float64
+			var queued int
+			fl, notBefore, queued = f.sched.next(f.now())
+			if fl != nil {
+				break
+			}
+			if queued == 0 {
+				f.cond.Wait()
+				continue
+			}
+			// Queued work exists but every tenant is over quota: wait out the
+			// throttle in capped slices so a submit for an eligible tenant is
+			// picked up promptly.
+			f.sm.throttled.Inc()
+			f.mu.Unlock()
+			wait := notBefore - f.now()
+			if wait > 0.002 {
+				wait = 0.002
+			}
+			if wait > 0 {
+				f.sleep(wait)
+			}
+			f.mu.Lock()
+		}
+		f.mu.Unlock()
+
+		frame, err := fl.h.read(fl.key.Frame)
+		f.sm.decodes.Inc()
+
+		f.mu.Lock()
+		if err == nil {
+			f.admitLocked(fl.key, frame, fl.cost)
+		}
+		delete(f.flights, fl.key)
+		f.mu.Unlock()
+		fl.frame, fl.err = frame, err
+		close(fl.done)
+	}
+}

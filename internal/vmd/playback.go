@@ -261,6 +261,34 @@ type PlayStats struct {
 	RenderSec float64
 }
 
+// PlayThrough renders the frames named by pattern straight through a shared
+// FrameSource — typically a serve fabric handle — instead of a session-owned
+// FrameCache. Under multi-tenant serving the fabric owns residency,
+// admission, and fair-share scheduling; the session is just a consumer, so
+// all source time is attributed to stalls and the render charge stays
+// per-frame as in Play.
+func (s *Session) PlayThrough(src FrameSource, pattern []int) (PlayStats, error) {
+	var st PlayStats
+	for _, i := range pattern {
+		var before float64
+		if s.env != nil {
+			before = s.env.Clock.Now()
+		}
+		f, err := src.ReadFrameAt(i)
+		if err != nil {
+			return st, fmt.Errorf("vmd: playback frame %d: %w", i, err)
+		}
+		if s.env != nil {
+			st.StallSec += s.env.Clock.Now() - before
+		}
+		renderSec := float64(f.NAtoms()) * s.cost.RenderSecPerAtomFrame / s.cost.factor()
+		s.charge("render", renderSec)
+		st.RenderSec += renderSec
+		st.FramesShown++
+	}
+	return st, nil
+}
+
 // Play renders the frames named by pattern through the cache, charging
 // render time per displayed frame and attributing miss-loading time to
 // stalls.

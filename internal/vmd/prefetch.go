@@ -334,10 +334,13 @@ func (p *PrefetchSource) ReadFrameAt(i int) (*xtc.Frame, error) {
 		return f.frame, f.err
 	}
 	if ch, ok := p.inflight[i]; ok {
-		// Already decoding in the background: wait for it. The decode was
-		// issued ahead of the demand, so it still charges as overlapped.
-		p.stats.Hits++
-		p.pm.hits.Inc()
+		// Already decoding in the background: wait for it. Hit/miss is
+		// classified after the wake-up, not here — Stop() cancels in-flight
+		// decodes by closing their channels without publishing a result, and
+		// a reader woken that way has to decode on the demand path after
+		// all. (Eviction cannot race this wait: ReadFrameAt has a single
+		// caller and workers never evict, so a missing ready entry on wake
+		// always means Stop cancelled the decode.)
 		if step {
 			p.predict(i)
 		}
@@ -348,16 +351,22 @@ func (p *PrefetchSource) ReadFrameAt(i int) (*xtc.Frame, error) {
 		if ok {
 			delete(p.ready, i)
 			p.pm.ready.Set(int64(len(p.ready)))
-			p.take(i)
+			p.stats.Hits++
+			p.pm.hits.Inc()
+		} else {
+			// Cancelled by Stop before a result was published: the frame is
+			// decoded synchronously below, so it counts — and charges — as a
+			// demand load, not an overlapped one.
+			p.stats.Misses++
+			p.pm.misses.Inc()
 		}
+		p.take(i)
 		p.mu.Unlock()
 		if ok {
 			p.chargeDecode(i, true)
 			return f.frame, f.err
 		}
-		// Evicted between the wake-up and the lock: fall through to a
-		// demand load (still charged as overlapped — the decode ran).
-		p.chargeDecode(i, true)
+		p.chargeDecode(i, false)
 		return p.readSrc(i)
 	}
 	p.stats.Misses++

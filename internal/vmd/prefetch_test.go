@@ -1,7 +1,9 @@
 package vmd
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/xtc"
@@ -199,6 +201,132 @@ func TestPrefetchRandomAccessStaysCorrect(t *testing.T) {
 	st := pf.Stats()
 	if st.Hits+st.Misses != 64 {
 		t.Errorf("hits+misses = %d, want 64", st.Hits+st.Misses)
+	}
+}
+
+// gatedSource wraps a FrameSource, blocking the first read of one chosen
+// frame until released, so a test can hold a background prefetch in flight at
+// a known point.
+type gatedSource struct {
+	src     FrameSource
+	frame   int
+	started chan struct{} // closed when the gated read begins
+	release chan struct{} // the gated read waits for this
+	once    sync.Once
+}
+
+func (g *gatedSource) Frames() int                { return g.src.Frames() }
+func (g *gatedSource) ConcurrentFrameReads() bool { return true }
+
+func (g *gatedSource) ReadFrameAt(i int) (*xtc.Frame, error) {
+	if i == g.frame {
+		gated := false
+		g.once.Do(func() { gated = true })
+		if gated {
+			close(g.started)
+			<-g.release
+		}
+	}
+	return g.src.ReadFrameAt(i)
+}
+
+// TestPrefetchStopRacesDemandRead is the regression test for Stop() racing a
+// demand read parked on an in-flight prefetch: Stop cancels the decode by
+// closing its channel without publishing a result, and the woken reader must
+// fall back to a synchronous decode — counted and charged as a miss, since
+// the prefetched result never arrived — rather than hang or report a hit.
+// The interleaving is pinned white-box: the reader is committed to the wait
+// branch before Stop runs, and the gated worker is only released after
+// Stop's cancellation, so the worker's late result is always discarded.
+// Meaningful under -race.
+func TestPrefetchStopRacesDemandRead(t *testing.T) {
+	_, ra, _ := playbackFixture(t, 6)
+	s := NewSession(nil, 0, ComputeCost{})
+	g := &gatedSource{src: ra, frame: 1, started: make(chan struct{}), release: make(chan struct{})}
+	pf := s.NewPrefetchSource(g, nil, 1, 2)
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Frame 0 starts a forward sweep: prediction issues frames 1 and 2, and
+	// the single worker picks up frame 1 and blocks inside the gated decode.
+	if _, err := pf.ReadFrameAt(0); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+
+	// Demand-read frame 1 from another goroutine: it is in flight, so the
+	// reader parks on the prefetch's channel.
+	type res struct {
+		f   *xtc.Frame
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		f, err := pf.ReadFrameAt(1)
+		got <- res{f, err}
+	}()
+	// The reader's own predict issues frame 3 under pf.mu immediately before
+	// it parks; once that entry exists the reader is committed to the wait
+	// branch.
+	waitFor("demand reader to park on the in-flight prefetch", func() bool {
+		pf.mu.Lock()
+		defer pf.mu.Unlock()
+		_, ok := pf.inflight[3]
+		return ok
+	})
+
+	// Stop cancels every in-flight prefetch (waking the reader) and then
+	// waits for the worker — which is still gated, so release it only after
+	// the cancellation has happened and its result must be discarded.
+	stopped := make(chan struct{})
+	go func() { pf.Stop(); close(stopped) }()
+	waitFor("Stop to cancel in-flight prefetches", func() bool {
+		pf.mu.Lock()
+		defer pf.mu.Unlock()
+		return pf.stopping
+	})
+	close(g.release)
+
+	select {
+	case <-stopped:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop() hung")
+	}
+	var r res
+	select {
+	case r = <-got:
+	case <-time.After(10 * time.Second):
+		t.Fatal("demand read woken by Stop never returned")
+	}
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	want, err := ra.ReadFrameAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.f.Step != want.Step || r.f.NAtoms() != want.NAtoms() {
+		t.Errorf("frame 1 after cancelled prefetch: step %d/%d atoms, want %d/%d",
+			r.f.Step, r.f.NAtoms(), want.Step, want.NAtoms())
+	}
+	// Both reads decoded on the demand path: frame 0 was never prefetched
+	// and frame 1's prefetch was cancelled before delivering. The old code
+	// pre-counted the parked reader as a hit.
+	st := pf.Stats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 0 hits / 2 misses", st)
+	}
+	if st.Issued != 3 {
+		t.Errorf("Issued = %d, want 3 (frames 1, 2 from the sweep start; 3 from the demand read)", st.Issued)
 	}
 }
 

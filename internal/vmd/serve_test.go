@@ -1,0 +1,53 @@
+package vmd
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// A serve fabric handle is a FrameSource: sessions plug into the shared
+// fabric exactly where they used to own a reader.
+var _ FrameSource = (*serve.Handle)(nil)
+
+// TestPlayThroughServeFabric drives two tenants' sessions through one
+// fabric: playback stays byte-correct, and the second tenant's replay of
+// the same window is served from the shared cache without re-decoding.
+func TestPlayThroughServeFabric(t *testing.T) {
+	const frames = 8
+	_, ra, _ := playbackFixture(t, frames)
+	f0, err := ra.ReadFrameAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	fab := serve.New(serve.Config{Metrics: reg, Workers: 2})
+	defer fab.Close()
+
+	alice := NewSession(nil, 0, ComputeCost{})
+	st, err := alice.PlayThrough(fab.Open("alice", "/ds", "p", f0.NAtoms(), ra), BackAndForth(frames, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesShown != 2*frames {
+		t.Fatalf("FramesShown = %d, want %d", st.FramesShown, 2*frames)
+	}
+
+	bob := NewSession(nil, 0, ComputeCost{})
+	if _, err := bob.PlayThrough(fab.Open("bob", "/ds", "p", f0.NAtoms(), ra), Sequential(frames)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["serve.decodes"]; got != frames {
+		t.Errorf("serve.decodes = %d for two tenants over %d frames, want %d (shared cache)",
+			got, frames, frames)
+	}
+	if hits := snap.Counters["serve.cache.hits"]; hits < frames {
+		t.Errorf("serve.cache.hits = %d, want >= %d (replay + second tenant)", hits, frames)
+	}
+	if snap.Histograms["serve.tenant.bob.read_ns"].Count != frames {
+		t.Error("bob's reads missing from his latency histogram")
+	}
+}
