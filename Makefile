@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-decode bench-ingest bench-serve bench-check bench-tier test-faults test-crash test-tier clean
+.PHONY: all build test race lint bench bench-decode bench-ingest bench-serve bench-check bench-tier test-faults test-crash test-tier test-cluster clean
 
 all: build lint test
 
@@ -36,6 +36,19 @@ test-crash:
 lint:
 	$(GO) vet ./...
 	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+
+# Node-kill fault matrix: the placement suite (consistent-hash table,
+# replicated reads/writes, failover, rebalance) plus the headline matrix —
+# a 3-node R=2 cluster over real TCP, nodes killed or partitioned mid-read
+# and mid-ingest at swept points, asserting byte-identical degraded reads
+# and exactly-R-copies recovery. Per-cell outcomes land in
+# cluster-matrix.tsv for the CI artifact. The cmd tests cover the operator
+# flow (adanode -cluster-table/-join, adactl cluster).
+test-cluster:
+	ADA_CLUSTER_MATRIX_OUT=$(CURDIR)/cluster-matrix.tsv \
+		$(GO) test -race -count=1 ./internal/placement/
+	$(GO) test -race -count=1 -run 'Cluster' ./internal/core/ ./internal/vmd/ ./cmd/adanode/ ./cmd/adactl/
+	@test -s cluster-matrix.tsv && { echo; echo "node-kill matrix:"; cat cluster-matrix.tsv; }
 
 # Heat-driven tiering suite: tracker/planner/spec units, the deterministic
 # two-dataset migration end-to-end, read-during-migration byte-identity, and

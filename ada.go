@@ -41,6 +41,7 @@ import (
 	"repro/internal/mdsim"
 	"repro/internal/metrics"
 	"repro/internal/pdb"
+	"repro/internal/placement"
 	"repro/internal/plfs"
 	"repro/internal/rpc"
 	"repro/internal/serve"
@@ -259,6 +260,45 @@ func InjectFaults(fsys FS, in *FaultInjector) FS { return faultfs.Wrap(fsys, in)
 //	}
 func InjectConnFaults(conn net.Conn, in *FaultInjector) net.Conn {
 	return faultfs.WrapConn(conn, in)
+}
+
+// Multi-node placement (see DESIGN.md "Cluster model"): a versioned table
+// maps container directories onto storage nodes with R-way replication;
+// the cluster FS routes reads through replica failover and hedging, and
+// rebalances data when the table changes.
+type (
+	// PlacementTable is the versioned container-to-node map every cluster
+	// member serves (adanode -cluster-table / -join).
+	PlacementTable = placement.Table
+	// PlacementNode names one storage node and its address.
+	PlacementNode = placement.Node
+	// StorageCluster is a replicated FS over the placement table's nodes;
+	// use it as the single backend of a ContainerStore.
+	StorageCluster = placement.Cluster
+	// ClusterConfig tunes cluster behavior (hedged-read delay, metrics).
+	ClusterConfig = placement.Config
+	// RebalanceReport summarizes what one Cluster.Rebalance moved.
+	RebalanceReport = placement.RebalanceReport
+	// NodePool is a vfs.FS fanning calls over several connections to one
+	// storage node; register one per node as the Cluster's FS.
+	NodePool = rpc.Pool
+)
+
+// NewStorageCluster builds the replicated cluster FS: every node the
+// table names must have an FS (usually a NodePool) in nodes.
+func NewStorageCluster(tbl *PlacementTable, nodes map[string]FS, cfg ClusterConfig) (*StorageCluster, error) {
+	return placement.NewCluster(tbl, nodes, cfg)
+}
+
+// ParsePlacementTable decodes and validates a placement table's JSON form.
+func ParsePlacementTable(data []byte) (*PlacementTable, error) { return placement.Unmarshal(data) }
+
+// NewStorageNodePool opens size lazy connections to one storage node under
+// the given retry policy (nil dialer means plain TCP). Pool calls fail
+// with ErrBackendDown once retries exhaust, which is what lets a Cluster
+// fail over instead of hanging.
+func NewStorageNodePool(addr string, size int, dialer NodeDialer, policy RetryPolicy) *NodePool {
+	return rpc.NewPool(addr, size, dialer, policy)
 }
 
 // Durability types (see DESIGN.md "Durability model"): crash-consistent

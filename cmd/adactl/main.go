@@ -58,6 +58,13 @@ func main() {
 		}
 		return
 	}
+	if cmd == "cluster" {
+		// cluster drives a multi-node placement cluster; no local store.
+		if err := cmdCluster(os.Stdout, args); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	a, containers, err := openStore(*store, *fine)
 	if err != nil {
 		fatal(err)
@@ -117,7 +124,13 @@ commands:
   stats    -addr HOST:PORT [-json]           fetch a node's runtime metrics
                                              (adanode -metrics-addr endpoint)
   ping     -addr HOST:PORT [-count N]        probe a node over the storage
-           [-timeout D] [-attempts N]        protocol and report RTT/retries`)
+           [-timeout D] [-attempts N]        protocol and report RTT/retries
+  cluster  status    -addr HOST:PORT         show the placement table and
+                                             per-node health/table version
+           push      -table FILE             install a placement table on
+                                             every node it lists
+           rebalance -addr HOST:PORT         move container data to match a
+                     -table FILE             new table, then install it`)
 	os.Exit(2)
 }
 

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/rpc"
+	"repro/internal/vfs"
+)
+
+func TestParseFlagsCluster(t *testing.T) {
+	cfg, err := parseFlags([]string{"-cluster-table", "t.json"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.tableFile != "t.json" || cfg.join != "" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-join", "seed:7020"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.join != "seed:7020" {
+		t.Errorf("join = %q", cfg.join)
+	}
+	if _, err := parseFlags([]string{"-cluster-table", "t.json", "-join", "seed:7020"}, io.Discard); err == nil {
+		t.Fatal("-cluster-table with -join accepted")
+	}
+}
+
+func writeTable(t *testing.T, tbl *placement.Table) string {
+	t.Helper()
+	data, err := tbl.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadClusterTableFromFile(t *testing.T) {
+	tbl := &placement.Table{
+		Version: 3, Replication: 2,
+		Nodes: []placement.Node{
+			{Name: "n1", Addr: "a1"}, {Name: "n2", Addr: "a2"}, {Name: "n3", Addr: "a3"},
+		},
+	}
+	path := writeTable(t, tbl)
+	data, version, err := loadClusterTable(&config{tableFile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 3 || len(data) == 0 {
+		t.Fatalf("version = %d, %d bytes", version, len(data))
+	}
+
+	// A table that fails validation must be refused at startup, not served.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1,"replication":9,"nodes":[{"name":"n1"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadClusterTable(&config{tableFile: bad}); err == nil {
+		t.Fatal("invalid table accepted")
+	}
+
+	// No cluster flags: no table, no error.
+	if data, _, err := loadClusterTable(&config{}); err != nil || data != nil {
+		t.Fatalf("bare config: %v, %d bytes", err, len(data))
+	}
+}
+
+func TestLoadClusterTableFromPeer(t *testing.T) {
+	tbl := &placement.Table{
+		Version: 5, Replication: 2,
+		Nodes: []placement.Node{
+			{Name: "n1", Addr: "a1"}, {Name: "n2", Addr: "a2"}, {Name: "n3", Addr: "a3"},
+		},
+	}
+	data, err := tbl.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := newLocalListener(t)
+	srv := rpc.NewServer(vfs.NewMemFS(), nil)
+	if err := srv.SetClusterTable(data, tbl.Version); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+
+	got, version, err := loadClusterTable(&config{join: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 5 || len(got) != len(data) {
+		t.Fatalf("fetched v%d, %d bytes; want v5, %d bytes", version, len(got), len(data))
+	}
+
+	// A peer with no table is a configuration error, not a silent solo node.
+	bare := newLocalListener(t)
+	bareSrv := rpc.NewServer(vfs.NewMemFS(), nil)
+	go bareSrv.Serve(bare)
+	t.Cleanup(func() { bareSrv.Close(); bare.Close() })
+	if _, _, err := loadClusterTable(&config{join: bare.Addr().String()}); err == nil {
+		t.Fatal("join to a table-less peer accepted")
+	}
+}

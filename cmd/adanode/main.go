@@ -6,6 +6,11 @@
 //
 //	adanode -listen :7020 -dir /data/ssd-node -metrics-addr :7021
 //
+// Multi-node clusters share a placement table: the seed node loads it from
+// disk (-cluster-table table.json) and every other node fetches it from a
+// running peer (-join seed:7020). Any node then serves the table to
+// clients and late joiners over the storage protocol.
+//
 // With -metrics-addr set, the node serves its runtime metrics over HTTP:
 // GET /metrics is the line-oriented text form, GET /metrics.json the JSON
 // snapshot. After an ingest the RPC and FS counters (rpc.server.*,
@@ -33,6 +38,7 @@ import (
 	"repro/internal/faultfs"
 	"repro/internal/metrics"
 	"repro/internal/osfs"
+	"repro/internal/placement"
 	"repro/internal/rpc"
 	"repro/internal/tier"
 	"repro/internal/vfs"
@@ -49,6 +55,8 @@ type config struct {
 	tierSpec    string
 	tenantRate  float64
 	tenantBurst float64
+	tableFile   string
+	join        string
 }
 
 // parseFlags parses args (without the program name). It returns
@@ -75,6 +83,10 @@ two-tier container store (e.g. "fast=ssd,slow=hdd,cap=64MiB"; see DESIGN.md)`)
 			" a tenant (0 disables metering)")
 	fs.Float64Var(&cfg.tenantBurst, "tenant-burst", 8<<20,
 		"per-tenant read burst capacity in bytes (used with -tenant-rate)")
+	fs.StringVar(&cfg.tableFile, "cluster-table", "",
+		"placement table JSON to load, validate, and serve to cluster peers")
+	fs.StringVar(&cfg.join, "join", "",
+		"address of a cluster peer to fetch the placement table from at startup")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -85,7 +97,46 @@ two-tier container store (e.g. "fast=ssd,slow=hdd,cap=64MiB"; see DESIGN.md)`)
 	if cfg.tenantRate < 0 || cfg.tenantBurst < 0 {
 		return nil, fmt.Errorf("-tenant-rate and -tenant-burst must be non-negative")
 	}
+	if cfg.tableFile != "" && cfg.join != "" {
+		return nil, fmt.Errorf("-cluster-table and -join are mutually exclusive")
+	}
 	return cfg, nil
+}
+
+// loadClusterTable resolves the node's placement table: from a local file
+// (-cluster-table, the seed node) or from a running peer (-join). Either
+// way the table is validated before the node agrees to serve it.
+func loadClusterTable(cfg *config) ([]byte, uint64, error) {
+	switch {
+	case cfg.tableFile != "":
+		data, err := os.ReadFile(cfg.tableFile)
+		if err != nil {
+			return nil, 0, fmt.Errorf("-cluster-table: %w", err)
+		}
+		tbl, err := placement.Unmarshal(data)
+		if err != nil {
+			return nil, 0, fmt.Errorf("-cluster-table %s: %w", cfg.tableFile, err)
+		}
+		return data, tbl.Version, nil
+	case cfg.join != "":
+		cli, err := rpc.Dial(cfg.join)
+		if err != nil {
+			return nil, 0, fmt.Errorf("-join %s: %w", cfg.join, err)
+		}
+		defer cli.Close()
+		data, version, err := cli.FetchClusterTable()
+		if err != nil {
+			return nil, 0, fmt.Errorf("-join %s: %w", cfg.join, err)
+		}
+		if data == nil {
+			return nil, 0, fmt.Errorf("-join %s: peer serves no cluster table", cfg.join)
+		}
+		if _, err := placement.Unmarshal(data); err != nil {
+			return nil, 0, fmt.Errorf("-join %s: peer table: %w", cfg.join, err)
+		}
+		return data, version, nil
+	}
+	return nil, 0, nil
 }
 
 // metricsMux serves the registry over HTTP.
@@ -159,6 +210,16 @@ func run(cfg *config, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "adanode serving %s on %s\n", base.Root(), ln.Addr())
 	srv := rpc.NewServer(fsys, logger)
+	if data, version, err := loadClusterTable(cfg); err != nil {
+		return err
+	} else if data != nil {
+		if err := srv.SetClusterTable(data, version); err != nil {
+			return err
+		}
+		tbl, _ := placement.Unmarshal(data)
+		fmt.Fprintf(stdout, "adanode cluster table v%d: %d nodes, R=%d\n",
+			version, len(tbl.Nodes), tbl.Replication)
+	}
 	if cfg.tenantRate > 0 {
 		srv.SetTenantQuota(cfg.tenantRate, cfg.tenantBurst)
 		fmt.Fprintf(stdout, "adanode tenant read quota: %.0f B/s, burst %.0f B\n",

@@ -20,6 +20,10 @@ import (
 //     the conn, long delays surface as timeouts from the underlying call.
 //   - partial: roughly half the bytes transfer, then the connection is
 //     closed — a torn frame on the wire.
+//   - partition: the link blackholes. Reads absorb and discard whatever
+//     the peer sends and block until the connection's deadline fires or
+//     the peer gives up; writes report full success without transmitting.
+//     The peer sees neither an error nor a byte — only its own timeout.
 type Conn struct {
 	net.Conn
 	in *Injector
@@ -39,6 +43,15 @@ func (c *Conn) Read(p []byte) (int, error) {
 		return c.Conn.Read(p)
 	case KindErr:
 		return 0, fmt.Errorf("%w: conn.read", ErrInjected)
+	case KindPartition:
+		// Blackhole: consume inbound bytes without delivering any, until
+		// the underlying conn errors (deadline, close, or peer reset).
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c.Conn.Read(buf); err != nil {
+				return 0, err
+			}
+		}
 	case KindCorrupt:
 		n, err := c.Conn.Read(p)
 		if n > 0 {
@@ -72,6 +85,10 @@ func (c *Conn) Write(p []byte) (int, error) {
 		return c.Conn.Write(p)
 	case KindErr:
 		return 0, fmt.Errorf("%w: conn.write", ErrInjected)
+	case KindPartition:
+		// Blackhole: the bytes vanish on the wire but the local stack
+		// reports success, exactly like a send into a dead link.
+		return len(p), nil
 	case KindCorrupt:
 		if len(p) > 0 {
 			q := make([]byte, len(p))

@@ -11,12 +11,13 @@
 //	seed=42; drop:conn.read:every=3; slow:read:delay=50ms; err:write:nth=2
 //
 // Each fault clause is "kind[:op][:key=val[,key=val...]]" where kind is one
-// of err, drop, slow, partial, corrupt, kill; op names the operation the
-// rule matches ("create", "open", "stat", "readdir", "mkdirall", "remove",
-// "rename", "read", "write", "close" for file systems — an "fs." prefix is
-// accepted and stripped, so "fs.read" equals "read" — and "conn.read" /
-// "conn.write" for connections; empty matches every op); and the selector
-// keys are:
+// of err, drop, slow, partial, corrupt, kill, partition; op names the
+// operation the rule matches ("create", "open", "stat", "readdir",
+// "mkdirall", "remove", "rename", "read", "write", "close" for file
+// systems — an "fs." prefix is accepted and stripped, so "fs.read" equals
+// "read" — and "conn.read" / "conn.write" for connections; empty matches
+// every op, except that partition rules must name a conn.* op); and the
+// selector keys are:
 //
 //	every=N   fire on every Nth matching operation
 //	nth=N     fire on exactly the Nth matching operation
@@ -73,6 +74,16 @@ const (
 	// every subsequent matching-or-not operation fails. Crash-consistency
 	// tests sweep the kill point across an op sequence.
 	KindKill
+	// KindPartition simulates a network partition: the first time the rule
+	// fires, the injector enters a sticky partitioned state in which every
+	// connection op blackholes — reads absorb and discard inbound bytes
+	// without delivering them, writes report success without transmitting.
+	// Unlike drop or kill, the TCP endpoint stays up and accepting, so
+	// clients exercise their deadline/timeout path instead of seeing a
+	// connection-refused. Partition rules must target a conn.* op;
+	// file-system ops are unaffected (the process and its disk are fine,
+	// only the wire is gone). Cleared by Reset or SetPartitioned(false).
+	KindPartition
 )
 
 // String names the kind as it appears in specs.
@@ -90,6 +101,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case KindKill:
 		return "kill"
+	case KindPartition:
+		return "partition"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -132,6 +145,7 @@ type Injector struct {
 	counts  []int64 // matching-op count per rule
 	opsSeen int64   // operations observed while armed
 	killed  bool    // a KindKill rule fired; every op now fails
+	parted  bool    // a KindPartition rule fired; conn ops blackhole
 
 	m injectorMetrics
 }
@@ -144,6 +158,7 @@ type injectorMetrics struct {
 	partials    *metrics.Counter
 	corruptions *metrics.Counter
 	kills       *metrics.Counter
+	partitions  *metrics.Counter
 	delayNS     *metrics.Counter
 }
 
@@ -156,6 +171,7 @@ func newInjectorMetrics(reg *metrics.Registry) injectorMetrics {
 		partials:    reg.Counter("faultfs.injected.partials"),
 		corruptions: reg.Counter("faultfs.injected.corruptions"),
 		kills:       reg.Counter("faultfs.injected.kills"),
+		partitions:  reg.Counter("faultfs.injected.partitions"),
 		delayNS:     reg.Counter("faultfs.injected.delay_ns"),
 	}
 }
@@ -164,11 +180,14 @@ func newInjectorMetrics(reg *metrics.Registry) injectorMetrics {
 // selectors) drawn from seed.
 func New(seed int64, rules ...Rule) (*Injector, error) {
 	for i, r := range rules {
-		if r.Kind < KindErr || r.Kind > KindKill {
+		if r.Kind < KindErr || r.Kind > KindPartition {
 			return nil, fmt.Errorf("faultfs: rule %d: unknown kind", i)
 		}
 		if r.Kind == KindSlow && r.Delay <= 0 {
 			return nil, fmt.Errorf("faultfs: rule %d: slow requires delay", i)
+		}
+		if r.Kind == KindPartition && !strings.HasPrefix(r.Op, "conn.") {
+			return nil, fmt.Errorf("faultfs: rule %d: partition targets connection ops (conn.read/conn.write)", i)
 		}
 		if r.Every < 0 || r.Nth < 0 || r.Prob < 0 || r.Prob > 1 {
 			return nil, fmt.Errorf("faultfs: rule %d: invalid selector", i)
@@ -250,6 +269,8 @@ func parseRule(clause string) (Rule, error) {
 				rule.Kind = KindCorrupt
 			case "kill":
 				rule.Kind = KindKill
+			case "partition":
+				rule.Kind = KindPartition
 			default:
 				return Rule{}, fmt.Errorf("faultfs: unknown fault kind %q in %q", tok, clause)
 			}
@@ -326,6 +347,9 @@ func (in *Injector) next(op string) (fault, bool) {
 	if in.killed {
 		return fault{kind: KindKill}, true
 	}
+	if in.parted && strings.HasPrefix(op, "conn.") {
+		return fault{kind: KindPartition}, true
+	}
 	var hit *Rule
 	for i := range in.rules {
 		r := &in.rules[i]
@@ -360,6 +384,9 @@ func (in *Injector) next(op string) (fault, bool) {
 	case KindKill:
 		in.m.kills.Inc()
 		in.killed = true
+	case KindPartition:
+		in.m.partitions.Inc()
+		in.parted = true
 	}
 	mask := hit.Xor
 	if hit.Kind == KindCorrupt && mask == 0 {
@@ -376,6 +403,24 @@ func (in *Injector) Killed() bool {
 	return in.killed
 }
 
+// Partitioned reports whether a KindPartition rule has fired: connection
+// ops blackhole until Reset or SetPartitioned(false).
+func (in *Injector) Partitioned() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.parted
+}
+
+// SetPartitioned sets or clears the partitioned state directly, so tests
+// can partition and heal a node without routing through a rule. Healing
+// does not resurrect connections that already blackholed traffic — their
+// streams are desynchronized — but new connections pass cleanly.
+func (in *Injector) SetPartitioned(on bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.parted = on
+}
+
 // Reset clears the killed state, the op count, and all rule counters,
 // restarting the injector's op sequence from zero (the rng is NOT reseeded;
 // prob rules continue their stream). Crash tests use it between attempts.
@@ -383,6 +428,7 @@ func (in *Injector) Reset() {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.killed = false
+	in.parted = false
 	in.opsSeen = 0
 	for i := range in.counts {
 		in.counts[i] = 0

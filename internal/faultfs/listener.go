@@ -1,0 +1,114 @@
+package faultfs
+
+import (
+	"net"
+	"sync"
+)
+
+// NodeListener wraps a net.Listener so a whole node can be killed or
+// partitioned as a unit — the listener-level counterpart of WrapConn.
+// Node-level fault matrices use it to take a storage node off the network
+// mid-call:
+//
+//   - Kill closes the listener AND every live accepted connection with no
+//     drain, like a process receiving SIGKILL: in-flight requests are torn
+//     mid-frame and new dials are refused.
+//   - Partition (via an optional injector) keeps the node accepting but
+//     blackholes all traffic, so clients hit their deadlines instead of a
+//     connection-refused.
+//
+// Every accepted connection is tracked until it closes; when an injector
+// is supplied, accepted connections are additionally wrapped with its
+// faults (WrapConn).
+type NodeListener struct {
+	ln net.Listener
+	in *Injector // optional; nil means no per-conn injection
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	dead  bool
+}
+
+// WrapNodeListener tracks ln's accepted connections for whole-node kill.
+// in may be nil; when set, accepted connections inject its faults.
+func WrapNodeListener(ln net.Listener, in *Injector) *NodeListener {
+	return &NodeListener{ln: ln, in: in, conns: make(map[net.Conn]struct{})}
+}
+
+var _ net.Listener = (*NodeListener)(nil)
+
+// Accept implements net.Listener, registering the connection for Kill.
+func (l *NodeListener) Accept() (net.Conn, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	if l.dead {
+		l.mu.Unlock()
+		conn.Close()
+		return nil, net.ErrClosed
+	}
+	l.conns[conn] = struct{}{}
+	l.mu.Unlock()
+	var wrapped net.Conn = conn
+	if l.in != nil {
+		wrapped = WrapConn(conn, l.in)
+	}
+	return &trackedConn{Conn: wrapped, raw: conn, l: l}, nil
+}
+
+// Close implements net.Listener: it stops accepting but leaves live
+// connections alone (a graceful stop; contrast Kill).
+func (l *NodeListener) Close() error { return l.ln.Close() }
+
+// Addr implements net.Listener.
+func (l *NodeListener) Addr() net.Addr { return l.ln.Addr() }
+
+// Kill hard-stops the node: the listener closes and every live accepted
+// connection is severed immediately, with no drain. Safe to call more
+// than once.
+func (l *NodeListener) Kill() {
+	l.mu.Lock()
+	l.dead = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	clear(l.conns)
+	l.mu.Unlock()
+	l.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Killed reports whether Kill has run.
+func (l *NodeListener) Killed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dead
+}
+
+// ConnCount returns the number of live accepted connections, for tests
+// that want to kill mid-call only when a call can be in flight.
+func (l *NodeListener) ConnCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.conns)
+}
+
+// trackedConn unregisters itself from the listener when closed, so Kill
+// only severs connections that are actually live.
+type trackedConn struct {
+	net.Conn
+	raw net.Conn // the unwrapped conn registered with the listener
+	l   *NodeListener
+}
+
+func (c *trackedConn) Close() error {
+	c.l.mu.Lock()
+	delete(c.l.conns, c.raw)
+	c.l.mu.Unlock()
+	return c.Conn.Close()
+}

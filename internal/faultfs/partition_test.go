@@ -1,0 +1,152 @@
+package faultfs
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestParsePartitionRule(t *testing.T) {
+	in, err := Parse("partition:conn.read:nth=3")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if in.rules[0].Kind != KindPartition || in.rules[0].Op != "conn.read" || in.rules[0].Nth != 3 {
+		t.Fatalf("parsed rule = %+v", in.rules[0])
+	}
+	if got := KindPartition.String(); got != "partition" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestPartitionRuleRequiresConnOp(t *testing.T) {
+	for _, spec := range []string{"partition", "partition:read", "partition:fs.read"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a non-conn partition rule", spec)
+		}
+	}
+}
+
+// pipeConns returns both ends of an in-memory duplex connection.
+func pipeConns(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	client, server = net.Pipe()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestPartitionBlackholesTraffic(t *testing.T) {
+	in := MustNew(1, Rule{Kind: KindPartition, Op: "conn.read", Nth: 1})
+	clientEnd, serverEnd := pipeConns(t)
+	faulted := WrapConn(serverEnd, in)
+
+	// The client's write succeeds at the transport level (net.Pipe is
+	// synchronous, so the blackholed read on the other side absorbs it).
+	go clientEnd.Write([]byte("request-bytes"))
+
+	// The partitioned read discards the inbound bytes and blocks until
+	// the deadline fires — the timeout path, not an error return.
+	faulted.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 64)
+	start := time.Now()
+	n, err := faulted.Read(buf)
+	if n != 0 {
+		t.Fatalf("partitioned read delivered %d bytes", n)
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("partitioned read err = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("partitioned read returned after %v, before the deadline", d)
+	}
+	if !in.Partitioned() {
+		t.Fatal("injector not marked partitioned")
+	}
+
+	// Writes through the partition claim success but transmit nothing:
+	// a concurrent reader on the peer end must stay empty-handed.
+	peerGot := make(chan int, 1)
+	go func() {
+		clientEnd.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, _ := clientEnd.Read(make([]byte, 64))
+		peerGot <- n
+	}()
+	if n, err := faulted.Write([]byte("response")); n != len("response") || err != nil {
+		t.Fatalf("partitioned write = (%d, %v), want full fake success", n, err)
+	}
+	if n := <-peerGot; n != 0 {
+		t.Fatalf("peer received %d bytes through a partition", n)
+	}
+}
+
+func TestPartitionStickyAndReset(t *testing.T) {
+	in := MustNew(1, Rule{Kind: KindPartition, Op: "conn.write", Nth: 2})
+	if _, ok := in.next("conn.write"); ok {
+		t.Fatal("rule fired before nth")
+	}
+	if fl, ok := in.next("conn.write"); !ok || fl.kind != KindPartition {
+		t.Fatalf("nth op: fault = (%+v, %v)", fl, ok)
+	}
+	// Sticky: every conn op now faults, but fs ops pass (the node's disk
+	// is fine, only its network is gone).
+	if fl, ok := in.next("conn.read"); !ok || fl.kind != KindPartition {
+		t.Fatalf("conn op after partition = (%+v, %v)", fl, ok)
+	}
+	if _, ok := in.next("read"); ok {
+		t.Fatal("fs op faulted by a partition")
+	}
+	in.SetPartitioned(false)
+	if in.Partitioned() {
+		t.Fatal("SetPartitioned(false) did not heal")
+	}
+	in.SetPartitioned(true)
+	in.Reset()
+	if in.Partitioned() {
+		t.Fatal("Reset did not clear partitioned state")
+	}
+}
+
+func TestNodeListenerKill(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := WrapNodeListener(ln, nil)
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := node.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	client, err := net.Dial("tcp", node.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	srvConn := <-accepted
+	defer srvConn.Close()
+	if node.ConnCount() != 1 {
+		t.Fatalf("ConnCount = %d, want 1", node.ConnCount())
+	}
+
+	node.Kill()
+	if !node.Killed() {
+		t.Fatal("Killed() = false after Kill")
+	}
+	// The live connection is severed: the client's blocking read errors
+	// out instead of hanging.
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := client.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on a killed node's conn succeeded")
+	}
+	// New dials are refused (or reset) — the address no longer listens.
+	if c, err := net.DialTimeout("tcp", node.Addr().String(), time.Second); err == nil {
+		c.Close()
+		t.Fatal("dial to a killed node succeeded")
+	}
+	node.Kill() // idempotent
+}

@@ -1,0 +1,750 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// Config tunes a Cluster.
+type Config struct {
+	// HedgeDelay is how long a read waits on the primary replica before
+	// racing a mirror. Zero derives the delay from the observed read
+	// latency (3x the p99, clamped; DefaultHedgeDelay until enough
+	// samples accumulate); a negative value disables hedging.
+	HedgeDelay time.Duration
+	// Metrics receives the placement.* counters (metrics.Default when
+	// nil).
+	Metrics *metrics.Registry
+}
+
+// DefaultHedgeDelay is the hedge delay used before the latency histogram
+// has enough samples to derive one.
+const DefaultHedgeDelay = 50 * time.Millisecond
+
+// hedge delay clamp bounds for the p99-derived value.
+const (
+	minHedgeDelay = 2 * time.Millisecond
+	maxHedgeDelay = 500 * time.Millisecond
+)
+
+// Cluster is a vfs.FS over a set of storage nodes, routed by a placement
+// Table:
+//
+//   - Create opens the file on its full replica set and every Write lands
+//     primary-then-mirror; any replica failure fails the write, so a
+//     committed file either exists on all R replicas or the writer saw an
+//     error (and the layers above roll the container back via their
+//     journal).
+//   - Open/ReadAt fail over across replicas on any error — a down node
+//     (vfs.ErrBackendDown after RPC retries) or a corrupted copy
+//     (vfs.ErrCorrupted from a verifying layer) silently degrades to the
+//     next replica. Reads also hedge: if the preferred replica has not
+//     answered within the hedge delay, a mirror is raced and the first
+//     success wins, so one slow node cannot stall playback.
+//   - MkdirAll/Remove broadcast to every node (directories exist
+//     everywhere; Remove tolerates per-node absence).
+//   - Rename requires source and destination to share a replica set
+//     (same container directory — the only rename the container store
+//     performs) and converges when replaying over a partially renamed
+//     set.
+//
+// Nodes that return vfs.ErrBackendDown are marked down (counted once per
+// transition under placement.node.<name>.down) and deprioritized — never
+// skipped entirely, so a wrongly marked node still gets retried when it
+// is the last copy. Any success through a node clears its mark; Probe
+// checks one explicitly.
+type Cluster struct {
+	mu    sync.RWMutex
+	table *Table
+	nodes map[string]vfs.FS
+	down  map[string]bool
+
+	cfg Config
+	reg *metrics.Registry
+	m   clusterMetrics
+}
+
+type clusterMetrics struct {
+	reads      *metrics.Counter
+	readNS     *metrics.Histogram
+	failovers  *metrics.Counter
+	hedgeFired *metrics.Counter
+	hedgeWins  *metrics.Counter
+}
+
+// NewCluster builds a cluster over the table and one FS per node. Every
+// table node must have an FS.
+func NewCluster(table *Table, nodes map[string]vfs.FS, cfg Config) (*Cluster, error) {
+	if err := table.Validate(); err != nil {
+		return nil, err
+	}
+	for _, n := range table.Nodes {
+		if nodes[n.Name] == nil {
+			return nil, fmt.Errorf("placement: no FS for node %q", n.Name)
+		}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
+	all := make(map[string]vfs.FS, len(nodes))
+	for name, fsys := range nodes {
+		all[name] = fsys
+	}
+	return &Cluster{
+		table: table,
+		nodes: all,
+		down:  map[string]bool{},
+		cfg:   cfg,
+		reg:   reg,
+		m: clusterMetrics{
+			reads:      reg.Counter("placement.reads"),
+			readNS:     reg.Histogram("placement.read.ns"),
+			failovers:  reg.Counter("placement.failover.reads"),
+			hedgeFired: reg.Counter("placement.hedge.fired"),
+			hedgeWins:  reg.Counter("placement.hedge.wins"),
+		},
+	}, nil
+}
+
+var _ vfs.FS = (*Cluster)(nil)
+
+// Table returns the installed placement table.
+func (c *Cluster) Table() *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.table
+}
+
+// SetTable installs a newer table. The version must not go backwards, and
+// every node the table names must have an FS (AddNode first).
+func (c *Cluster) SetTable(t *Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Version < c.table.Version {
+		return fmt.Errorf("placement: stale table version %d (cluster has %d)", t.Version, c.table.Version)
+	}
+	for _, n := range t.Nodes {
+		if c.nodes[n.Name] == nil {
+			return fmt.Errorf("placement: no FS for node %q", n.Name)
+		}
+	}
+	c.table = t
+	return nil
+}
+
+// AddNode registers (or replaces) the FS for a node, ahead of a SetTable
+// that references it.
+func (c *Cluster) AddNode(name string, fsys vfs.FS) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes[name] = fsys
+}
+
+// Node returns the FS registered for a node (nil if unknown).
+func (c *Cluster) Node(name string) vfs.FS {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[name]
+}
+
+// Health reports each registered node's advisory state (true = up).
+func (c *Cluster) Health() map[string]bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h := make(map[string]bool, len(c.nodes))
+	for name := range c.nodes {
+		h[name] = !c.down[name]
+	}
+	return h
+}
+
+// Probe checks one node with a root stat, clearing or setting its down
+// mark by the outcome.
+func (c *Cluster) Probe(name string) error {
+	fsys := c.Node(name)
+	if fsys == nil {
+		return fmt.Errorf("placement: unknown node %q", name)
+	}
+	if _, err := fsys.Stat("/"); err != nil {
+		c.note(name, err)
+		return err
+	}
+	c.markUp(name)
+	return nil
+}
+
+// note records an operation failure against a node: transport-level
+// failures (vfs.ErrBackendDown, i.e. RPC retries exhausted) mark it down.
+func (c *Cluster) note(name string, err error) {
+	if !errors.Is(err, vfs.ErrBackendDown) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.down[name] {
+		c.down[name] = true
+		c.reg.Counter("placement.node." + name + ".down").Inc()
+	}
+}
+
+// markUp clears a node's down mark after any success through it.
+func (c *Cluster) markUp(name string) {
+	c.mu.RLock()
+	marked := c.down[name]
+	c.mu.RUnlock()
+	if !marked {
+		return
+	}
+	c.mu.Lock()
+	delete(c.down, name)
+	c.mu.Unlock()
+}
+
+// place returns the replica set for name under the current table.
+func (c *Cluster) place(name string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.table.Place(name)
+}
+
+// fs returns the FS for a node name; the node is always registered
+// (tables are validated against the node map).
+func (c *Cluster) fs(name string) vfs.FS {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[name]
+}
+
+// healthOrder returns replica indices with down-marked nodes
+// deprioritized but never dropped.
+func (c *Cluster) healthOrder(reps []string) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	order := make([]int, 0, len(reps))
+	for i, name := range reps {
+		if !c.down[name] {
+			order = append(order, i)
+		}
+	}
+	for i, name := range reps {
+		if c.down[name] {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// allNodes returns every registered node name, sorted for determinism.
+func (c *Cluster) allNodes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Create implements vfs.FS: the file opens on its whole replica set, and
+// every write lands primary-then-mirror (see replFile).
+func (c *Cluster) Create(name string) (vfs.File, error) {
+	reps := c.place(name)
+	files := make([]vfs.File, 0, len(reps))
+	for _, node := range reps {
+		f, err := c.fs(node).Create(name)
+		if err != nil {
+			for i, g := range files {
+				g.Close()
+				c.fs(reps[i]).Remove(name) // best-effort undo of the partial set
+			}
+			c.note(node, err)
+			return nil, fmt.Errorf("placement: create %s on %s: %w", name, node, err)
+		}
+		files = append(files, f)
+	}
+	return &replFile{name: vfs.Clean(name), reps: reps, files: files, c: c}, nil
+}
+
+// Open implements vfs.FS, returning a read handle that fails over (and
+// hedges) across the replica set.
+func (c *Cluster) Open(name string) (vfs.File, error) {
+	reps := c.place(name)
+	f := &clusterFile{c: c, name: vfs.Clean(name), reps: reps, files: make([]vfs.File, len(reps))}
+	var firstErr error
+	for _, i := range c.healthOrder(reps) {
+		h, err := c.fs(reps[i]).Open(name)
+		if err == nil {
+			f.files[i] = h
+			f.pref = i
+			f.size = h.Size()
+			c.markUp(reps[i])
+			return f, nil
+		}
+		c.note(reps[i], err)
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("placement: open %s: %w", name, firstErr)
+}
+
+// Stat implements vfs.FS, failing over across the replica set. Absence is
+// reported only when every replica agrees (or is unreachable).
+func (c *Cluster) Stat(name string) (vfs.FileInfo, error) {
+	reps := c.place(name)
+	var firstErr error
+	for _, i := range c.healthOrder(reps) {
+		info, err := c.fs(reps[i]).Stat(name)
+		if err == nil {
+			c.markUp(reps[i])
+			return info, nil
+		}
+		c.note(reps[i], err)
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return vfs.FileInfo{}, firstErr
+}
+
+// ReadDir implements vfs.FS as a union over every node, so listings stay
+// complete while any replica of each file is reachable. Per-node absence
+// and down nodes are tolerated; absence is reported only when no node has
+// the directory. When replicas disagree on a file's size (a torn mirror
+// mid-recovery) the largest copy is reported.
+func (c *Cluster) ReadDir(name string) ([]vfs.FileInfo, error) {
+	merged := map[string]vfs.FileInfo{}
+	var firstErr error
+	answered := false
+	for _, node := range c.allNodes() {
+		entries, err := c.fs(node).ReadDir(name)
+		if err != nil {
+			if !errors.Is(err, vfs.ErrNotExist) {
+				c.note(node, err)
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+			continue
+		}
+		answered = true
+		for _, e := range entries {
+			if prev, ok := merged[e.Name]; !ok || e.Size > prev.Size {
+				merged[e.Name] = e
+			}
+		}
+	}
+	if !answered {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("placement: readdir %s: %w", name, vfs.ErrNotExist)
+	}
+	out := make([]vfs.FileInfo, 0, len(merged))
+	for _, e := range merged {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// MkdirAll implements vfs.FS, broadcasting to every node: directories are
+// cheap and existing everywhere keeps Stat/Create/ReadDir simple.
+func (c *Cluster) MkdirAll(name string) error {
+	for _, node := range c.allNodes() {
+		if err := c.fs(node).MkdirAll(name); err != nil {
+			c.note(node, err)
+			return fmt.Errorf("placement: mkdirall %s on %s: %w", name, node, err)
+		}
+	}
+	return nil
+}
+
+// Remove implements vfs.FS, broadcasting to every node. Per-node absence
+// is fine (files live only on their replicas; leftovers may sit anywhere
+// after a membership change), but an unreachable node fails the call —
+// a copy could survive there, and "removed" must mean removed.
+func (c *Cluster) Remove(name string) error {
+	removed := 0
+	var firstErr error
+	for _, node := range c.allNodes() {
+		err := c.fs(node).Remove(name)
+		if err == nil {
+			removed++
+			continue
+		}
+		if errors.Is(err, vfs.ErrNotExist) {
+			continue
+		}
+		c.note(node, err)
+		if firstErr == nil {
+			firstErr = fmt.Errorf("placement: remove %s on %s: %w", name, node, err)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if removed == 0 {
+		return fmt.Errorf("placement: remove %s: %w", name, vfs.ErrNotExist)
+	}
+	return nil
+}
+
+// Rename implements vfs.FS for same-replica-set renames (the container
+// store only renames within a container directory). The rename applies on
+// every replica; a replica where the source is already gone but the
+// destination exists counts as applied, so replaying a commit that a
+// crash left half-renamed converges instead of failing.
+func (c *Cluster) Rename(oldname, newname string) error {
+	reps := c.place(oldname)
+	if !sameSet(reps, c.place(newname)) {
+		return fmt.Errorf("placement: rename %s -> %s crosses replica sets", oldname, newname)
+	}
+	applied := 0
+	var firstErr error
+	for _, node := range reps {
+		err := c.fs(node).Rename(oldname, newname)
+		if err == nil {
+			applied++
+			continue
+		}
+		if errors.Is(err, vfs.ErrNotExist) &&
+			!vfs.Exists(c.fs(node), oldname) && vfs.Exists(c.fs(node), newname) {
+			applied++ // already renamed on this replica: idempotent replay
+			continue
+		}
+		c.note(node, err)
+		if firstErr == nil {
+			firstErr = fmt.Errorf("placement: rename %s on %s: %w", oldname, node, err)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if applied == 0 {
+		return fmt.Errorf("placement: rename %s: %w", oldname, vfs.ErrNotExist)
+	}
+	return nil
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := make(map[string]bool, len(a))
+	for _, s := range a {
+		in[s] = true
+	}
+	for _, s := range b {
+		if !in[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// hedgeDelay resolves the configured or p99-derived hedge delay
+// (0 disables; see Config.HedgeDelay).
+func (c *Cluster) hedgeDelay() time.Duration {
+	if c.cfg.HedgeDelay < 0 {
+		return 0
+	}
+	if c.cfg.HedgeDelay > 0 {
+		return c.cfg.HedgeDelay
+	}
+	if c.m.readNS.Count() < 64 {
+		return DefaultHedgeDelay
+	}
+	d := 3 * time.Duration(c.m.readNS.Quantile(0.99))
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	if d > maxHedgeDelay {
+		d = maxHedgeDelay
+	}
+	return d
+}
+
+// replFile mirrors writes across a replica set, primary first. Reads come
+// from the primary (the caller just wrote the bytes; this is the
+// read-back-verify path, not playback).
+type replFile struct {
+	name  string
+	reps  []string
+	files []vfs.File
+	c     *Cluster
+}
+
+func (f *replFile) Name() string { return f.name }
+func (f *replFile) Size() int64  { return f.files[0].Size() }
+
+func (f *replFile) Write(p []byte) (int, error) {
+	n, err := f.files[0].Write(p)
+	if err != nil {
+		f.c.note(f.reps[0], err)
+		return n, fmt.Errorf("placement: write %s on %s: %w", f.name, f.reps[0], err)
+	}
+	for i := 1; i < len(f.files); i++ {
+		if _, err := f.files[i].Write(p[:n]); err != nil {
+			f.c.note(f.reps[i], err)
+			return 0, fmt.Errorf("placement: mirror write %s on %s: %w", f.name, f.reps[i], err)
+		}
+	}
+	return n, nil
+}
+
+func (f *replFile) Read(p []byte) (int, error)              { return f.files[0].Read(p) }
+func (f *replFile) ReadAt(p []byte, off int64) (int, error) { return f.files[0].ReadAt(p, off) }
+
+func (f *replFile) Close() error {
+	var firstErr error
+	for i, g := range f.files {
+		if err := g.Close(); err != nil && firstErr == nil {
+			f.c.note(f.reps[i], err)
+			firstErr = fmt.Errorf("placement: close %s on %s: %w", f.name, f.reps[i], err)
+		}
+	}
+	return firstErr
+}
+
+// clusterFile is a read handle spanning a replica set: per-replica
+// handles open lazily, reads prefer the last replica that answered, any
+// error fails over to the next replica, and slow reads hedge. Safe for
+// concurrent use (prefetching readers issue overlapping ReadAts).
+type clusterFile struct {
+	c    *Cluster
+	name string
+	reps []string
+
+	mu     sync.Mutex
+	files  []vfs.File // indexed like reps; nil = not open
+	pref   int        // preferred replica index
+	size   int64
+	off    int64 // sequential Read cursor
+	closed bool
+}
+
+func (f *clusterFile) Name() string { return f.name }
+
+func (f *clusterFile) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+func (f *clusterFile) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("placement: %s opened read-only (writes go through Create)", f.name)
+}
+
+// handle returns the open handle for replica i, opening it on demand.
+func (f *clusterFile) handle(i int) (vfs.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, vfs.ErrClosed
+	}
+	if f.files[i] != nil {
+		return f.files[i], nil
+	}
+	h, err := f.c.fs(f.reps[i]).Open(f.name)
+	if err != nil {
+		return nil, err
+	}
+	f.files[i] = h
+	return h, nil
+}
+
+// dropHandle discards replica i's handle after a failure (its state is
+// suspect; a later attempt reopens).
+func (f *clusterFile) dropHandle(i int) {
+	f.mu.Lock()
+	h := f.files[i]
+	f.files[i] = nil
+	f.mu.Unlock()
+	if h != nil {
+		h.Close()
+	}
+}
+
+func (f *clusterFile) setPreferred(i int) {
+	f.mu.Lock()
+	f.pref = i
+	f.mu.Unlock()
+}
+
+// order returns replica indices to try: the preferred replica, then the
+// rest healthy-first.
+func (f *clusterFile) order() []int {
+	f.mu.Lock()
+	pref := f.pref
+	f.mu.Unlock()
+	rest := make([]string, 0, len(f.reps))
+	idx := make(map[string]int, len(f.reps))
+	for i, name := range f.reps {
+		idx[name] = i
+		if i != pref {
+			rest = append(rest, name)
+		}
+	}
+	order := []int{pref}
+	for _, i := range f.c.healthOrder(rest) {
+		order = append(order, idx[rest[i]])
+	}
+	return order
+}
+
+func (f *clusterFile) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	off := f.off
+	f.mu.Unlock()
+	n, err := f.ReadAt(p, off)
+	f.mu.Lock()
+	f.off += int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+func (f *clusterFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, vfs.ErrClosed
+	}
+	f.mu.Unlock()
+	f.c.m.reads.Inc()
+	start := time.Now()
+	n, err := f.readFailover(p, off)
+	if err == nil || err == io.EOF {
+		f.c.m.readNS.Observe(time.Since(start).Nanoseconds())
+	}
+	return n, err
+}
+
+type readResult struct {
+	idx int
+	n   int
+	err error
+	buf []byte
+}
+
+// readFailover reads from the replica set: the preferred replica first,
+// hedging a mirror after the hedge delay, and failing over on any error.
+// Each attempt reads into a private buffer so a late loser cannot clobber
+// the winner's bytes.
+func (f *clusterFile) readFailover(p []byte, off int64) (int, error) {
+	order := f.order()
+	delay := f.c.hedgeDelay()
+	if delay <= 0 || len(order) == 1 {
+		// Plain sequential failover.
+		var firstErr error
+		for pos, i := range order {
+			h, err := f.handle(i)
+			if err == nil {
+				var n int
+				n, err = h.ReadAt(p, off)
+				if err == nil || err == io.EOF {
+					f.setPreferred(i)
+					f.c.markUp(f.reps[i])
+					return n, err
+				}
+			}
+			f.c.note(f.reps[i], err)
+			f.dropHandle(i)
+			if firstErr == nil {
+				firstErr = err
+			}
+			if pos < len(order)-1 {
+				f.c.m.failovers.Inc()
+			}
+		}
+		return 0, fmt.Errorf("placement: read %s: all replicas failed: %w", f.name, firstErr)
+	}
+
+	results := make(chan readResult, len(order))
+	launch := func(i int) {
+		go func() {
+			h, err := f.handle(i)
+			if err != nil {
+				results <- readResult{idx: i, err: err}
+				return
+			}
+			buf := make([]byte, len(p))
+			n, err := h.ReadAt(buf, off)
+			results <- readResult{idx: i, n: n, err: err, buf: buf}
+		}()
+	}
+	launched := 1
+	launch(order[0])
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	hedged := false
+	var firstErr error
+	for received := 0; received < launched; {
+		select {
+		case r := <-results:
+			received++
+			if r.err == nil || r.err == io.EOF {
+				if hedged && r.idx != order[0] {
+					f.c.m.hedgeWins.Inc()
+				}
+				f.setPreferred(r.idx)
+				f.c.markUp(f.reps[r.idx])
+				return copy(p, r.buf[:r.n]), r.err
+			}
+			f.c.note(f.reps[r.idx], r.err)
+			f.dropHandle(r.idx)
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if launched < len(order) {
+				f.c.m.failovers.Inc()
+				launch(order[launched])
+				launched++
+			}
+		case <-timer.C:
+			if launched < len(order) {
+				hedged = true
+				f.c.m.hedgeFired.Inc()
+				launch(order[launched])
+				launched++
+			}
+		}
+	}
+	return 0, fmt.Errorf("placement: read %s: all replicas failed: %w", f.name, firstErr)
+}
+
+func (f *clusterFile) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return vfs.ErrClosed
+	}
+	f.closed = true
+	open := make([]vfs.File, 0, len(f.files))
+	for i, h := range f.files {
+		if h != nil {
+			open = append(open, h)
+			f.files[i] = nil
+		}
+	}
+	f.mu.Unlock()
+	var firstErr error
+	for _, h := range open {
+		if err := h.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

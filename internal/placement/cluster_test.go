@@ -1,0 +1,354 @@
+package placement
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// downFS is a node whose process is gone: every operation fails with
+// vfs.ErrBackendDown, like an RPC client with exhausted retries.
+type downFS struct{}
+
+func (downFS) Create(string) (vfs.File, error)        { return nil, vfs.ErrBackendDown }
+func (downFS) Open(string) (vfs.File, error)          { return nil, vfs.ErrBackendDown }
+func (downFS) Stat(string) (vfs.FileInfo, error)      { return vfs.FileInfo{}, vfs.ErrBackendDown }
+func (downFS) ReadDir(string) ([]vfs.FileInfo, error) { return nil, vfs.ErrBackendDown }
+func (downFS) MkdirAll(string) error                  { return vfs.ErrBackendDown }
+func (downFS) Remove(string) error                    { return vfs.ErrBackendDown }
+func (downFS) Rename(string, string) error            { return vfs.ErrBackendDown }
+
+// slowFS delays reads, standing in for one overloaded node.
+type slowFS struct {
+	vfs.FS
+	delay time.Duration
+}
+
+func (s slowFS) Open(name string) (vfs.File, error) {
+	f, err := s.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return slowFile{File: f, delay: s.delay}, nil
+}
+
+type slowFile struct {
+	vfs.File
+	delay time.Duration
+}
+
+func (f slowFile) ReadAt(p []byte, off int64) (int, error) {
+	time.Sleep(f.delay)
+	return f.File.ReadAt(p, off)
+}
+
+// corruptFS serves reads that fail verification, standing in for a replica
+// whose CRC check rejected the bytes.
+type corruptFS struct{ vfs.FS }
+
+func (c corruptFS) Open(name string) (vfs.File, error) {
+	f, err := c.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return corruptFile{File: f}, nil
+}
+
+type corruptFile struct{ vfs.File }
+
+func (f corruptFile) ReadAt(p []byte, off int64) (int, error) { return 0, vfs.ErrCorrupted }
+
+// newTestCluster builds an R=2 cluster over three in-memory nodes.
+func newTestCluster(t *testing.T, cfg Config) (*Cluster, map[string]*vfs.MemFS) {
+	t.Helper()
+	mems := map[string]*vfs.MemFS{
+		"n1": vfs.NewMemFS(), "n2": vfs.NewMemFS(), "n3": vfs.NewMemFS(),
+	}
+	nodes := map[string]vfs.FS{}
+	for name, m := range mems {
+		nodes[name] = m
+	}
+	tbl := &Table{Version: 1, Replication: 2, Nodes: threeNodes()}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	c, err := NewCluster(tbl, nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, mems
+}
+
+// holders returns which in-memory nodes hold name.
+func holders(mems map[string]*vfs.MemFS, name string) []string {
+	var out []string
+	for _, n := range []string{"n1", "n2", "n3"} {
+		if vfs.Exists(mems[n], name) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func TestClusterWriteLandsOnExactlyRReplicas(t *testing.T) {
+	c, mems := newTestCluster(t, Config{HedgeDelay: -1})
+	want := []byte("replicated bytes")
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("/c/set-%d/dropping", i)
+		if err := vfs.WriteFile(c, name, want); err != nil {
+			t.Fatal(err)
+		}
+		hold := holders(mems, name)
+		if len(hold) != 2 {
+			t.Fatalf("%s lives on %v, want exactly 2 replicas", name, hold)
+		}
+		reps := c.Table().Place(name)
+		for _, h := range hold {
+			if !contains(reps, h) {
+				t.Fatalf("%s on %s, outside its replica set %v", name, h, reps)
+			}
+		}
+		// Byte-identity on every replica.
+		for _, h := range hold {
+			got, err := vfs.ReadFile(mems[h], name)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("replica %s of %s diverged: %q, %v", h, name, got, err)
+			}
+		}
+		got, err := vfs.ReadFile(c, name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("cluster read of %s = %q, %v", name, got, err)
+		}
+	}
+}
+
+func TestClusterDegradedReadsWithNodeDown(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c, _ := newTestCluster(t, Config{HedgeDelay: -1, Metrics: reg})
+	payloads := map[string][]byte{}
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("/c/set-%d/dropping", i)
+		payloads[name] = []byte(fmt.Sprintf("payload-%d", i))
+		if err := vfs.WriteFile(c, name, payloads[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill each node in turn: every file keeps reading byte-identically
+	// through its surviving replica.
+	for _, victim := range []string{"n1", "n2", "n3"} {
+		alive := c.Node(victim)
+		c.AddNode(victim, downFS{})
+		for name, want := range payloads {
+			got, err := vfs.ReadFile(c, name)
+			if err != nil {
+				t.Fatalf("victim %s: read %s: %v", victim, name, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("victim %s: read %s = %q, want %q", victim, name, got, want)
+			}
+		}
+		if h := c.Health(); h[victim] {
+			t.Fatalf("victim %s not marked down after failovers", victim)
+		}
+		c.AddNode(victim, alive)
+		if err := c.Probe(victim); err != nil {
+			t.Fatalf("probe of revived %s: %v", victim, err)
+		}
+		if h := c.Health(); !h[victim] {
+			t.Fatalf("revived %s still marked down", victim)
+		}
+	}
+	if reg.Counter("placement.node.n1.down").Value() != 1 {
+		t.Fatalf("down transitions for n1 = %d, want 1",
+			reg.Counter("placement.node.n1.down").Value())
+	}
+}
+
+func TestClusterFailoverOnCorruptedReplica(t *testing.T) {
+	c, mems := newTestCluster(t, Config{HedgeDelay: -1})
+	name := "/c/set-x/dropping"
+	want := []byte("verified payload")
+	if err := vfs.WriteFile(c, name, want); err != nil {
+		t.Fatal(err)
+	}
+	primary := c.Table().Place(name)[0]
+	c.AddNode(primary, corruptFS{FS: mems[primary]})
+	got, err := vfs.ReadFile(c, name)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read with corrupted primary = %q, %v", got, err)
+	}
+	// A corrupted replica is an I/O-level failure, not a dead node: no
+	// down mark.
+	if h := c.Health(); !h[primary] {
+		t.Fatalf("corruption marked %s down", primary)
+	}
+}
+
+func TestClusterHedgedReadBeatsSlowNode(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c, mems := newTestCluster(t, Config{HedgeDelay: 5 * time.Millisecond, Metrics: reg})
+	name := "/c/set-h/dropping"
+	want := []byte("hedged payload")
+	if err := vfs.WriteFile(c, name, want); err != nil {
+		t.Fatal(err)
+	}
+	primary := c.Table().Place(name)[0]
+	c.AddNode(primary, slowFS{FS: mems[primary], delay: 300 * time.Millisecond})
+	start := time.Now()
+	got, err := vfs.ReadFile(c, name)
+	elapsed := time.Since(start)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("hedged read = %q, %v", got, err)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("hedged read took %v; the slow primary stalled playback", elapsed)
+	}
+	if reg.Counter("placement.hedge.fired").Value() < 1 {
+		t.Fatal("hedge never fired")
+	}
+	if reg.Counter("placement.hedge.wins").Value() < 1 {
+		t.Fatal("hedge fired but the mirror never won")
+	}
+}
+
+func TestClusterAutoHedgeDelayFromP99(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c, _ := newTestCluster(t, Config{Metrics: reg})
+	// Before any samples: the static default.
+	if d := c.hedgeDelay(); d != DefaultHedgeDelay {
+		t.Fatalf("cold hedge delay = %v, want %v", d, DefaultHedgeDelay)
+	}
+	// Feed the latency histogram fast reads; the derived delay collapses
+	// toward 3x p99, clamped below the default.
+	h := reg.Histogram("placement.read.ns")
+	for i := 0; i < 200; i++ {
+		h.Observe(int64(200 * time.Microsecond))
+	}
+	d := c.hedgeDelay()
+	if d >= DefaultHedgeDelay || d < minHedgeDelay {
+		t.Fatalf("derived hedge delay = %v, want clamped below default", d)
+	}
+}
+
+func TestClusterReadDirUnionAndRename(t *testing.T) {
+	c, mems := newTestCluster(t, Config{HedgeDelay: -1})
+	dir := "/c/set-r"
+	if err := vfs.WriteFile(c, dir+"/staging.a", []byte("aa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(c, dir+"/b", []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.ReadDir(dir)
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("ReadDir = %v, %v", entries, err)
+	}
+	if entries[0].Name != "b" || entries[1].Name != "staging.a" {
+		t.Fatalf("ReadDir order = %v", entries)
+	}
+
+	// Same-directory rename (the commit publish) applies on all replicas.
+	if err := c.Rename(dir+"/staging.a", dir+"/a"); err != nil {
+		t.Fatal(err)
+	}
+	if hold := holders(mems, dir+"/staging.a"); hold != nil {
+		t.Fatalf("staging name survives on %v", hold)
+	}
+	if hold := holders(mems, dir+"/a"); len(hold) != 2 {
+		t.Fatalf("renamed file on %v, want 2 replicas", hold)
+	}
+
+	// Replaying the rename over a half-applied set converges: undo it on
+	// one replica, rename again.
+	reps := c.Table().Place(dir + "/a")
+	if err := mems[reps[1]].Rename(dir+"/a", dir+"/staging.a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename(dir+"/staging.a", dir+"/a"); err != nil {
+		t.Fatalf("replayed rename: %v", err)
+	}
+	if hold := holders(mems, dir+"/a"); len(hold) != 2 {
+		t.Fatalf("after replay, file on %v", hold)
+	}
+
+	// Cross-replica-set renames are refused outright.
+	var crossDir string
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("/c/other-%d", i)
+		if !sameSet(c.Table().PlaceDir(cand), c.Table().PlaceDir(dir)) {
+			crossDir = cand
+			break
+		}
+	}
+	if err := c.Rename(dir+"/a", crossDir+"/a"); err == nil {
+		t.Fatal("cross-shard rename accepted")
+	}
+}
+
+func TestClusterRemoveSemantics(t *testing.T) {
+	c, mems := newTestCluster(t, Config{HedgeDelay: -1})
+	name := "/c/set-rm/dropping"
+	if err := vfs.WriteFile(c, name, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(name); err != nil {
+		t.Fatal(err)
+	}
+	if hold := holders(mems, name); hold != nil {
+		t.Fatalf("removed file survives on %v", hold)
+	}
+	if err := c.Remove(name); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("second remove = %v, want NotExist", err)
+	}
+	// Removing while a node is unreachable fails — a copy could survive.
+	if err := vfs.WriteFile(c, name, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	victim := c.Table().Place(name)[0]
+	c.AddNode(victim, downFS{})
+	if err := c.Remove(name); !errors.Is(err, vfs.ErrBackendDown) {
+		t.Fatalf("remove with a holder down = %v, want ErrBackendDown", err)
+	}
+}
+
+func TestClusterWriteFailsWithReplicaDown(t *testing.T) {
+	c, mems := newTestCluster(t, Config{HedgeDelay: -1})
+	name := "/c/set-w/dropping"
+	victim := c.Table().Place(name)[1] // the mirror
+	c.AddNode(victim, downFS{})
+	err := vfs.WriteFile(c, name, []byte("strict"))
+	if !errors.Is(err, vfs.ErrBackendDown) {
+		t.Fatalf("write with mirror down = %v, want ErrBackendDown", err)
+	}
+	// Strict writes leave no partial copy behind.
+	if hold := holders(mems, name); hold != nil {
+		t.Fatalf("failed write left copies on %v", hold)
+	}
+}
+
+func TestSetTableRejectsStaleAndUnknownNodes(t *testing.T) {
+	c, _ := newTestCluster(t, Config{})
+	stale := &Table{Version: 0, Replication: 2, Nodes: threeNodes()}
+	if err := c.SetTable(stale); err == nil {
+		t.Fatal("stale table accepted")
+	}
+	unknown := &Table{Version: 2, Replication: 2,
+		Nodes: append(threeNodes(), Node{Name: "ghost"})}
+	if err := c.SetTable(unknown); err == nil {
+		t.Fatal("table naming an unregistered node accepted")
+	}
+	c.AddNode("n4", vfs.NewMemFS())
+	ok := &Table{Version: 2, Replication: 2,
+		Nodes: append(threeNodes(), Node{Name: "n4"})}
+	if err := c.SetTable(ok); err != nil {
+		t.Fatal(err)
+	}
+	if c.Table().Version != 2 {
+		t.Fatalf("table version = %d", c.Table().Version)
+	}
+}

@@ -1,0 +1,251 @@
+package placement
+
+import (
+	"fmt"
+	"hash/crc32"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// rebalStaging prefixes in-flight rebalance copies. The container store's
+// recovery sweep removes unindexed files, so a crash mid-copy leaves only
+// garbage that the next Recover (or the next Rebalance run) cleans up.
+const rebalStaging = ".rebal."
+
+// castagnoli matches the CRC the container store records per frame, so a
+// copy verified here is verified in the same algebra the read path uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Move is the work one container directory needs when the table changes
+// from old to next: nodes that must gain a copy of every file, nodes that
+// must lose theirs, and the surviving holders to copy from.
+type Move struct {
+	Dir  string
+	Add  []string
+	Drop []string
+	Src  []string
+}
+
+// PlanMoves diffs two tables over the given container directories. Dirs
+// whose replica set is unchanged produce no move.
+func PlanMoves(old, next *Table, dirs []string) []Move {
+	var moves []Move
+	for _, dir := range dirs {
+		o, n := old.PlaceDir(dir), next.PlaceDir(dir)
+		add := subtract(n, o)
+		drop := subtract(o, n)
+		if len(add) == 0 && len(drop) == 0 {
+			continue
+		}
+		src := subtract(o, drop)
+		if len(src) == 0 {
+			src = o // full move: every old holder is also a source
+		}
+		moves = append(moves, Move{Dir: dir, Add: add, Drop: drop, Src: src})
+	}
+	return moves
+}
+
+// subtract returns the members of a not in b, preserving a's order.
+func subtract(a, b []string) []string {
+	in := make(map[string]bool, len(b))
+	for _, s := range b {
+		in[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if !in[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RebalanceReport summarizes one Rebalance run.
+type RebalanceReport struct {
+	TableVersion uint64
+	Dirs         int
+	FilesCopied  int
+	BytesCopied  int64
+	FilesDropped int
+}
+
+// DataDirs walks the cluster from root and returns every directory that
+// directly holds at least one file — the unit Rebalance plans over.
+func (c *Cluster) DataDirs(root string) ([]string, error) {
+	set := map[string]bool{}
+	err := vfs.Walk(c, root, func(p string, info vfs.FileInfo) error {
+		if !info.IsDir {
+			set[path.Dir(p)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(set))
+	for d := range set {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// Rebalance migrates the given container directories from the current
+// table's layout to next, then installs next. The discipline per file
+// mirrors the tier migrator's crash-safe executor:
+//
+//  1. copy to the new holder under a staging name, then read the staged
+//     bytes back and verify their CRC against the source before the
+//     atomic rename to the final name — a torn or bit-flipped copy never
+//     becomes visible;
+//  2. only after EVERY added copy of every directory is published does
+//     the new table install (reads may route to the new holders only
+//     once the bytes are provably there);
+//  3. only after the table installs are the surplus copies on departing
+//     holders dropped — so at every crash point each file has at least
+//     its old replica set or its new one, never fewer.
+//
+// Rerunning after a failure is idempotent: published copies are detected
+// by CRC and skipped, staged leftovers are swept and re-copied.
+func (c *Cluster) Rebalance(next *Table, dirs []string) (*RebalanceReport, error) {
+	if err := next.Validate(); err != nil {
+		return nil, err
+	}
+	cur := c.Table()
+	if next.Version <= cur.Version {
+		return nil, fmt.Errorf("placement: rebalance needs a newer table (got v%d, have v%d)",
+			next.Version, cur.Version)
+	}
+	for _, n := range next.Nodes {
+		if c.Node(n.Name) == nil {
+			return nil, fmt.Errorf("placement: no FS for node %q (AddNode first)", n.Name)
+		}
+	}
+	moves := PlanMoves(cur, next, dirs)
+	rep := &RebalanceReport{TableVersion: next.Version, Dirs: len(moves)}
+	for _, mv := range moves {
+		for _, dst := range mv.Add {
+			if err := c.copyDir(mv, dst, rep); err != nil {
+				return rep, err
+			}
+		}
+	}
+	if err := c.SetTable(next); err != nil {
+		return rep, err
+	}
+	for _, mv := range moves {
+		for _, node := range mv.Drop {
+			n, err := dropDir(c.Node(node), mv.Dir)
+			rep.FilesDropped += n
+			if err != nil {
+				return rep, fmt.Errorf("placement: drop %s on %s: %w", mv.Dir, node, err)
+			}
+		}
+	}
+	c.reg.Counter("placement.rebalance.dirs").Add(int64(rep.Dirs))
+	c.reg.Counter("placement.rebalance.files").Add(int64(rep.FilesCopied))
+	c.reg.Counter("placement.rebalance.bytes").Add(rep.BytesCopied)
+	return rep, nil
+}
+
+// copyDir replicates every file of mv.Dir onto dst from the first
+// reachable source holder.
+func (c *Cluster) copyDir(mv Move, dst string, rep *RebalanceReport) error {
+	var entries []vfs.FileInfo
+	var src string
+	var lastErr error
+	for _, cand := range mv.Src {
+		es, err := c.fs(cand).ReadDir(mv.Dir)
+		if err == nil {
+			entries, src = es, cand
+			break
+		}
+		c.note(cand, err)
+		lastErr = err
+	}
+	if src == "" {
+		return fmt.Errorf("placement: no reachable source for %s: %w", mv.Dir, lastErr)
+	}
+	srcFS, dstFS := c.fs(src), c.fs(dst)
+	if err := dstFS.MkdirAll(mv.Dir); err != nil {
+		return err
+	}
+	// Sweep staged leftovers from an earlier interrupted run first, so a
+	// half-written .rebal. file never shadows this run's copy.
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name, rebalStaging) {
+			srcFS.Remove(path.Join(mv.Dir, e.Name))
+		}
+	}
+	if des, err := dstFS.ReadDir(mv.Dir); err == nil {
+		for _, e := range des {
+			if strings.HasPrefix(e.Name, rebalStaging) {
+				dstFS.Remove(path.Join(mv.Dir, e.Name))
+			}
+		}
+	}
+	for _, e := range entries {
+		if e.IsDir || strings.HasPrefix(e.Name, rebalStaging) {
+			continue
+		}
+		final := path.Join(mv.Dir, e.Name)
+		data, err := vfs.ReadFile(srcFS, final)
+		if err != nil {
+			return fmt.Errorf("placement: read source %s on %s: %w", final, src, err)
+		}
+		want := crc32.Checksum(data, castagnoli)
+		// Idempotent rerun: a copy already published with the right bytes
+		// is left alone.
+		if have, err := vfs.ReadFile(dstFS, final); err == nil &&
+			len(have) == len(data) && crc32.Checksum(have, castagnoli) == want {
+			continue
+		}
+		staged := path.Join(mv.Dir, rebalStaging+e.Name)
+		if err := vfs.WriteFile(dstFS, staged, data); err != nil {
+			return fmt.Errorf("placement: stage %s on %s: %w", final, dst, err)
+		}
+		back, err := vfs.ReadFile(dstFS, staged)
+		if err != nil {
+			return fmt.Errorf("placement: read back %s on %s: %w", staged, dst, err)
+		}
+		if len(back) != len(data) || crc32.Checksum(back, castagnoli) != want {
+			dstFS.Remove(staged)
+			return fmt.Errorf("placement: staged copy of %s on %s fails CRC verify: %w",
+				final, dst, vfs.ErrCorrupted)
+		}
+		if err := dstFS.Rename(staged, final); err != nil {
+			return fmt.Errorf("placement: publish %s on %s: %w", final, dst, err)
+		}
+		rep.FilesCopied++
+		rep.BytesCopied += int64(len(data))
+	}
+	return nil
+}
+
+// dropDir removes every file of dir (and then the directory itself, best
+// effort) from one departing holder, returning how many files went.
+func dropDir(fsys vfs.FS, dir string) (int, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		if vfs.Exists(fsys, dir) {
+			return 0, err
+		}
+		return 0, nil // nothing there: already dropped
+	}
+	dropped := 0
+	for _, e := range entries {
+		if e.IsDir {
+			continue
+		}
+		if err := fsys.Remove(path.Join(dir, e.Name)); err != nil {
+			return dropped, err
+		}
+		dropped++
+	}
+	fsys.Remove(dir) // best effort: fails if subdirectories remain
+	return dropped, nil
+}

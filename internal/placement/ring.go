@@ -1,0 +1,80 @@
+package placement
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerNode is how many ring points each node contributes. More
+// points smooth the load split and shrink how much data moves when
+// membership changes; 64 keeps the imbalance within a few percent for
+// small clusters while the ring stays tiny.
+const vnodesPerNode = 64
+
+// ring is a consistent-hash ring over node names: a key lands on the
+// first point clockwise from its hash, and its R replicas are the next
+// R distinct nodes. Adding a node moves only ~1/N of the keys.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a 64-bit bit finalizer (murmur3's fmix64). FNV-1a alone maps
+// similar keys — container names differing in a trailing digit — to
+// nearby hashes, which all fall into the same ring gap and pile onto one
+// node; the finalizer avalanches those low-byte differences across the
+// whole word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func buildRing(nodes []Node) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(nodes)*vnodesPerNode)}
+	for _, n := range nodes {
+		for v := 0; v < vnodesPerNode; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(n.Name + "#" + strconv.Itoa(v)),
+				node: n.Name,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// place returns the first count distinct nodes clockwise from key's hash,
+// in ring order (the first is the primary).
+func (r *ring) place(key string, count int) []string {
+	if len(r.points) == 0 || count < 1 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, count)
+	seen := make(map[string]bool, count)
+	for i := 0; i < len(r.points) && len(out) < count; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}

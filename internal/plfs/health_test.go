@@ -102,6 +102,58 @@ func TestBackendDownMarking(t *testing.T) {
 	}
 }
 
+// TestBackendHealthFlapping drives a backend through repeated
+// down → probe-revive → down cycles, the pattern of a storage node that
+// keeps rebooting. Each cycle must cost exactly one down-mark transition
+// on plfs.backend.<name>.down, every revival must clear the fail-fast
+// marker so dispatch really reaches the transport again, and probes while
+// already down must not double-count.
+func TestBackendHealthFlapping(t *testing.T) {
+	p, flaky, reg := newHealthFixture(t)
+	f, err := p.CreateDropping("/traj", "subset.p", "flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	const cycles = 5
+	for i := 1; i <= cycles; i++ {
+		// Down: the first dispatch marks, later ones fail fast.
+		flaky.failed = true
+		if _, err := p.StatDropping("/traj", "subset.p"); !errors.Is(err, vfs.ErrBackendDown) {
+			t.Fatalf("cycle %d: stat on dead backend = %v", i, err)
+		}
+		if _, err := p.OpenDropping("/traj", "subset.p"); !errors.Is(err, vfs.ErrBackendDown) {
+			t.Fatalf("cycle %d: fail-fast dispatch = %v", i, err)
+		}
+		// Extra probes of a backend that is still dead re-observe the
+		// down state without minting a second transition.
+		if err := p.Probe("flaky"); !errors.Is(err, vfs.ErrBackendDown) {
+			t.Fatalf("cycle %d: probe of dead backend = %v", i, err)
+		}
+		if got := reg.Snapshot().Counters["plfs.backend.flaky.down"]; got != int64(i) {
+			t.Fatalf("cycle %d: down counter = %d, want %d (one per transition)", i, got, i)
+		}
+
+		// Revive: the probe clears the marker and dispatch must reach the
+		// transport again — a stale fail-fast marker would error here
+		// without ever touching the (now healthy) store.
+		flaky.failed = false
+		if err := p.Probe("flaky"); err != nil {
+			t.Fatalf("cycle %d: probe of revived backend: %v", i, err)
+		}
+		if p.BackendHealth()["flaky"] != nil {
+			t.Fatalf("cycle %d: stale down mark survived the probe", i)
+		}
+		if _, err := p.StatDropping("/traj", "subset.p"); err != nil {
+			t.Fatalf("cycle %d: dispatch after revival: %v", i, err)
+		}
+	}
+	if got := reg.Snapshot().Counters["plfs.backend.flaky.down"]; got != cycles {
+		t.Errorf("down counter = %d after %d flaps, want %d", got, cycles, cycles)
+	}
+}
+
 func TestProbeAndRevive(t *testing.T) {
 	p, flaky, _ := newHealthFixture(t)
 	flaky.failed = true

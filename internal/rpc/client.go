@@ -102,6 +102,24 @@ func DialWith(addr string, dialer Dialer, policy RetryPolicy) (*Client, error) {
 	return c, nil
 }
 
+// DialLazy returns a dialed client without connecting yet: the first call
+// redials under the retry policy, exactly as if an earlier attempt had
+// torn the connection down. Cluster fabrics use it so constructing a
+// multi-node client succeeds while some nodes are down — the node's
+// failure surfaces (wrapping vfs.ErrBackendDown once retries exhaust)
+// only on calls that actually route to it.
+func DialLazy(addr string, dialer Dialer, policy RetryPolicy) *Client {
+	if dialer == nil {
+		dialer = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	return &Client{
+		addr: addr, dial: dialer,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		m:      newClientMetrics(metrics.Default),
+	}
+}
+
 // NewClient wraps an existing connection (useful for tests over pipes).
 // The client fails fast on transport errors — with no dial address there
 // is nothing to redial — but still applies the policy's call deadline.
@@ -155,6 +173,34 @@ func (c *Client) ident(conn net.Conn) error {
 	}
 	c.m.bytesIn.Add(int64(len(payload)) + 4)
 	return decodeStatus(xdr.NewReader(payload))
+}
+
+// FetchClusterTable retrieves the node's cluster placement table and its
+// version. A node with no table returns (nil, 0, nil).
+func (c *Client) FetchClusterTable() ([]byte, uint64, error) {
+	r, err := c.call(request(opTableGet))
+	if err != nil {
+		return nil, 0, err
+	}
+	version := r.Uint64()
+	data := r.VarOpaque()
+	if err := r.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(data) == 0 {
+		return nil, version, nil
+	}
+	return data, version, nil
+}
+
+// PushClusterTable installs a placement table on the node. The node
+// rejects versions older than what it already holds.
+func (c *Client) PushClusterTable(data []byte, version uint64) error {
+	req := request(opTablePut)
+	req.Uint64(version)
+	req.VarOpaque(data)
+	_, err := c.call(req)
+	return err
 }
 
 // SetRetryPolicy replaces the retry policy for subsequent calls.

@@ -1,0 +1,118 @@
+package rpc
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// Pool is a vfs.FS over a fixed set of connections to ONE storage node.
+// A single Client serializes requests on its connection, so a reader
+// fanning out concurrent frame fetches would convoy behind one wire; the
+// pool spreads calls round-robin across size independent connections
+// while presenting the same FS surface.
+//
+// Connections are dialed lazily (DialLazy), so constructing a pool to a
+// down node succeeds; each call then fails under the member client's
+// retry policy, wrapping vfs.ErrBackendDown once retries exhaust. Files
+// stay bound to the connection that opened them, which is safe because
+// the server's handle table is per-process: the handle remains valid even
+// if that member redials.
+type Pool struct {
+	clients []*Client
+	next    atomic.Uint64
+}
+
+var _ vfs.FS = (*Pool)(nil)
+
+// NewPool returns a pool of size lazy connections to addr through dialer
+// (nil means plain TCP) under the given retry policy. size values below 1
+// behave as 1.
+func NewPool(addr string, size int, dialer Dialer, policy RetryPolicy) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{clients: make([]*Client, size)}
+	for i := range p.clients {
+		p.clients[i] = DialLazy(addr, dialer, policy)
+	}
+	return p
+}
+
+// pick returns the next member connection, round-robin.
+func (p *Pool) pick() *Client {
+	n := p.next.Add(1)
+	return p.clients[(n-1)%uint64(len(p.clients))]
+}
+
+// SetTenant identifies every member connection's traffic as tenant (see
+// Client.SetTenant). Members that cannot reach the node right now still
+// record the identity and re-declare it on their next successful redial,
+// so one down member does not abort pool-wide identification; the first
+// hard failure is still reported.
+func (p *Pool) SetTenant(tenant string) error {
+	var first error
+	for _, c := range p.clients {
+		if err := c.SetTenant(tenant); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SetRetryPolicy replaces the retry policy on every member connection.
+func (p *Pool) SetRetryPolicy(pol RetryPolicy) {
+	for _, c := range p.clients {
+		c.SetRetryPolicy(pol)
+	}
+}
+
+// SetMetrics points every member's counters at reg.
+func (p *Pool) SetMetrics(reg *metrics.Registry) {
+	for _, c := range p.clients {
+		c.SetMetrics(reg)
+	}
+}
+
+// FetchClusterTable retrieves the node's placement table via one member.
+func (p *Pool) FetchClusterTable() ([]byte, uint64, error) {
+	return p.pick().FetchClusterTable()
+}
+
+// PushClusterTable installs a placement table on the node via one member.
+func (p *Pool) PushClusterTable(data []byte, version uint64) error {
+	return p.pick().PushClusterTable(data, version)
+}
+
+// Close closes every member connection, returning the first error.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Create implements vfs.FS.
+func (p *Pool) Create(name string) (vfs.File, error) { return p.pick().Create(name) }
+
+// Open implements vfs.FS.
+func (p *Pool) Open(name string) (vfs.File, error) { return p.pick().Open(name) }
+
+// Stat implements vfs.FS.
+func (p *Pool) Stat(name string) (vfs.FileInfo, error) { return p.pick().Stat(name) }
+
+// ReadDir implements vfs.FS.
+func (p *Pool) ReadDir(name string) ([]vfs.FileInfo, error) { return p.pick().ReadDir(name) }
+
+// MkdirAll implements vfs.FS.
+func (p *Pool) MkdirAll(name string) error { return p.pick().MkdirAll(name) }
+
+// Remove implements vfs.FS.
+func (p *Pool) Remove(name string) error { return p.pick().Remove(name) }
+
+// Rename implements vfs.FS.
+func (p *Pool) Rename(oldname, newname string) error { return p.pick().Rename(oldname, newname) }

@@ -1,0 +1,145 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// startPoolNode serves a MemFS on loopback and returns its address plus
+// the server's private metrics registry.
+func startPoolNode(t *testing.T, store vfs.FS) (string, *metrics.Registry, *Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, nil)
+	reg := metrics.NewRegistry()
+	srv.SetMetrics(reg)
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+	return ln.Addr().String(), reg, srv
+}
+
+func TestPoolRoundTripAndFanOut(t *testing.T) {
+	store := vfs.NewMemFS()
+	addr, reg, _ := startPoolNode(t, store)
+	pool := NewPool(addr, 4, nil, DefaultRetryPolicy())
+	defer pool.Close()
+
+	// Files stay usable regardless of which member serves later calls:
+	// the handle table is per-process on the node.
+	if err := pool.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("pooled payload")
+	f, err := pool.Create("/d/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent readers spread across the members instead of convoying
+	// on one connection.
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := pool.Open("/d/file")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer g.Close()
+			got := make([]byte, len(want))
+			if _, err := g.ReadAt(got, 0); err != nil && err.Error() != "EOF" {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, want) {
+				errs <- fmt.Errorf("read %q, want %q", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if conns := reg.Counter("rpc.server.connections").Value(); conns != 4 {
+		t.Fatalf("server saw %d connections, want all 4 pool members", conns)
+	}
+}
+
+func TestPoolLazyDialToDownNode(t *testing.T) {
+	// Reserve an address nothing listens on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	// Construction must not block or fail: the node being down surfaces
+	// per call, wrapping vfs.ErrBackendDown.
+	pool := NewPool(addr, 2, nil, RetryPolicy{MaxAttempts: 2, CallTimeout: 500 * time.Millisecond})
+	defer pool.Close()
+	start := time.Now()
+	_, err = pool.Stat("/x")
+	if !errors.Is(err, vfs.ErrBackendDown) {
+		t.Fatalf("Stat on down node = %v, want ErrBackendDown", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("down-node failure took %v, want fast connection-refused", d)
+	}
+}
+
+func TestClusterTableEndpoint(t *testing.T) {
+	addr, _, srv := startPoolNode(t, vfs.NewMemFS())
+	pool := NewPool(addr, 2, nil, DefaultRetryPolicy())
+	defer pool.Close()
+
+	// A node starts with no table.
+	data, version, err := pool.FetchClusterTable()
+	if err != nil || data != nil || version != 0 {
+		t.Fatalf("empty fetch = (%q, %d, %v)", data, version, err)
+	}
+
+	table2 := []byte(`{"version":2}`)
+	if err := pool.PushClusterTable(table2, 2); err != nil {
+		t.Fatal(err)
+	}
+	data, version, err = pool.FetchClusterTable()
+	if err != nil || version != 2 || !bytes.Equal(data, table2) {
+		t.Fatalf("fetch after push = (%q, %d, %v)", data, version, err)
+	}
+
+	// Same-version re-put is idempotent (retry-safe); an older version is
+	// rejected so a lagging controller cannot roll the layout back.
+	if err := pool.PushClusterTable(table2, 2); err != nil {
+		t.Fatalf("idempotent re-put: %v", err)
+	}
+	err = pool.PushClusterTable([]byte(`{"version":1}`), 1)
+	if err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale put = %v, want stale-version rejection", err)
+	}
+	if _, v := srv.ClusterTable(); v != 2 {
+		t.Fatalf("node table version = %d after stale put, want 2", v)
+	}
+}

@@ -37,7 +37,9 @@ const (
 	opRemove
 	opSize
 	opRename
-	opIdent // declare the connection's tenant for per-tenant accounting
+	opIdent    // declare the connection's tenant for per-tenant accounting
+	opTableGet // fetch the node's cluster placement table (version + bytes)
+	opTablePut // install a cluster placement table if not stale
 )
 
 // MaxPayload bounds a single message (catches corrupt length prefixes).

@@ -1,0 +1,108 @@
+package rpc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/metrics"
+	"repro/internal/vfs"
+)
+
+// TestReidentDoesNotConsumeBackoffBudget pins the interaction of the
+// redial-time tenant re-ident with a nearly exhausted backoff budget: the
+// ident round-trip happens on the wire, under the call deadline, but its
+// wall-clock time must NOT be debited from the interrupted call's
+// BackoffBudget — the budget caps backoff sleeps, nothing else. A
+// regression that charged ident time against the budget would fail the
+// retried call here, because the injected ident leg alone (50 ms) costs
+// several times the whole budget (8 ms).
+func TestReidentDoesNotConsumeBackoffBudget(t *testing.T) {
+	// Op sequence after arming: stat send (conn.write #1), reply read
+	// (conn.read #1) -> drop tears the conn; the retry redials, and the
+	// first frame on the fresh conn is the re-ident (conn.write #2),
+	// which the slow rule stalls for far longer than the backoff budget.
+	in := faultfs.MustNew(1,
+		faultfs.Rule{Kind: faultfs.KindDrop, Op: "conn.read", Nth: 1},
+		faultfs.Rule{Kind: faultfs.KindSlow, Op: "conn.write", Nth: 2, Delay: 50 * time.Millisecond},
+	)
+	in.SetEnabled(false)
+	pol := RetryPolicy{
+		MaxAttempts:   3,
+		BaseBackoff:   4 * time.Millisecond,
+		MaxBackoff:    4 * time.Millisecond,
+		BackoffBudget: 8 * time.Millisecond,
+		CallTimeout:   2 * time.Second,
+	}
+	store := vfs.NewMemFS()
+	if err := vfs.WriteFile(store, "/probe", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	addr, reg, _ := startPoolNode(t, store)
+	c, err := DialWith(addr, faultDialer(in), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	creg := metrics.NewRegistry()
+	c.SetMetrics(creg)
+	if err := c.SetTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+
+	in.SetEnabled(true)
+	start := time.Now()
+	if _, err := c.Stat("/probe"); err != nil {
+		t.Fatalf("retried stat failed: %v (ident time charged against backoff budget?)", err)
+	}
+	elapsed := time.Since(start)
+	in.SetEnabled(false)
+
+	// The slow ident leg really ran inside the retry: the call took at
+	// least its 50 ms, and the node dispatched a second ident.
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("call returned in %v; the injected ident stall never happened", elapsed)
+	}
+	if n := creg.Counter("rpc.client.retries").Value(); n < 1 {
+		t.Fatalf("retries = %d, want at least 1", n)
+	}
+	if n := reg.Counter("rpc.server.op.ident").Value(); n != 2 {
+		t.Fatalf("server ident dispatches = %d, want 2 (initial + redial re-ident)", n)
+	}
+}
+
+// TestBackoffBudgetStillBinds is the guard that keeps the test above
+// honest: with the same drop fault but a budget smaller than any single
+// backoff sleep, the retry is refused up front and the call fails wrapping
+// vfs.ErrBackendDown — the budget is enforced, just against sleeps only.
+func TestBackoffBudgetStillBinds(t *testing.T) {
+	in := faultfs.MustNew(1,
+		faultfs.Rule{Kind: faultfs.KindDrop, Op: "conn.read", Nth: 1},
+	)
+	in.SetEnabled(false)
+	pol := RetryPolicy{
+		MaxAttempts:   3,
+		BaseBackoff:   4 * time.Millisecond,
+		MaxBackoff:    4 * time.Millisecond,
+		BackoffBudget: time.Nanosecond,
+		CallTimeout:   2 * time.Second,
+	}
+	store := vfs.NewMemFS()
+	if err := vfs.WriteFile(store, "/probe", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	addr, _, _ := startPoolNode(t, store)
+	c, err := DialWith(addr, faultDialer(in), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	in.SetEnabled(true)
+	_, err = c.Stat("/probe")
+	in.SetEnabled(false)
+	if !errors.Is(err, vfs.ErrBackendDown) || !strings.Contains(err.Error(), "backoff budget") {
+		t.Fatalf("stat err = %v, want backoff-budget exhaustion wrapping ErrBackendDown", err)
+	}
+}

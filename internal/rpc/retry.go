@@ -55,12 +55,16 @@ func DefaultRetryPolicy() RetryPolicy {
 //     server handle, which is benign — the handle table is per-process).
 //   - mkdirall: converges to the same state on re-application.
 //   - ident: declares the connection's tenant; re-declaring is a no-op.
+//   - tableget/tableput: the get is a pure read; the put replaces the
+//     whole table at an explicit version, so re-applying it converges
+//     (and a stale version is rejected either way).
 //   - create/write/close/remove/rename: a second application truncates
 //     data, appends bytes twice, or fails on the now-missing
 //     handle/file/source path.
 func idempotentOp(op uint32) bool {
 	switch op {
-	case opOpen, opRead, opStat, opReadDir, opSize, opMkdirAll, opIdent:
+	case opOpen, opRead, opStat, opReadDir, opSize, opMkdirAll, opIdent,
+		opTableGet, opTablePut:
 		return true
 	}
 	return false

@@ -46,6 +46,10 @@ type Server struct {
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	wg        sync.WaitGroup
+
+	tableMu      sync.Mutex
+	tableData    []byte // opaque cluster placement table (internal/placement JSON)
+	tableVersion uint64
 }
 
 // serverMetrics are the node-side request/response/error handles, plus a
@@ -60,7 +64,7 @@ type serverMetrics struct {
 	bytesOut    *metrics.Counter
 	latency     *metrics.Histogram
 	throttleNS  *metrics.Histogram
-	perOp       [opIdent + 1]*metrics.Counter
+	perOp       [opTablePut + 1]*metrics.Counter
 }
 
 // opName names an opcode for metrics and logs.
@@ -70,6 +74,7 @@ func opName(op uint32) string {
 		opClose: "close", opStat: "stat", opReadDir: "readdir",
 		opMkdirAll: "mkdirall", opRemove: "remove", opSize: "size",
 		opRename: "rename", opIdent: "ident",
+		opTableGet: "tableget", opTablePut: "tableput",
 	}
 	if op < uint32(len(names)) && names[op] != "" {
 		return names[op]
@@ -89,7 +94,7 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		latency:     reg.Histogram("rpc.server.dispatch.ns"),
 		throttleNS:  reg.Histogram("rpc.server.throttle.ns"),
 	}
-	for op := opCreate; op <= opIdent; op++ {
+	for op := opCreate; op <= opTablePut; op++ {
 		m.perOp[op] = reg.Counter("rpc.server.op." + opName(op))
 	}
 	return m
@@ -289,7 +294,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.m.bytesIn.Add(int64(len(payload)) + 4)
 		s.m.requests.Inc()
 		if len(payload) >= 4 {
-			if op := binary.BigEndian.Uint32(payload); op <= opIdent {
+			if op := binary.BigEndian.Uint32(payload); op <= opTablePut {
 				s.m.perOp[op].Inc()
 			}
 		}
@@ -493,6 +498,24 @@ func (s *Server) dispatch(cs *connState, payload []byte) []byte {
 		cs.ts = s.tenant(tenant)
 		return respondOK().Bytes()
 
+	case opTableGet:
+		data, version := s.ClusterTable()
+		w := respondOK()
+		w.Uint64(version)
+		w.VarOpaque(data)
+		return w.Bytes()
+
+	case opTablePut:
+		version := r.Uint64()
+		data := r.VarOpaque()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		if err := s.SetClusterTable(data, version); err != nil {
+			return respondErr(err)
+		}
+		return respondOK().Bytes()
+
 	case opRename:
 		oldname := r.String()
 		newname := r.String()
@@ -507,6 +530,34 @@ func (s *Server) dispatch(cs *connState, payload []byte) []byte {
 	default:
 		return respondErr(fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op))
 	}
+}
+
+// SetClusterTable installs a cluster placement table on the node's
+// metadata endpoint (opTableGet/opTablePut). The bytes are opaque to the
+// server — validation belongs to internal/placement — but versions are
+// not: a put older than the installed table is rejected so a lagging
+// controller cannot roll the cluster's layout back, while re-putting the
+// current version is an idempotent no-op (safe under client retry).
+func (s *Server) SetClusterTable(data []byte, version uint64) error {
+	s.tableMu.Lock()
+	defer s.tableMu.Unlock()
+	if version < s.tableVersion {
+		return fmt.Errorf("rpc: stale cluster table version %d (node has %d)", version, s.tableVersion)
+	}
+	s.tableData = append([]byte(nil), data...)
+	s.tableVersion = version
+	return nil
+}
+
+// ClusterTable returns the installed placement table and its version
+// (nil, 0 when the node has none).
+func (s *Server) ClusterTable() ([]byte, uint64) {
+	s.tableMu.Lock()
+	defer s.tableMu.Unlock()
+	if s.tableData == nil {
+		return nil, s.tableVersion
+	}
+	return append([]byte(nil), s.tableData...), s.tableVersion
 }
 
 func (s *Server) handle(fd uint32) (vfs.File, error) {
