@@ -31,6 +31,7 @@ package ada
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
 	"net"
 
@@ -46,6 +47,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/tier"
 	"repro/internal/vfs"
 	"repro/internal/vmd"
@@ -469,6 +471,64 @@ func NewServeFabric(cfg ServeConfig) *ServeFabric { return serve.New(cfg) }
 // percentiles land in cfg.Metrics under serve.tenant.* / serve.class.*.
 func SimulateServe(cfg ServeConfig, cost ServeCostModel, sessions []ServeSimSession) ServeSimReport {
 	return serve.Simulate(cfg, cost, sessions)
+}
+
+// Streaming ingest (see DESIGN.md "Streaming model"): a live dataset is an
+// open container a producer appends frame batches to while readers tail the
+// growing head with bounded staleness. Sealing turns it into an ordinary
+// immutable container, byte-identical to a one-shot Ingest of the same
+// frames.
+type (
+	// LiveIngest is an open append session on a live dataset.
+	LiveIngest = core.LiveIngest
+	// LiveHead is the durably published state of a live dataset.
+	LiveHead = core.LiveHead
+	// LiveReader tails one subset of a live dataset at the core layer;
+	// most callers want the higher-level StreamSource.
+	LiveReader = core.LiveReader
+	// StreamSource is a tailing FrameSource over a live dataset; wrap it
+	// in a prefetching session source to play a trajectory as it grows.
+	StreamSource = stream.Source
+	// StreamOptions configures a StreamSource (staleness bound, metrics).
+	StreamOptions = stream.Options
+	// StreamIngestor decouples a bursty producer from storage latency with
+	// a bounded append queue; backpressure lands in stream.append.blocked_ns.
+	StreamIngestor = stream.Ingestor
+)
+
+// RecoveryLive: a streaming ingest was killed mid-append; the container is
+// still live and can be resumed with Acquirer.ResumeLiveIngest.
+const RecoveryLive = core.RecoveryLive
+
+// DefaultStreamStaleness bounds how far a tailing reader's view of the head
+// may lag the producer's last publication.
+const DefaultStreamStaleness = stream.DefaultStaleness
+
+// ErrLiveClosed unblocks readers parked past the head when their live
+// source is closed.
+var ErrLiveClosed = core.ErrLiveClosed
+
+// XTCIndex records every frame's offset and encoded size in a compressed
+// trajectory stream; producers use it to cut whole-frame append batches.
+type XTCIndex = xtc.Index
+
+// BuildXTCIndex scans a compressed XTC stream once and indexes its frame
+// boundaries without decompressing coordinate payloads.
+func BuildXTCIndex(r io.ReaderAt, size int64) (*XTCIndex, error) {
+	return xtc.BuildIndex(r, size)
+}
+
+// OpenStream starts tailing one subset of a live (or already sealed)
+// dataset.
+func OpenStream(acq *Acquirer, logical, tag string, opts StreamOptions) (*StreamSource, error) {
+	return stream.Open(acq, logical, tag, opts)
+}
+
+// NewStreamIngestor wraps an open live-ingest session with a bounded append
+// queue (0 selects the default bound); reg may be nil. Close drains the
+// queue and seals the dataset.
+func NewStreamIngestor(li *LiveIngest, queueBatches int, reg *MetricsRegistry) *StreamIngestor {
+	return stream.NewIngestor(li, queueBatches, reg)
 }
 
 // Runtime observability (see internal/metrics): the storage stack —

@@ -1,0 +1,182 @@
+// Streaming-ingest benchmarks: live append throughput (how fast a producer
+// can push frame batches through the checkpointed append log) and tail lag
+// (how long after a publish a parked reader observes the new head). Both run
+// over in-memory backends so the numbers price the streaming machinery, not
+// a disk. Rendered to BENCH_stream.json by `make bench-stream`; the CI gate
+// rides ns/op, the lag percentiles are reported as custom metrics
+// (lag_p50_us / lag_p99_us) for tracking.
+package ada_test
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/plfs"
+	"repro/internal/stream"
+	"repro/internal/vfs"
+	"repro/internal/xtc"
+)
+
+// streamBatches cuts the ablation trajectory into whole-frame batches.
+func streamBatches(b *testing.B, traj []byte, n int) [][]byte {
+	b.Helper()
+	idx, err := xtc.BuildIndex(bytes.NewReader(traj), int64(len(traj)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out [][]byte
+	for i := 0; i < idx.Frames(); i += n {
+		j := i + n
+		if j > idx.Frames() {
+			j = idx.Frames()
+		}
+		end := idx.Offset(j-1) + idx.Size(j-1)
+		out = append(out, traj[idx.Offset(i):end])
+	}
+	return out
+}
+
+func streamADA(b *testing.B) *core.ADA {
+	b.Helper()
+	store, err := plfs.New(
+		plfs.Backend{Name: "ssd", FS: vfs.NewMemFS(), Mount: "/m1"},
+		plfs.Backend{Name: "hdd", FS: vfs.NewMemFS(), Mount: "/m2"},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.New(store, nil, core.Options{Metrics: metrics.NewRegistry()})
+}
+
+// BenchmarkStreamAppend measures live append wire speed: MB/s of
+// decompressed trajectory data through open → append batches (checkpoint +
+// publish per batch) → seal. "direct" drives core.LiveIngest.Append inline;
+// "queued" goes through the stream.Ingestor bounded queue, pricing the
+// hand-off a decoupled producer pays.
+func BenchmarkStreamAppend(b *testing.B) {
+	pdbBytes, traj := ablationDataset(b)
+	batches := streamBatches(b, traj, 5)
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			li, err := streamADA(b).OpenLiveIngest("/g", pdbBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, batch := range batches {
+				if _, err := li.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rep, err := li.Seal()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.SetBytes(rep.Raw)
+			}
+		}
+		reportCPUs(b)
+	})
+	b.Run("queued", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			li, err := streamADA(b).OpenLiveIngest("/g", pdbBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ing := stream.NewIngestor(li, 0, nil)
+			for _, batch := range batches {
+				if err := ing.Enqueue(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rep, err := ing.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.SetBytes(rep.Raw)
+			}
+		}
+		reportCPUs(b)
+	})
+}
+
+// BenchmarkStreamTailLag measures publish-to-visibility latency: a reader
+// parks on the next unpublished frame while the producer appends batches;
+// the lag is the wall time from Append returning (head published) to the
+// parked ReadFrameAt observing the frame. One op = one full produce/tail
+// session; p50/p99 aggregate every frame of every iteration.
+func BenchmarkStreamTailLag(b *testing.B) {
+	pdbBytes, traj := ablationDataset(b)
+	const perBatch = 5
+	batches := streamBatches(b, traj, perBatch)
+	idx, err := xtc.BuildIndex(bytes.NewReader(traj), int64(len(traj)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := idx.Frames()
+	var lags []time.Duration
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := streamADA(b)
+		li, err := a.OpenLiveIngest("/g", pdbBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, err := stream.Open(a, "/g", core.TagProtein, stream.Options{Staleness: time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		published := make([]time.Time, frames)
+		observed := make([]time.Time, frames)
+		done := make(chan error, 1)
+		go func() {
+			for f := 0; f < frames; f++ {
+				if _, err := src.ReadFrameAt(f); err != nil {
+					done <- err
+					return
+				}
+				observed[f] = time.Now()
+			}
+			done <- nil
+		}()
+		next := 0
+		for _, batch := range batches {
+			if _, err := li.Append(batch); err != nil {
+				b.Fatal(err)
+			}
+			now := time.Now()
+			for f := next; f < next+perBatch && f < frames; f++ {
+				published[f] = now
+			}
+			next += perBatch
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		if _, err := li.Seal(); err != nil {
+			b.Fatal(err)
+		}
+		src.Close()
+		for f := 0; f < frames; f++ {
+			if lag := observed[f].Sub(published[f]); lag > 0 {
+				lags = append(lags, lag)
+			} else {
+				lags = append(lags, 0)
+			}
+		}
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	p := func(q float64) float64 {
+		k := int(q * float64(len(lags)-1))
+		return float64(lags[k]) / float64(time.Microsecond)
+	}
+	b.ReportMetric(p(0.50), "lag_p50_us")
+	b.ReportMetric(p(0.99), "lag_p99_us")
+}

@@ -90,6 +90,8 @@ func main() {
 		err = cmdScrub(a, args)
 	case "recover":
 		err = cmdRecover(a)
+	case "watch":
+		err = cmdWatch(a, os.Stdout, args)
 	case "tier":
 		err = cmdTier(a, containers, args)
 	default:
@@ -117,6 +119,10 @@ commands:
   scrub    [-rate BYTES/S]                   verify every dataset (one pass)
   recover                                    roll back or finish interrupted
                                              ingests (run after a crash)
+  watch    -name NAME [-interval D] [-n N]   poll a live dataset's head:
+                                             frames per tag, growth rate,
+                                             live/sealed state (exits when
+                                             the producer seals)
   tier     [-spec SPEC] [-step]              report per-backend usage and
                                              subset placement; with -spec
                                              evaluate watermarks and (with
@@ -478,6 +484,53 @@ func cmdRecover(a *core.ADA) error {
 		fmt.Printf("  %-30s %s\n", name, act)
 	}
 	return nil
+}
+
+// cmdWatch polls a live dataset's head and prints its growth: version,
+// frame count (with the delta and rate since the last poll), per-tag bytes,
+// and the live/sealed state. It exits when the producer seals (or after -n
+// polls when -n > 0), so it doubles as a wait-for-seal in scripts.
+func cmdWatch(a *core.ADA, out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	name := fs.String("name", "", "dataset name")
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval")
+	n := fs.Int("n", 0, "number of polls (0 = until sealed)")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("watch needs -name")
+	}
+	logical := "/" + *name
+	lastFrames := -1
+	lastAt := time.Now()
+	for poll := 1; ; poll++ {
+		h, err := a.LiveHead(logical)
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		state, version := "live", fmt.Sprintf("v%d", h.Version)
+		if h.Sealed {
+			state, version = "sealed", "-" // version ordering ends at the seal
+		}
+		line := fmt.Sprintf("%-6s %-5s %8d frames", state, version, h.Frames)
+		if lastFrames >= 0 {
+			delta := h.Frames - lastFrames
+			rate := float64(delta) / now.Sub(lastAt).Seconds()
+			line += fmt.Sprintf("  (+%d, %.1f fps)", delta, rate)
+		}
+		for _, tag := range h.Tags() {
+			line += fmt.Sprintf("  %s=%dB", tag, h.Subsets[tag].Bytes)
+		}
+		fmt.Fprintln(out, line)
+		if h.Sealed {
+			return nil
+		}
+		if *n > 0 && poll >= *n {
+			return nil
+		}
+		lastFrames, lastAt = h.Frames, now
+		time.Sleep(*interval)
+	}
 }
 
 // cmdTier reports the store's tiering state: per-backend byte usage and

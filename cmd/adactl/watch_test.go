@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpcr"
+	"repro/internal/mdsim"
+	"repro/internal/metrics"
+	"repro/internal/pdb"
+	"repro/internal/plfs"
+	"repro/internal/vfs"
+	"repro/internal/xtc"
+)
+
+// watchFixture builds an in-memory ADA store plus a small dataset.
+func watchFixture(t *testing.T, frames int) (*core.ADA, []byte, []byte) {
+	t.Helper()
+	sys, err := gpcr.Scaled(200).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pb bytes.Buffer
+	if err := pdb.Write(&pb, sys.Structure); err != nil {
+		t.Fatal(err)
+	}
+	cats := make([]pdb.Category, sys.Structure.NAtoms())
+	for i := range cats {
+		cats[i] = sys.Structure.Atoms[i].Category
+	}
+	s, err := mdsim.New(sys.Coords, cats, sys.Box, mdsim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb bytes.Buffer
+	if err := s.WriteTrajectory(xtc.NewWriter(&tb), frames); err != nil {
+		t.Fatal(err)
+	}
+	store, err := plfs.New(
+		plfs.Backend{Name: "ssd", FS: vfs.NewMemFS(), Mount: "/mnt1"},
+		plfs.Backend{Name: "hdd", FS: vfs.NewMemFS(), Mount: "/mnt2"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.New(store, nil, core.Options{Metrics: metrics.NewRegistry()}), pb.Bytes(), tb.Bytes()
+}
+
+// TestCmdWatchLive: watch follows a live session and exits when it seals.
+func TestCmdWatchLive(t *testing.T) {
+	a, pdbBytes, traj := watchFixture(t, 6)
+	li, err := a.OpenLiveIngest("/ds", pdbBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sc := xtc.NewScanner(bytes.NewReader(traj))
+		for {
+			blob, err := sc.Next()
+			if err != nil {
+				break
+			}
+			if _, err := li.Append(blob); err != nil {
+				break
+			}
+		}
+		li.Seal()
+	}()
+
+	var out bytes.Buffer
+	err = cmdWatch(a, &out, []string{"-name", "ds", "-interval", "5ms"})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "sealed") {
+		t.Fatalf("watch never reported the seal:\n%s", text)
+	}
+	if !strings.Contains(text, "frames") || !strings.Contains(text, "p=") {
+		t.Fatalf("watch output missing head fields:\n%s", text)
+	}
+	last := text[strings.LastIndex(strings.TrimSpace(text), "\n")+1:]
+	if !strings.Contains(last, "6 frames") {
+		t.Fatalf("final line does not report 6 frames: %q", last)
+	}
+}
+
+// TestCmdWatchBoundedPolls: -n caps the poll count on a still-live dataset.
+func TestCmdWatchBoundedPolls(t *testing.T) {
+	a, pdbBytes, traj := watchFixture(t, 2)
+	li, err := a.OpenLiveIngest("/ds", pdbBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := li.Append(traj); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := cmdWatch(a, &out, []string{"-name", "ds", "-interval", "1ms", "-n", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(out.String()), "\n") + 1
+	if lines != 3 {
+		t.Fatalf("watch -n 3 printed %d lines:\n%s", lines, out.String())
+	}
+	if !strings.Contains(out.String(), "live") {
+		t.Fatalf("watch output missing live state:\n%s", out.String())
+	}
+	if err := li.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCmdWatchErrors covers the flag validation and missing datasets.
+func TestCmdWatchErrors(t *testing.T) {
+	a, _, _ := watchFixture(t, 2)
+	if err := cmdWatch(a, &bytes.Buffer{}, nil); err == nil {
+		t.Error("missing -name accepted")
+	}
+	if err := cmdWatch(a, &bytes.Buffer{}, []string{"-name", "nope", "-n", "1"}); err == nil {
+		t.Error("missing dataset accepted")
+	}
+}

@@ -57,6 +57,7 @@ type config struct {
 	tenantBurst float64
 	tableFile   string
 	join        string
+	watchPoll   time.Duration
 }
 
 // parseFlags parses args (without the program name). It returns
@@ -87,6 +88,8 @@ two-tier container store (e.g. "fast=ssd,slow=hdd,cap=64MiB"; see DESIGN.md)`)
 		"placement table JSON to load, validate, and serve to cluster peers")
 	fs.StringVar(&cfg.join, "join", "",
 		"address of a cluster peer to fetch the placement table from at startup")
+	fs.DurationVar(&cfg.watchPoll, "watch-poll", 0,
+		"re-read cadence for parked watch long-polls (live-head tailing; 0 = 2ms default)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -96,6 +99,9 @@ two-tier container store (e.g. "fast=ssd,slow=hdd,cap=64MiB"; see DESIGN.md)`)
 	}
 	if cfg.tenantRate < 0 || cfg.tenantBurst < 0 {
 		return nil, fmt.Errorf("-tenant-rate and -tenant-burst must be non-negative")
+	}
+	if cfg.watchPoll < 0 {
+		return nil, fmt.Errorf("-watch-poll must be non-negative")
 	}
 	if cfg.tableFile != "" && cfg.join != "" {
 		return nil, fmt.Errorf("-cluster-table and -join are mutually exclusive")
@@ -224,6 +230,10 @@ func run(cfg *config, stdout io.Writer) error {
 		srv.SetTenantQuota(cfg.tenantRate, cfg.tenantBurst)
 		fmt.Fprintf(stdout, "adanode tenant read quota: %.0f B/s, burst %.0f B\n",
 			cfg.tenantRate, cfg.tenantBurst)
+	}
+	if cfg.watchPoll > 0 {
+		srv.SetWatchPoll(cfg.watchPoll)
+		fmt.Fprintf(stdout, "adanode watch poll: %v\n", cfg.watchPoll)
 	}
 	// SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
 	// requests, then exit cleanly.

@@ -365,6 +365,10 @@ type ingestState struct {
 	// extra holds droppings a variant ingest (in-situ stats) wants
 	// published atomically with the dataset.
 	extra []extraDropping
+	// ckptFrames is the frame count at the last journaled checkpoint; live
+	// ingest uses it to avoid writing a duplicate checkpoint per batch when
+	// the frame loop's periodic one already landed on the batch boundary.
+	ckptFrames int
 }
 
 // extraDropping is a variant-specific payload staged during finish.
@@ -419,6 +423,13 @@ func (a *ADA) analyzeIngest(logical string, pdbData []byte) (*ingestState, error
 // prepareIngest runs the structure analysis and creates the container, the
 // ingest journal, and the staged subset droppings.
 func (a *ADA) prepareIngest(logical string, pdbData []byte) (*ingestState, error) {
+	return a.prepareIngestMode(logical, pdbData, false)
+}
+
+// prepareIngestMode is prepareIngest with the journal's begin record
+// optionally marked live, which flips the recovery classification from
+// roll-back to preserve-the-prefix (see live.go).
+func (a *ADA) prepareIngestMode(logical string, pdbData []byte, live bool) (*ingestState, error) {
 	st, err := a.analyzeIngest(logical, pdbData)
 	if err != nil {
 		return nil, err
@@ -442,6 +453,7 @@ func (a *ADA) prepareIngest(logical string, pdbData []byte) (*ingestState, error
 		Logical:     logical,
 		Granularity: st.granularityName,
 		NAtoms:      structure.NAtoms(),
+		Live:        live,
 	}
 	for _, tag := range sortedTags(st.tagRanges) {
 		begin.Tags = append(begin.Tags, journalTag{
@@ -535,7 +547,11 @@ func (st *ingestState) checkpoint() error {
 	for _, sw := range st.writers {
 		rec.Subsets[sw.tag] = journalSubset{Bytes: sw.storedBytes(), CRC: sw.tee.total}
 	}
-	return st.journal.append(rec)
+	if err := st.journal.append(rec); err != nil {
+		return err
+	}
+	st.ckptFrames = st.report.Frames
+	return nil
 }
 
 // writeStaged writes one non-subset dropping under its staging name,

@@ -44,11 +44,14 @@ const journalCkptEvery = 32
 // journalRecord is one line of the ingest journal.
 type journalRecord struct {
 	Type string `json:"type"`
-	// begin fields.
+	// begin fields. Live marks a streaming ingest (OpenLiveIngest): the
+	// dataset is expected to be mid-append indefinitely, so Recover
+	// preserves the checkpointed prefix instead of rolling it back.
 	Logical     string       `json:"logical,omitempty"`
 	Granularity string       `json:"granularity,omitempty"`
 	NAtoms      int          `json:"natoms,omitempty"`
 	Tags        []journalTag `json:"tags,omitempty"`
+	Live        bool         `json:"live,omitempty"`
 	// ckpt fields.
 	Frames     int                      `json:"frames,omitempty"`
 	Compressed int64                    `json:"compressed,omitempty"`
@@ -139,6 +142,11 @@ const (
 	// RecoveryRolledBack: the ingest never reached commit; the container
 	// was removed.
 	RecoveryRolledBack RecoveryAction = "rolledback"
+	// RecoveryLive: a streaming ingest was killed mid-append; the staged
+	// subsets were truncated back to the last journaled checkpoint and the
+	// live head republished. The dataset remains live — ResumeLiveIngest
+	// continues it, Seal finishes it.
+	RecoveryLive RecoveryAction = "live"
 )
 
 // Recover classifies every container and repairs each interrupted ingest:
@@ -178,6 +186,9 @@ func (a *ADA) RecoverDataset(logical string) (RecoveryAction, error) {
 	if last.Type == journalCommit && last.Manifest != nil {
 		return a.replayCommit(logical, &last)
 	}
+	if recs[0].Type == journalBegin && recs[0].Live {
+		return a.recoverLive(logical, recs)
+	}
 	return a.rollback(logical)
 }
 
@@ -202,7 +213,8 @@ func (a *ADA) sweepCommitted(logical string) (RecoveryAction, error) {
 	}
 	swept := false
 	for _, d := range idx {
-		if d.Name == droppingJournal || strings.HasPrefix(d.Name, stagingPrefix) {
+		if d.Name == droppingJournal || strings.HasPrefix(d.Name, stagingPrefix) ||
+			d.Name == liveHeadName || strings.HasPrefix(d.Name, liveIndexPrefix) {
 			if err := a.containers.RemoveDropping(logical, d.Name); err != nil {
 				return "", err
 			}
@@ -260,6 +272,10 @@ func (a *ADA) replayCommit(logical string, rec *journalRecord) (RecoveryAction, 
 	if err := a.containers.RemoveDropping(logical, droppingJournal); err != nil {
 		return "", err
 	}
+	// A sealed live dataset's head droppings die with the commit.
+	if err := a.sweepLive(logical); err != nil {
+		return "", err
+	}
 	return RecoveryCommitted, nil
 }
 
@@ -275,40 +291,96 @@ func (a *ADA) ResumeIngest(logical string, pdbData []byte, traj io.Reader) (*Ing
 	if a.env != nil {
 		start = a.env.Clock.Now()
 	}
+	st, _, ck, err := a.resumeStagedState(logical, pdbData, false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Skip the frames the checkpoint already persisted, then ingest the
+	// rest exactly like the serial path.
+	in := &countingReader{r: traj}
+	reader := xtc.NewReader(in)
+	for i := 0; i < ck.Frames; i++ {
+		if _, err := reader.ReadFrame(); err != nil {
+			st.closeAll()
+			return nil, fmt.Errorf("core: resume %s: source ended at frame %d, checkpoint has %d: %w",
+				logical, i, ck.Frames, err)
+		}
+	}
+	for {
+		before := in.n
+		frame, err := reader.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			st.closeAll()
+			return nil, fmt.Errorf("core: resume %s frame %d: %w", logical, st.report.Frames, err)
+		}
+		consumed := in.n - before
+		a.chargeCPU("decompress", a.opts.Cost.decompressTime(consumed))
+		a.chargeCPU("categorize", a.opts.Cost.categorizeTime(xtc.RawFrameSize(frame.NAtoms())))
+		if err := st.writeFrame(frame, consumed); err != nil {
+			st.closeAll()
+			return nil, err
+		}
+	}
+	st.closeAll()
+	return st.finish(start)
+}
+
+// resumeStagedState rebuilds an interrupted ingest's in-memory state from
+// its journal: the staged subsets truncated to the last checkpoint (prefix
+// CRCs verified), the subset writers and index builders reconstructed over
+// the surviving bytes, the report counters restored, and the journal
+// rewritten compactly (begin plus one checkpoint). Shared by ResumeIngest
+// (live=false) and ResumeLiveIngest (live=true); the begin record's Live
+// flag must match, since the two sessions have different commit rules.
+func (a *ADA) resumeStagedState(logical string, pdbData []byte, live bool) (*ingestState, journalRecord, journalRecord, error) {
+	var zero journalRecord
+	fail := func(err error) (*ingestState, journalRecord, journalRecord, error) {
+		return nil, zero, zero, err
+	}
 	recs, err := a.readJournal(logical)
 	if err != nil {
-		return nil, fmt.Errorf("core: resume %s: no journal (nothing to resume): %w", logical, err)
+		return fail(fmt.Errorf("core: resume %s: no journal (nothing to resume): %w", logical, err))
 	}
 	if len(recs) == 0 || recs[0].Type != journalBegin {
-		return nil, fmt.Errorf("core: resume %s: journal has no begin record; run Recover", logical)
+		return fail(fmt.Errorf("core: resume %s: journal has no begin record; run Recover", logical))
 	}
 	begin := recs[0]
+	if begin.Live != live {
+		if live {
+			return fail(fmt.Errorf("core: resume %s: not a live ingest; use ResumeIngest", logical))
+		}
+		return fail(fmt.Errorf("core: resume %s: live ingest; use ResumeLiveIngest", logical))
+	}
 	ck := journalRecord{Type: journalCkpt} // zero checkpoint: restart from frame 0
 	for _, rec := range recs[1:] {
 		switch rec.Type {
 		case journalCkpt:
 			ck = rec
 		case journalCommit:
-			return nil, fmt.Errorf("core: resume %s: ingest already committed; run Recover", logical)
+			return fail(fmt.Errorf("core: resume %s: ingest already committed; run Recover", logical))
 		}
 	}
 
 	st, err := a.analyzeIngest(logical, pdbData)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if st.structure.NAtoms() != begin.NAtoms {
-		return nil, fmt.Errorf("core: resume %s: structure has %d atoms, journal began with %d",
-			logical, st.structure.NAtoms(), begin.NAtoms)
+		return fail(fmt.Errorf("core: resume %s: structure has %d atoms, journal began with %d",
+			logical, st.structure.NAtoms(), begin.NAtoms))
 	}
 	tags := sortedTags(st.tagRanges)
 	if len(tags) != len(begin.Tags) {
-		return nil, fmt.Errorf("core: resume %s: categorization yields %d tags, journal began with %d",
-			logical, len(tags), len(begin.Tags))
+		return fail(fmt.Errorf("core: resume %s: categorization yields %d tags, journal began with %d",
+			logical, len(tags), len(begin.Tags)))
 	}
 	for i, tag := range tags {
 		if begin.Tags[i].Tag != tag || begin.Tags[i].Ranges != st.tagRanges[tag].String() {
-			return nil, fmt.Errorf("core: resume %s: tag %q does not match the journaled ingest", logical, tag)
+			return fail(fmt.Errorf("core: resume %s: tag %q does not match the journaled ingest", logical, tag))
 		}
 	}
 
@@ -322,13 +394,13 @@ func (a *ADA) ResumeIngest(logical string, pdbData []byte, traj io.Reader) (*Ing
 				prefix = nil // the crash predates this dropping; recreate it empty
 			} else {
 				st.closeAll()
-				return nil, fmt.Errorf("core: resume %s subset %s: %w", logical, tag, err)
+				return fail(fmt.Errorf("core: resume %s subset %s: %w", logical, tag, err))
 			}
 		}
 		if int64(len(prefix)) < mark.Bytes {
 			st.closeAll()
-			return nil, fmt.Errorf("core: resume %s subset %s: staged dropping is %d bytes, checkpoint says %d",
-				logical, tag, len(prefix), mark.Bytes)
+			return fail(fmt.Errorf("core: resume %s subset %s: staged dropping is %d bytes, checkpoint says %d",
+				logical, tag, len(prefix), mark.Bytes))
 		}
 		prefix = prefix[:mark.Bytes]
 		var prefixCRC uint32
@@ -336,8 +408,8 @@ func (a *ADA) ResumeIngest(logical string, pdbData []byte, traj io.Reader) (*Ing
 			prefixCRC = xtc.CRC32C(prefix)
 			if mark.CRC != 0 && prefixCRC != mark.CRC {
 				st.closeAll()
-				return nil, fmt.Errorf("core: resume %s subset %s: checkpointed prefix fails its checksum: %w",
-					logical, tag, vfs.ErrCorrupted)
+				return fail(fmt.Errorf("core: resume %s subset %s: checkpointed prefix fails its checksum: %w",
+					logical, tag, vfs.ErrCorrupted))
 			}
 		}
 		var idx *xtc.Index
@@ -345,25 +417,25 @@ func (a *ADA) ResumeIngest(logical string, pdbData []byte, traj io.Reader) (*Ing
 			idx, err = xtc.BuildIndexChecksummed(bytes.NewReader(prefix), int64(len(prefix)))
 			if err != nil {
 				st.closeAll()
-				return nil, fmt.Errorf("core: resume %s subset %s: %w", logical, tag, err)
+				return fail(fmt.Errorf("core: resume %s subset %s: %w", logical, tag, err))
 			}
 			if idx.Frames() != ck.Frames {
 				st.closeAll()
-				return nil, fmt.Errorf("core: resume %s subset %s: prefix holds %d frames, checkpoint says %d",
-					logical, tag, idx.Frames(), ck.Frames)
+				return fail(fmt.Errorf("core: resume %s subset %s: prefix holds %d frames, checkpoint says %d",
+					logical, tag, idx.Frames(), ck.Frames))
 			}
 		}
 		be := a.backendFor(tag)
 		f, err := a.containers.CreateDropping(logical, stagingPrefix+subsetPrefix+tag, be)
 		if err != nil {
 			st.closeAll()
-			return nil, fmt.Errorf("core: resume %s: %w", logical, err)
+			return fail(fmt.Errorf("core: resume %s: %w", logical, err))
 		}
 		if len(prefix) > 0 {
 			if _, err := f.Write(prefix); err != nil {
 				f.Close()
 				st.closeAll()
-				return nil, fmt.Errorf("core: resume %s subset %s: %w", logical, tag, err)
+				return fail(fmt.Errorf("core: resume %s subset %s: %w", logical, tag, err))
 			}
 		}
 		tee := &crcTee{f: f, enabled: !a.opts.DisableChecksums, total: prefixCRC}
@@ -398,49 +470,18 @@ func (a *ADA) ResumeIngest(logical string, pdbData []byte, traj io.Reader) (*Ing
 	j, err := a.openJournal(logical)
 	if err != nil {
 		st.closeAll()
-		return nil, fmt.Errorf("core: resume %s: %w", logical, err)
+		return fail(fmt.Errorf("core: resume %s: %w", logical, err))
 	}
 	st.journal = j
 	if err := j.append(&begin); err != nil {
 		st.abort()
-		return nil, fmt.Errorf("core: resume %s: %w", logical, err)
+		return fail(fmt.Errorf("core: resume %s: %w", logical, err))
 	}
 	if ck.Frames > 0 {
 		if err := st.checkpoint(); err != nil {
 			st.abort()
-			return nil, fmt.Errorf("core: resume %s: %w", logical, err)
+			return fail(fmt.Errorf("core: resume %s: %w", logical, err))
 		}
 	}
-
-	// Skip the frames the checkpoint already persisted, then ingest the
-	// rest exactly like the serial path.
-	in := &countingReader{r: traj}
-	reader := xtc.NewReader(in)
-	for i := 0; i < ck.Frames; i++ {
-		if _, err := reader.ReadFrame(); err != nil {
-			st.closeAll()
-			return nil, fmt.Errorf("core: resume %s: source ended at frame %d, checkpoint has %d: %w",
-				logical, i, ck.Frames, err)
-		}
-	}
-	for {
-		before := in.n
-		frame, err := reader.ReadFrame()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			st.closeAll()
-			return nil, fmt.Errorf("core: resume %s frame %d: %w", logical, st.report.Frames, err)
-		}
-		consumed := in.n - before
-		a.chargeCPU("decompress", a.opts.Cost.decompressTime(consumed))
-		a.chargeCPU("categorize", a.opts.Cost.categorizeTime(xtc.RawFrameSize(frame.NAtoms())))
-		if err := st.writeFrame(frame, consumed); err != nil {
-			st.closeAll()
-			return nil, err
-		}
-	}
-	st.closeAll()
-	return st.finish(start)
+	return st, begin, ck, nil
 }

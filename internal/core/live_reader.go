@@ -1,0 +1,409 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/vfs"
+	"repro/internal/xtc"
+)
+
+// ErrLiveClosed is returned by LiveReader operations after Close.
+var ErrLiveClosed = errors.New("core: live reader closed")
+
+// liveWaitSlice bounds each blocking head-wait so Close and sealed-state
+// transitions are noticed promptly even when no new head is published.
+const liveWaitSlice = 50 * time.Millisecond
+
+// liveHeadAndCRC loads the dataset's head together with the CRC32C of its
+// published bytes — the token WaitLiveHead's change detection keys on. A
+// sealed dataset (manifest present, live.json swept) reports CRC 0.
+func (a *ADA) liveHeadAndCRC(logical string) (*LiveHead, uint32, error) {
+	data, err := a.readDropping(logical, liveHeadName)
+	if err == nil {
+		h, herr := unmarshalLiveHead(data)
+		if herr != nil {
+			return nil, 0, herr
+		}
+		return h, xtc.CRC32C(data), nil
+	}
+	m, merr := a.Manifest(logical)
+	if merr != nil {
+		return nil, 0, err // the original live.json error (typically ErrNotExist)
+	}
+	return sealedHead(m), 0, nil
+}
+
+// WaitLiveHead blocks until the dataset's head differs from the one
+// identified by lastCRC (pass 0 for "any head") or the timeout elapses.
+// It returns (head, newCRC, changed). The head's disappearance counts as a
+// change: a sealed dataset comes back as a Sealed head with CRC 0, an
+// aborted one as an error. Backends that can long-poll server-side (the
+// RPC client) carry the whole wait in one round trip.
+func (a *ADA) WaitLiveHead(logical string, lastCRC uint32, timeout time.Duration) (*LiveHead, uint32, bool, error) {
+	data, crc, changed, err := a.containers.WatchDropping(logical, liveHeadName, lastCRC, timeout)
+	if err != nil {
+		return nil, lastCRC, false, err
+	}
+	if !changed {
+		return nil, lastCRC, false, nil
+	}
+	if data == nil {
+		// live.json is gone: either Seal committed the dataset or Abort
+		// removed it. The manifest decides which.
+		m, merr := a.Manifest(logical)
+		if merr != nil {
+			return nil, 0, true, fmt.Errorf("core: live dataset %s vanished: %w", logical, merr)
+		}
+		return sealedHead(m), 0, true, nil
+	}
+	h, err := unmarshalLiveHead(data)
+	if err != nil {
+		return nil, lastCRC, false, err
+	}
+	return h, crc, true, nil
+}
+
+// LiveReader tails one tagged subset of a live dataset, implementing
+// vmd.FrameSource over a growing frame range. Frames() reports the
+// published head (refreshed at most every staleness interval), ReadFrameAt
+// on a frame at or past the head blocks until the producer publishes it —
+// which is what lets a playback prefetcher park a worker on head+1 as its
+// notification mechanism — and once the dataset seals the reader switches
+// to the committed container and returns io.EOF past the end. Safe for
+// concurrent ReadFrameAt callers.
+type LiveReader struct {
+	a         *ADA
+	logical   string
+	tag       string
+	staleness time.Duration
+
+	mu       sync.Mutex
+	wg       sync.WaitGroup // in-flight public calls; Close drains it
+	head     LiveHead
+	headCRC  uint32
+	lastPoll time.Time
+	file     vfs.File
+	ra       *xtc.RandomAccessReader
+	frames   int // reader-visible frames: the published head's count
+	sealed   bool
+	closing  bool
+	closed   chan struct{}
+	// retired holds superseded dropping handles until Close: a concurrent
+	// ReadFrameAt may still be reading through a snapshot taken before a
+	// head refresh swapped the handle out.
+	retired []vfs.File
+}
+
+// DefaultLiveStaleness bounds how stale LiveReader.Frames may run behind
+// the published head when the caller passes no explicit staleness.
+const DefaultLiveStaleness = 50 * time.Millisecond
+
+// OpenLiveReader opens a tailing reader over one tagged subset of a live
+// (or already sealed) dataset. staleness bounds how far Frames() may lag
+// the published head; <=0 selects DefaultLiveStaleness.
+func (a *ADA) OpenLiveReader(logical, tag string, staleness time.Duration) (*LiveReader, error) {
+	if staleness <= 0 {
+		staleness = DefaultLiveStaleness
+	}
+	lr := &LiveReader{
+		a:         a,
+		logical:   logical,
+		tag:       tag,
+		staleness: staleness,
+		closed:    make(chan struct{}),
+	}
+	h, crc, err := a.liveHeadAndCRC(logical)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := h.Subsets[tag]; !ok {
+		return nil, fmt.Errorf("%w: %q in %s (have %v)", ErrUnknownTag, tag, logical, h.Tags())
+	}
+	lr.mu.Lock()
+	err = lr.applyHeadLocked(h, crc)
+	lr.lastPoll = time.Now()
+	lr.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return lr, nil
+}
+
+// enter registers a public call; it fails once Close has begun.
+func (lr *LiveReader) enter() error {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if lr.closing {
+		return ErrLiveClosed
+	}
+	lr.wg.Add(1)
+	return nil
+}
+
+// applyHeadLocked installs a freshly loaded head: reload the subset's
+// index, reopen the dropping handle (recovery may have replaced the file
+// behind an old handle, so handles are never trusted across publishes),
+// and swap the random-access reader. Sealed heads switch to the committed
+// container's final droppings.
+func (lr *LiveReader) applyHeadLocked(h *LiveHead, crc uint32) error {
+	a := lr.a
+	if h.Sealed {
+		if lr.sealed {
+			return nil
+		}
+		idxBytes, err := a.readDropping(lr.logical, indexPrefix+lr.tag)
+		if err != nil {
+			return fmt.Errorf("core: live %s subset %s index: %w", lr.logical, lr.tag, err)
+		}
+		idx, err := xtc.UnmarshalIndex(idxBytes)
+		if err != nil {
+			return fmt.Errorf("core: live %s subset %s: %w", lr.logical, lr.tag, err)
+		}
+		f, err := a.containers.OpenDropping(lr.logical, subsetPrefix+lr.tag)
+		if err != nil {
+			return err
+		}
+		lr.swapLocked(f, xtc.NewRandomAccessReader(f, idx))
+		lr.frames = h.Frames
+		lr.sealed = true
+		lr.head = *h
+		lr.headCRC = crc
+		return nil
+	}
+	if crc == lr.headCRC && lr.ra != nil {
+		return nil // unchanged head
+	}
+	if _, ok := h.Subsets[lr.tag]; !ok {
+		return fmt.Errorf("%w: %q in %s", ErrUnknownTag, lr.tag, lr.logical)
+	}
+	idxBytes, err := a.readDropping(lr.logical, liveIndexPrefix+lr.tag)
+	if errors.Is(err, vfs.ErrNotExist) {
+		// Seal raced us between the head load and the index load: the
+		// live droppings are swept. Reload the head; it must be sealed now.
+		h2, crc2, err2 := a.liveHeadAndCRC(lr.logical)
+		if err2 != nil {
+			return err2
+		}
+		if h2.Sealed {
+			return lr.applyHeadLocked(h2, crc2)
+		}
+		return err
+	}
+	if err != nil {
+		return fmt.Errorf("core: live %s subset %s index: %w", lr.logical, lr.tag, err)
+	}
+	idx, err := xtc.UnmarshalIndex(idxBytes)
+	if err != nil {
+		return fmt.Errorf("core: live %s subset %s: %w", lr.logical, lr.tag, err)
+	}
+	f, err := a.containers.OpenDropping(lr.logical, stagingPrefix+subsetPrefix+lr.tag)
+	if err != nil {
+		return err
+	}
+	frames := h.Frames
+	if idx.Frames() < frames {
+		// Indexes are published strictly before the head, so this cannot
+		// happen on a consistent store; treat it as corruption, not a lag.
+		f.Close()
+		return fmt.Errorf("core: live %s subset %s: index has %d frames, head %d: %w",
+			lr.logical, lr.tag, idx.Frames(), frames, vfs.ErrCorrupted)
+	}
+	lr.swapLocked(f, xtc.NewRandomAccessReader(f, idx))
+	lr.frames = frames
+	lr.sealed = false
+	lr.head = *h
+	lr.headCRC = crc
+	return nil
+}
+
+func (lr *LiveReader) swapLocked(f vfs.File, ra *xtc.RandomAccessReader) {
+	if lr.file != nil {
+		lr.retired = append(lr.retired, lr.file)
+	}
+	lr.file = f
+	lr.ra = ra
+}
+
+// refreshLocked reloads the head unless the last load is within the
+// staleness bound (force skips the bound).
+func (lr *LiveReader) refreshLocked(force bool) error {
+	if lr.sealed {
+		return nil
+	}
+	if !force && time.Since(lr.lastPoll) < lr.staleness {
+		return nil
+	}
+	h, crc, err := lr.a.liveHeadAndCRC(lr.logical)
+	if err != nil {
+		return err
+	}
+	lr.lastPoll = time.Now()
+	return lr.applyHeadLocked(h, crc)
+}
+
+// Frames returns the published head's frame count, at most staleness old.
+// Once sealed it is the final frame count.
+func (lr *LiveReader) Frames() int {
+	if err := lr.enter(); err != nil {
+		return 0
+	}
+	defer lr.wg.Done()
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	_ = lr.refreshLocked(false) // best effort; a failed poll keeps the last head
+	return lr.frames
+}
+
+// Head returns the most recently loaded head (refreshing within the
+// staleness bound) — frames, per-subset bytes, sealed state.
+func (lr *LiveReader) Head() (LiveHead, error) {
+	if err := lr.enter(); err != nil {
+		return LiveHead{}, err
+	}
+	defer lr.wg.Done()
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if err := lr.refreshLocked(false); err != nil {
+		return LiveHead{}, err
+	}
+	return lr.head, nil
+}
+
+// Live reports whether the dataset is still growing. It is the tail-mode
+// marker vmd's prefetcher keys on.
+func (lr *LiveReader) Live() bool {
+	if err := lr.enter(); err != nil {
+		return false
+	}
+	defer lr.wg.Done()
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	_ = lr.refreshLocked(false)
+	return !lr.sealed
+}
+
+// ConcurrentFrameReads reports that ReadFrameAt is safe for concurrent use,
+// so playback prefetchers may decode ahead on background workers.
+func (lr *LiveReader) ConcurrentFrameReads() bool { return true }
+
+// ReadFrameAt decodes subset frame i. A frame at or past the live head
+// blocks until the producer publishes it (or the dataset seals — then
+// io.EOF past the final frame, like any FrameSource). Close unblocks
+// waiters with ErrLiveClosed.
+func (lr *LiveReader) ReadFrameAt(i int) (*xtc.Frame, error) {
+	if err := lr.enter(); err != nil {
+		return nil, err
+	}
+	defer lr.wg.Done()
+	for {
+		lr.mu.Lock()
+		if lr.closing {
+			lr.mu.Unlock()
+			return nil, ErrLiveClosed
+		}
+		if i < lr.frames {
+			ra := lr.ra
+			lr.mu.Unlock()
+			return ra.ReadFrameAt(i)
+		}
+		if lr.sealed {
+			lr.mu.Unlock()
+			return nil, io.EOF
+		}
+		crc := lr.headCRC
+		lr.mu.Unlock()
+
+		h, newCRC, changed, err := lr.a.WaitLiveHead(lr.logical, crc, liveWaitSlice)
+		if err != nil {
+			return nil, err
+		}
+		select {
+		case <-lr.closed:
+			return nil, ErrLiveClosed
+		default:
+		}
+		if changed {
+			lr.mu.Lock()
+			err := lr.applyHeadLocked(h, newCRC)
+			lr.lastPoll = time.Now()
+			lr.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// WaitFrames blocks until the head reaches at least n frames, the dataset
+// seals, or the timeout elapses; it returns the head's frame count at that
+// point. The caller distinguishes timeout from progress by the count.
+func (lr *LiveReader) WaitFrames(n int, timeout time.Duration) (int, error) {
+	if err := lr.enter(); err != nil {
+		return 0, err
+	}
+	defer lr.wg.Done()
+	deadline := time.Now().Add(timeout)
+	for {
+		lr.mu.Lock()
+		frames, sealed, crc := lr.frames, lr.sealed, lr.headCRC
+		lr.mu.Unlock()
+		if frames >= n || sealed {
+			return frames, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return frames, nil
+		}
+		if remaining > liveWaitSlice {
+			remaining = liveWaitSlice
+		}
+		h, newCRC, changed, err := lr.a.WaitLiveHead(lr.logical, crc, remaining)
+		if err != nil {
+			return frames, err
+		}
+		select {
+		case <-lr.closed:
+			return frames, ErrLiveClosed
+		default:
+		}
+		if changed {
+			lr.mu.Lock()
+			err := lr.applyHeadLocked(h, newCRC)
+			lr.lastPoll = time.Now()
+			lr.mu.Unlock()
+			if err != nil {
+				return frames, err
+			}
+		}
+	}
+}
+
+// Close unblocks waiters, drains in-flight reads, and releases every
+// dropping handle the reader accumulated across head refreshes.
+func (lr *LiveReader) Close() error {
+	lr.mu.Lock()
+	if lr.closing {
+		lr.mu.Unlock()
+		return nil
+	}
+	lr.closing = true
+	close(lr.closed)
+	lr.mu.Unlock()
+	lr.wg.Wait()
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	if lr.file != nil {
+		lr.file.Close()
+		lr.file = nil
+	}
+	for _, f := range lr.retired {
+		f.Close()
+	}
+	lr.retired = nil
+	lr.ra = nil
+	return nil
+}

@@ -1,0 +1,543 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/metrics"
+	"repro/internal/plfs"
+	"repro/internal/vfs"
+	"repro/internal/xtc"
+)
+
+// splitFrames cuts an encoded trajectory at its frame boundaries.
+func splitFrames(t testing.TB, traj []byte) [][]byte {
+	t.Helper()
+	idx, err := xtc.BuildIndex(bytes.NewReader(traj), int64(len(traj)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, idx.Frames())
+	for i := 0; i < idx.Frames(); i++ {
+		out[i] = traj[idx.Offset(i) : idx.Offset(i)+idx.Size(i)]
+	}
+	return out
+}
+
+// batchFrames regroups per-frame slices into batches of n frames.
+func batchFrames(frames [][]byte, n int) [][]byte {
+	var out [][]byte
+	for len(frames) > 0 {
+		k := n
+		if k > len(frames) {
+			k = len(frames)
+		}
+		var b []byte
+		for _, f := range frames[:k] {
+			b = append(b, f...)
+		}
+		out = append(out, b)
+		frames = frames[k:]
+	}
+	return out
+}
+
+// TestLiveSealMatchesIngest drives a live session batch by batch and
+// requires Seal's output to be byte-identical to a one-shot Ingest of the
+// same stream — every dropping, the manifest included.
+func TestLiveSealMatchesIngest(t *testing.T) {
+	const frames = journalCkptEvery + 11 // exercise both ckpt paths
+	pdbBytes, traj, _ := testDataset(t, 200, frames)
+
+	golden, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+	if _, err := golden.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+	li, err := a.OpenLiveIngest("/ds", pdbBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := a.LiveHead("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Sealed || h.Frames != 0 || h.Version != 1 {
+		t.Fatalf("initial head = %+v", h)
+	}
+
+	var lastVersion int64
+	total := 0
+	for _, batch := range batchFrames(splitFrames(t, traj), 7) {
+		n, err := li.Append(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+		h, err := a.LiveHead("/ds")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Frames != total {
+			t.Fatalf("head frames = %d after %d appended", h.Frames, total)
+		}
+		if h.Version <= lastVersion {
+			t.Fatalf("head version did not advance: %d -> %d", lastVersion, h.Version)
+		}
+		lastVersion = h.Version
+		// The published live index must cover the head for every tag.
+		for _, tag := range h.Tags() {
+			idxBytes, err := a.readDropping("/ds", liveIndexPrefix+tag)
+			if err != nil {
+				t.Fatalf("live index %s: %v", tag, err)
+			}
+			idx, err := xtc.UnmarshalIndex(idxBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx.Frames() < h.Frames {
+				t.Fatalf("live index %s has %d frames, head %d", tag, idx.Frames(), h.Frames)
+			}
+		}
+	}
+	if total != frames {
+		t.Fatalf("appended %d frames, want %d", total, frames)
+	}
+
+	// Appending to or sealing a sealed session must fail.
+	rep, err := li.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != frames {
+		t.Fatalf("seal report frames = %d", rep.Frames)
+	}
+	if _, err := li.Append(nil); err == nil {
+		t.Error("append after seal succeeded")
+	}
+	if _, err := li.Seal(); err == nil {
+		t.Error("double seal succeeded")
+	}
+
+	// The sealed container is indistinguishable from the one-shot ingest.
+	for _, name := range durableDroppings {
+		want, err := golden.readDropping("/ds", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.readDropping("/ds", name)
+		if err != nil {
+			t.Fatalf("sealed dataset: read %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("sealed %s differs from one-shot ingest", name)
+		}
+	}
+	gIdx, err := golden.containers.Index("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sIdx, err := a.containers.Index("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gIdx) != len(sIdx) {
+		t.Fatalf("container holds %d droppings, one-shot %d: %v vs %v", len(sIdx), len(gIdx), sIdx, gIdx)
+	}
+	for i := range gIdx {
+		if gIdx[i].Name != sIdx[i].Name || gIdx[i].Backend != sIdx[i].Backend {
+			t.Errorf("dropping %d: %v vs %v", i, sIdx[i], gIdx[i])
+		}
+	}
+
+	// The head now reports the sealed manifest.
+	h, err = a.LiveHead("/ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Sealed || h.Frames != frames {
+		t.Fatalf("post-seal head = %+v", h)
+	}
+}
+
+// TestLiveAbort removes the whole container.
+func TestLiveAbort(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 4)
+	a, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+	li, err := a.OpenLiveIngest("/ds", pdbBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := li.Append(traj); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := a.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("containers remain after abort: %v", names)
+	}
+	if _, err := a.LiveHead("/ds"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("head after abort = %v, want ErrNotExist", err)
+	}
+}
+
+// TestLiveReaderTails drives a producer and a concurrent tailing reader:
+// every frame the reader observes must be byte-identical to the same frame
+// of the final sealed container, ReadFrameAt past the head must block until
+// the frame is published, and the seal must surface as io.EOF.
+func TestLiveReaderTails(t *testing.T) {
+	const frames = 24
+	pdbBytes, traj, _ := testDataset(t, 200, frames)
+	a, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+	li, err := a.OpenLiveIngest("/ds", pdbBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lr, err := a.OpenLiveReader("/ds", TagProtein, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Close()
+	if !lr.Live() {
+		t.Fatal("fresh live dataset reports not live")
+	}
+
+	type got struct {
+		i int
+		f *xtc.Frame
+	}
+	results := make(chan got, frames)
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			f, err := lr.ReadFrameAt(i)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				errc <- err
+				return
+			}
+			results <- got{i, f}
+		}
+	}()
+
+	batches := batchFrames(splitFrames(t, traj), 5)
+	for _, b := range batches {
+		if _, err := li.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // let the tail catch up mid-stream
+	}
+	if _, err := li.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	close(results)
+
+	want := readSubsetFrames(t, a, "/ds", TagProtein)
+	if len(want) != frames {
+		t.Fatalf("sealed subset has %d frames", len(want))
+	}
+	seen := 0
+	for g := range results {
+		seen++
+		if !sameFrames([]*xtc.Frame{g.f}, []*xtc.Frame{want[g.i]}) {
+			t.Fatalf("tailed frame %d differs from sealed frame", g.i)
+		}
+	}
+	if seen != frames {
+		t.Fatalf("tail observed %d frames, want %d", seen, frames)
+	}
+	if lr.Live() {
+		t.Error("sealed dataset still reports live")
+	}
+	if n := lr.Frames(); n != frames {
+		t.Errorf("sealed reader frames = %d", n)
+	}
+}
+
+// TestLiveReaderWaitFrames covers the bounded wait API and Close unblocking
+// a parked reader.
+func TestLiveReaderWaitFrames(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 6)
+	a, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+	li, err := a.OpenLiveIngest("/ds", pdbBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := a.OpenLiveReader("/ds", TagProtein, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Timeout with no producer progress returns the current count.
+	if n, err := lr.WaitFrames(1, 20*time.Millisecond); err != nil || n != 0 {
+		t.Fatalf("WaitFrames on idle head = %d, %v", n, err)
+	}
+
+	perFrame := splitFrames(t, traj)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, f := range perFrame[:3] {
+			li.Append(f)
+		}
+	}()
+	if n, err := lr.WaitFrames(3, 5*time.Second); err != nil || n < 3 {
+		t.Fatalf("WaitFrames(3) = %d, %v", n, err)
+	}
+	<-done
+
+	// A reader parked past the head unblocks with ErrLiveClosed on Close.
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := lr.ReadFrameAt(5)
+		readErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := lr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-readErr; !errors.Is(err, ErrLiveClosed) {
+		t.Fatalf("parked read after Close = %v, want ErrLiveClosed", err)
+	}
+	if _, err := li.Seal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crashLive runs one live session (open, append every batch, seal) with the
+// injector's faults applied, discarding errors: a fired kill rule is the
+// simulated crash.
+func crashLive(t *testing.T, in *faultfs.Injector, pdbBytes []byte, batches [][]byte) (*vfs.MemFS, *vfs.MemFS) {
+	t.Helper()
+	ssd, hdd := vfs.NewMemFS(), vfs.NewMemFS()
+	store, err := plfs.New(
+		plfs.Backend{Name: "ssd", FS: faultfs.Wrap(ssd, in), Mount: "/mnt1"},
+		plfs.Backend{Name: "hdd", FS: faultfs.Wrap(hdd, in), Mount: "/mnt2"},
+	)
+	if err != nil {
+		return ssd, hdd
+	}
+	a := New(store, nil, Options{Metrics: metrics.NewRegistry()})
+	li, err := a.OpenLiveIngest("/ds", pdbBytes)
+	if err != nil {
+		return ssd, hdd
+	}
+	for _, b := range batches {
+		if _, err := li.Append(b); err != nil {
+			return ssd, hdd
+		}
+	}
+	li.Seal()
+	return ssd, hdd
+}
+
+// TestLiveRecoverKillMatrix is the streaming analogue of the PR-4 crash
+// matrix: a kill-after-Nth-op fault swept across every backend operation of
+// a live session. After each kill the stack reboots and recovers; a live
+// dataset's published prefix must be byte-identical to the golden prefix,
+// and resuming plus sealing must reproduce the one-shot container exactly.
+func TestLiveRecoverKillMatrix(t *testing.T) {
+	const frames = journalCkptEvery + 11
+	pdbBytes, traj, _ := testDataset(t, 200, frames)
+	perFrame := splitFrames(t, traj)
+	batches := batchFrames(perFrame, 7)
+
+	golden, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+	if _, err := golden.Ingest("/ds", pdbBytes, bytes.NewReader(traj)); err != nil {
+		t.Fatal(err)
+	}
+	goldenBytes := map[string][]byte{}
+	for _, name := range durableDroppings {
+		data, err := golden.readDropping("/ds", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenBytes[name] = data
+	}
+	goldenSubset := map[string][]byte{
+		TagProtein: goldenBytes[subsetPrefix+TagProtein],
+		TagMisc:    goldenBytes[subsetPrefix+TagMisc],
+	}
+
+	// Probe the op count with a rule that never fires.
+	probe := faultfs.MustNew(1, faultfs.Rule{Kind: faultfs.KindErr, Op: "no-such-op", Nth: 1})
+	crashLive(t, probe, pdbBytes, batches)
+	total := probe.Ops()
+	if total < 50 {
+		t.Fatalf("probe live session saw only %d backend ops", total)
+	}
+
+	// Live sessions publish per batch, so the op count is large; stride the
+	// sweep to keep the matrix fast while still crossing every phase.
+	stride := total / 120
+	if stride < 1 {
+		stride = 1
+	}
+	var live, committed, rolledBack int
+	for n := int64(1); n <= total; n += stride {
+		in := faultfs.MustNew(1, faultfs.Rule{Kind: faultfs.KindKill, Nth: int(n)})
+		ssd, hdd := crashLive(t, in, pdbBytes, batches)
+		a := rebootADA(t, ssd, hdd)
+		acts, err := a.Recover()
+		if err != nil {
+			t.Fatalf("kill %d/%d: recover: %v", n, total, err)
+		}
+
+		switch acts["/ds"] {
+		case RecoveryLive:
+			live++
+			// The republished head must describe a prefix byte-identical
+			// to the golden container's subsets.
+			h, err := a.LiveHead("/ds")
+			if err != nil {
+				t.Fatalf("kill %d/%d: live head: %v", n, total, err)
+			}
+			if h.Sealed {
+				t.Fatalf("kill %d/%d: recovered live head is sealed", n, total)
+			}
+			for tag, sub := range h.Subsets {
+				staged, err := a.readDropping("/ds", stagingPrefix+subsetPrefix+tag)
+				if err != nil {
+					t.Fatalf("kill %d/%d: staged %s: %v", n, total, tag, err)
+				}
+				if int64(len(staged)) != sub.Bytes {
+					t.Fatalf("kill %d/%d: staged %s is %d bytes, head says %d",
+						n, total, tag, len(staged), sub.Bytes)
+				}
+				if !bytes.Equal(staged, goldenSubset[tag][:sub.Bytes]) {
+					t.Fatalf("kill %d/%d: recovered %s prefix differs from golden", n, total, tag)
+				}
+			}
+			// Resume from the recovered frame count and run to seal: the
+			// result must be the one-shot container, byte for byte.
+			li, err := a.ResumeLiveIngest("/ds", pdbBytes)
+			if err != nil {
+				t.Fatalf("kill %d/%d: resume live: %v", n, total, err)
+			}
+			if li.Frames() != h.Frames {
+				t.Fatalf("kill %d/%d: resumed at frame %d, head says %d", n, total, li.Frames(), h.Frames)
+			}
+			for _, f := range perFrame[li.Frames():] {
+				if _, err := li.Append(f); err != nil {
+					t.Fatalf("kill %d/%d: resumed append: %v", n, total, err)
+				}
+			}
+			if _, err := li.Seal(); err != nil {
+				t.Fatalf("kill %d/%d: resumed seal: %v", n, total, err)
+			}
+			assertGolden(t, a, goldenBytes, n, total)
+
+		case RecoveryCommitted, RecoveryClean, RecoverySwept:
+			committed++
+			assertGolden(t, a, goldenBytes, n, total)
+
+		default:
+			// Rolled back (or the container never formed): nothing lingers.
+			names, lerr := a.Datasets()
+			if lerr != nil {
+				t.Fatalf("kill %d/%d: list after rollback: %v", n, total, lerr)
+			}
+			if len(names) != 0 {
+				t.Fatalf("kill %d/%d: rollback left containers: %v (acts=%v)", n, total, names, acts)
+			}
+			rolledBack++
+		}
+	}
+	if live == 0 || committed == 0 || rolledBack == 0 {
+		t.Fatalf("sweep over %d ops: live %d, committed %d, rolledback %d — all three must occur",
+			total, live, committed, rolledBack)
+	}
+	t.Logf("live kill matrix: %d ops (stride %d), %d live, %d committed, %d rolled back",
+		total, stride, live, committed, rolledBack)
+}
+
+// assertGolden requires the committed container to match the one-shot
+// ingest byte for byte with no live or staging leftovers.
+func assertGolden(t *testing.T, a *ADA, goldenBytes map[string][]byte, n, total int64) {
+	t.Helper()
+	for name, want := range goldenBytes {
+		got, err := a.readDropping("/ds", name)
+		if err != nil {
+			t.Fatalf("kill %d/%d: read %s: %v", n, total, name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("kill %d/%d: %s differs from one-shot ingest", n, total, name)
+		}
+	}
+	idx, err := a.containers.Index("/ds")
+	if err != nil {
+		t.Fatalf("kill %d/%d: index: %v", n, total, err)
+	}
+	for _, d := range idx {
+		if d.Name == droppingJournal || strings.HasPrefix(d.Name, stagingPrefix) ||
+			d.Name == liveHeadName || strings.HasPrefix(d.Name, liveIndexPrefix) {
+			t.Fatalf("kill %d/%d: leftover %s survived recovery", n, total, d.Name)
+		}
+	}
+}
+
+// TestResumeLiveRejectsOneShot pins the resume-mode cross-checks.
+func TestResumeLiveRejectsOneShot(t *testing.T) {
+	pdbBytes, traj, _ := testDataset(t, 200, 4)
+	a, _, _ := newADA(t, nil, Options{Metrics: metrics.NewRegistry()})
+
+	// A live journal is rejected by ResumeIngest...
+	li, err := a.OpenLiveIngest("/live", pdbBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := li.Append(traj); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ResumeIngest("/live", pdbBytes, bytes.NewReader(traj)); err == nil ||
+		!strings.Contains(err.Error(), "ResumeLiveIngest") {
+		t.Fatalf("ResumeIngest on a live journal = %v", err)
+	}
+	if err := li.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and a one-shot journal by ResumeLiveIngest.
+	if err := a.containers.CreateContainer("/oneshot"); err != nil {
+		t.Fatal(err)
+	}
+	j, err := a.openJournal("/oneshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(&journalRecord{Type: journalBegin, Logical: "/oneshot"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ResumeLiveIngest("/oneshot", pdbBytes); err == nil ||
+		!strings.Contains(err.Error(), "ResumeIngest") {
+		t.Fatalf("ResumeLiveIngest on a one-shot journal = %v", err)
+	}
+}

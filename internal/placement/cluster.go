@@ -3,6 +3,7 @@ package placement
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"sync"
@@ -298,6 +299,86 @@ func (c *Cluster) Open(name string) (vfs.File, error) {
 		}
 	}
 	return nil, fmt.Errorf("placement: open %s: %w", name, firstErr)
+}
+
+// watchCRCTable is CRC32C (Castagnoli), matching plfs and the rpc watch op
+// so CRCs are comparable across local and remote replicas.
+var watchCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+func watchCRC(data []byte) uint32 { return crc32.Checksum(data, watchCRCTable) }
+
+// nodeWatcher is implemented by node FSes that can long-poll a file
+// server-side (rpc.Client, rpc.Pool); see plfs.WatchDropping.
+type nodeWatcher interface {
+	WatchFile(name string, lastCRC uint32, timeout time.Duration) ([]byte, uint32, bool, error)
+}
+
+// WatchFile long-polls name until its content differs from lastCRC or the
+// timeout elapses, failing over across the replica set. Replicas that
+// support server-side watching (RPC nodes) carry the poll on the node;
+// in-process replicas are polled locally. A node failure mid-watch moves
+// the poll to the next replica with the remaining timeout, so a tailing
+// reader survives losing R-1 replicas — the same guarantee demand reads
+// have.
+func (c *Cluster) WatchFile(name string, lastCRC uint32, timeout time.Duration) ([]byte, uint32, bool, error) {
+	const localPoll = 2 * time.Millisecond
+	deadline := time.Now().Add(timeout)
+	reps := c.place(name)
+	var firstErr error
+	for _, i := range c.healthOrder(reps) {
+		node := reps[i]
+		fsys := c.fs(node)
+		remaining := time.Until(deadline)
+		if remaining < 0 {
+			remaining = 0
+		}
+		if nw, ok := fsys.(nodeWatcher); ok {
+			data, crc, changed, err := nw.WatchFile(name, lastCRC, remaining)
+			if err == nil {
+				c.markUp(node)
+				return data, crc, changed, nil
+			}
+			c.note(node, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// In-process replica: poll locally until change or deadline.
+		for {
+			data, err := vfs.ReadFile(fsys, name)
+			if err != nil && !errors.Is(err, vfs.ErrNotExist) {
+				c.note(node, err)
+				if firstErr == nil {
+					firstErr = err
+				}
+				break
+			}
+			crc := uint32(0)
+			if err == nil {
+				crc = watchCRC(data)
+			} else {
+				data = nil
+			}
+			if crc != lastCRC {
+				c.markUp(node)
+				return data, crc, true, nil
+			}
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return nil, lastCRC, false, nil
+			}
+			if remaining < localPoll {
+				time.Sleep(remaining)
+			} else {
+				time.Sleep(localPoll)
+			}
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("placement: watch %s: no replicas", name)
+	}
+	return nil, 0, false, fmt.Errorf("placement: watch %s: %w", name, firstErr)
 }
 
 // Stat implements vfs.FS, failing over across the replica set. Absence is

@@ -203,6 +203,45 @@ func (c *Client) PushClusterTable(data []byte, version uint64) error {
 	return err
 }
 
+// WatchFile long-polls name on the node: it returns when the file's
+// CRC32C differs from lastCRC (changed=true, with the new content and CRC)
+// or when the timeout elapses (changed=false). The poll runs server-side —
+// one round trip parks on the node instead of hammering reads over the
+// wire — which is what makes remote live-head tailing cheap. A missing
+// file reads as empty with CRC 0.
+//
+// The requested timeout is clamped to half the policy's CallTimeout so the
+// server's reply always beats the client's connection deadline.
+func (c *Client) WatchFile(name string, lastCRC uint32, timeout time.Duration) ([]byte, uint32, bool, error) {
+	if t := c.policy.CallTimeout; t > 0 && timeout > t/2 {
+		timeout = t / 2
+	}
+	if timeout < 0 {
+		timeout = 0
+	}
+	req := request(opWatch)
+	req.String(name)
+	req.Uint32(lastCRC)
+	req.Uint32(uint32(timeout / time.Millisecond))
+	r, err := c.call(req)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	changed := r.Uint32() != 0
+	crc := r.Uint32()
+	data := r.VarOpaque()
+	if err := r.Err(); err != nil {
+		return nil, 0, false, err
+	}
+	if !changed {
+		return nil, lastCRC, false, nil
+	}
+	if len(data) == 0 {
+		data = nil
+	}
+	return data, crc, true, nil
+}
+
 // SetRetryPolicy replaces the retry policy for subsequent calls.
 func (c *Client) SetRetryPolicy(p RetryPolicy) {
 	c.mu.Lock()

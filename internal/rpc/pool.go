@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/vfs"
@@ -116,3 +117,10 @@ func (p *Pool) Remove(name string) error { return p.pick().Remove(name) }
 
 // Rename implements vfs.FS.
 func (p *Pool) Rename(oldname, newname string) error { return p.pick().Rename(oldname, newname) }
+
+// WatchFile long-polls name via one member connection (see
+// Client.WatchFile). The poll parks that member for its duration; demand
+// traffic keeps flowing on the others.
+func (p *Pool) WatchFile(name string, lastCRC uint32, timeout time.Duration) ([]byte, uint32, bool, error) {
+	return p.pick().WatchFile(name, lastCRC, timeout)
+}

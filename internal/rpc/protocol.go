@@ -40,6 +40,7 @@ const (
 	opIdent    // declare the connection's tenant for per-tenant accounting
 	opTableGet // fetch the node's cluster placement table (version + bytes)
 	opTablePut // install a cluster placement table if not stale
+	opWatch    // long-poll: block until a file's content differs from a CRC
 )
 
 // MaxPayload bounds a single message (catches corrupt length prefixes).

@@ -58,13 +58,15 @@ func DefaultRetryPolicy() RetryPolicy {
 //   - tableget/tableput: the get is a pure read; the put replaces the
 //     whole table at an explicit version, so re-applying it converges
 //     (and a stale version is rejected either way).
+//   - watch: a pure read; re-polling with the same CRC is the normal
+//     pattern even without failures.
 //   - create/write/close/remove/rename: a second application truncates
 //     data, appends bytes twice, or fails on the now-missing
 //     handle/file/source path.
 func idempotentOp(op uint32) bool {
 	switch op {
 	case opOpen, opRead, opStat, opReadDir, opSize, opMkdirAll, opIdent,
-		opTableGet, opTablePut:
+		opTableGet, opTablePut, opWatch:
 		return true
 	}
 	return false

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"log"
 	"net"
@@ -50,7 +51,17 @@ type Server struct {
 	tableMu      sync.Mutex
 	tableData    []byte // opaque cluster placement table (internal/placement JSON)
 	tableVersion uint64
+
+	watchPoll time.Duration // opWatch re-read cadence (0 = defaultWatchPoll)
 }
+
+// Watch-op bounds: the server re-reads the watched file every watchPoll
+// while a long-poll is parked, and caps any single poll at maxWatchTimeout
+// so a stuck client cannot pin a connection goroutine forever.
+const (
+	defaultWatchPoll = 2 * time.Millisecond
+	maxWatchTimeout  = 60 * time.Second
+)
 
 // serverMetrics are the node-side request/response/error handles, plus a
 // per-opcode request breakdown.
@@ -64,7 +75,7 @@ type serverMetrics struct {
 	bytesOut    *metrics.Counter
 	latency     *metrics.Histogram
 	throttleNS  *metrics.Histogram
-	perOp       [opTablePut + 1]*metrics.Counter
+	perOp       [opWatch + 1]*metrics.Counter
 }
 
 // opName names an opcode for metrics and logs.
@@ -75,6 +86,7 @@ func opName(op uint32) string {
 		opMkdirAll: "mkdirall", opRemove: "remove", opSize: "size",
 		opRename: "rename", opIdent: "ident",
 		opTableGet: "tableget", opTablePut: "tableput",
+		opWatch: "watch",
 	}
 	if op < uint32(len(names)) && names[op] != "" {
 		return names[op]
@@ -94,7 +106,7 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		latency:     reg.Histogram("rpc.server.dispatch.ns"),
 		throttleNS:  reg.Histogram("rpc.server.throttle.ns"),
 	}
-	for op := opCreate; op <= opTablePut; op++ {
+	for op := opCreate; op <= opWatch; op++ {
 		m.perOp[op] = reg.Counter("rpc.server.op." + opName(op))
 	}
 	return m
@@ -116,6 +128,10 @@ func NewServer(fsys vfs.FS, logger *log.Logger) *Server {
 // SetMetrics points the server's counters at reg (metrics.Default by
 // default; nil disables collection). Call before Serve.
 func (s *Server) SetMetrics(reg *metrics.Registry) { s.m = newServerMetrics(reg) }
+
+// SetWatchPoll sets how often a parked opWatch re-reads the watched file
+// (defaultWatchPoll when zero). Call before Serve.
+func (s *Server) SetWatchPoll(d time.Duration) { s.watchPoll = d }
 
 // SetTenantQuota rate-limits read bytes per identified tenant (opIdent) to
 // rate bytes/second with the given burst capacity. Zero rate disables
@@ -294,7 +310,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.m.bytesIn.Add(int64(len(payload)) + 4)
 		s.m.requests.Inc()
 		if len(payload) >= 4 {
-			if op := binary.BigEndian.Uint32(payload); op <= opTablePut {
+			if op := binary.BigEndian.Uint32(payload); op <= opWatch {
 				s.m.perOp[op].Inc()
 			}
 		}
@@ -527,6 +543,23 @@ func (s *Server) dispatch(cs *connState, payload []byte) []byte {
 		}
 		return respondOK().Bytes()
 
+	case opWatch:
+		name := r.String()
+		lastCRC := r.Uint32()
+		timeoutMs := r.Uint32()
+		if err := r.Err(); err != nil {
+			return respondErr(err)
+		}
+		data, crc, changed, err := s.watch(name, lastCRC, time.Duration(timeoutMs)*time.Millisecond)
+		if err != nil {
+			return respondErr(err)
+		}
+		w := respondOK()
+		w.Uint32(boolWord(changed))
+		w.Uint32(crc)
+		w.VarOpaque(data)
+		return w.Bytes()
+
 	default:
 		return respondErr(fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op))
 	}
@@ -558,6 +591,55 @@ func (s *Server) ClusterTable() ([]byte, uint64) {
 		return nil, s.tableVersion
 	}
 	return append([]byte(nil), s.tableData...), s.tableVersion
+}
+
+// watchCRCTable is CRC32C (Castagnoli) — the same polynomial plfs and xtc
+// use, so the CRCs a live reader carries are valid on either side of the
+// wire.
+var watchCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// watch long-polls name server-side: it re-reads the file every watchPoll
+// until its CRC32C differs from lastCRC or the timeout elapses. A missing
+// file reads as empty with CRC 0, so creation, replacement, and removal all
+// count as changes. This is the wire half of plfs.WatchDropping — clients
+// forward the whole poll in one opWatch call instead of re-reading the file
+// over the network every few milliseconds.
+func (s *Server) watch(name string, lastCRC uint32, timeout time.Duration) ([]byte, uint32, bool, error) {
+	if timeout < 0 {
+		timeout = 0
+	}
+	if timeout > maxWatchTimeout {
+		timeout = maxWatchTimeout
+	}
+	poll := s.watchPoll
+	if poll <= 0 {
+		poll = defaultWatchPoll
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		data, err := vfs.ReadFile(s.fsys, name)
+		if err != nil && !errors.Is(err, vfs.ErrNotExist) {
+			return nil, 0, false, err
+		}
+		crc := uint32(0)
+		if err == nil {
+			crc = crc32.Checksum(data, watchCRCTable)
+		} else {
+			data = nil
+		}
+		if crc != lastCRC {
+			return data, crc, true, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 || s.closing() {
+			return nil, lastCRC, false, nil
+		}
+		if remaining < poll {
+			time.Sleep(remaining)
+		} else {
+			time.Sleep(poll)
+		}
+	}
 }
 
 func (s *Server) handle(fd uint32) (vfs.File, error) {

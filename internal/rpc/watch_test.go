@@ -1,0 +1,144 @@
+package rpc
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+func watchCRC(data []byte) uint32 { return crc32.Checksum(data, watchCRCTable) }
+
+// TestWatchImmediateChange: a watch against a stale CRC returns at once
+// with the current content.
+func TestWatchImmediateChange(t *testing.T) {
+	c, store := startNode(t)
+	if err := vfs.WriteFile(store, "/head", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	data, crc, changed, err := c.WatchFile("/head", 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || !bytes.Equal(data, []byte("v1")) {
+		t.Fatalf("changed=%v data=%q", changed, data)
+	}
+	if crc != watchCRC([]byte("v1")) {
+		t.Fatalf("crc = %#x", crc)
+	}
+}
+
+// TestWatchBlocksUntilChange: a watch with the current CRC parks on the
+// server and returns when the file is replaced.
+func TestWatchBlocksUntilChange(t *testing.T) {
+	c, store := startNode(t)
+	if err := vfs.WriteFile(store, "/head", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cur := watchCRC([]byte("v1"))
+
+	type result struct {
+		data    []byte
+		crc     uint32
+		changed bool
+		err     error
+	}
+	res := make(chan result, 1)
+	go func() {
+		var r result
+		r.data, r.crc, r.changed, r.err = c.WatchFile("/head", cur, 5*time.Second)
+		res <- r
+	}()
+
+	// The watcher must still be parked, then observe the replacement.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case r := <-res:
+		t.Fatalf("watch returned before the change: %+v", r)
+	default:
+	}
+	if err := vfs.WriteFile(store, "/head", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !r.changed || !bytes.Equal(r.data, []byte("v2")) || r.crc != watchCRC([]byte("v2")) {
+		t.Fatalf("watch after change: %+v", r)
+	}
+}
+
+// TestWatchTimeout: an unchanged file returns changed=false with the
+// caller's CRC after the requested timeout.
+func TestWatchTimeout(t *testing.T) {
+	c, store := startNode(t)
+	if err := vfs.WriteFile(store, "/head", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cur := watchCRC([]byte("v1"))
+	start := time.Now()
+	data, crc, changed, err := c.WatchFile("/head", cur, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed || data != nil || crc != cur {
+		t.Fatalf("timeout poll: changed=%v data=%q crc=%#x", changed, data, crc)
+	}
+	if e := time.Since(start); e < 25*time.Millisecond {
+		t.Fatalf("watch returned in %v, before the timeout", e)
+	}
+}
+
+// TestWatchMissingFile: absence reads as empty with CRC 0, so creation is
+// a change and watching a missing file with CRC 0 just times out.
+func TestWatchMissingFile(t *testing.T) {
+	c, store := startNode(t)
+	_, _, changed, err := c.WatchFile("/nope", 0, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("missing file with CRC 0 reported a change")
+	}
+	// Creation flips the CRC and wakes the watcher.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(10 * time.Millisecond)
+		vfs.WriteFile(store, "/nope", []byte("born"))
+	}()
+	data, crc, changed, err := c.WatchFile("/nope", 0, 5*time.Second)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || !bytes.Equal(data, []byte("born")) || crc != watchCRC([]byte("born")) {
+		t.Fatalf("creation not observed: changed=%v data=%q", changed, data)
+	}
+}
+
+// TestWatchTimeoutClamp: the client clamps the server-side poll to half its
+// call timeout so the reply beats the connection deadline.
+func TestWatchTimeoutClamp(t *testing.T) {
+	c, store := startNode(t)
+	if err := vfs.WriteFile(store, "/head", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	pol := DefaultRetryPolicy()
+	pol.CallTimeout = 200 * time.Millisecond
+	c.SetRetryPolicy(pol)
+	start := time.Now()
+	_, _, changed, err := c.WatchFile("/head", watchCRC([]byte("v1")), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("unexpected change")
+	}
+	if e := time.Since(start); e > 150*time.Millisecond {
+		t.Fatalf("clamped watch took %v (call timeout 200ms)", e)
+	}
+}

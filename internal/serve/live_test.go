@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/xtc"
+)
+
+// growingSource is a stub live FrameSource: Frames() extends as frames are
+// published and Live() flips false on seal — the contract stream.Source
+// provides over a real live dataset.
+type growingSource struct {
+	mu     sync.Mutex
+	natoms int
+	head   int
+	sealed bool
+	reads  int
+}
+
+func (g *growingSource) Frames() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.head
+}
+
+func (g *growingSource) Live() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return !g.sealed
+}
+
+func (g *growingSource) ConcurrentFrameReads() bool { return true }
+
+func (g *growingSource) ReadFrameAt(i int) (*xtc.Frame, error) {
+	g.mu.Lock()
+	g.reads++
+	g.mu.Unlock()
+	return &xtc.Frame{Step: int32(i), Coords: make([]xtc.Vec3, g.natoms)}, nil
+}
+
+func (g *growingSource) publish(n int) {
+	g.mu.Lock()
+	g.head += n
+	g.mu.Unlock()
+}
+
+func (g *growingSource) seal() {
+	g.mu.Lock()
+	g.sealed = true
+	g.mu.Unlock()
+}
+
+func (g *growingSource) sourceReads() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reads
+}
+
+// TestFabricServesLiveHandle: a handle over a live source extends its frame
+// count as the head advances, keeps pre-growth frames cached (published
+// prefixes are immutable, so no invalidation is needed), and flips Live()
+// on seal.
+func TestFabricServesLiveHandle(t *testing.T) {
+	src := &growingSource{natoms: 10}
+	f, reg := newTestFabric(t, Config{Workers: 2})
+	h := f.Open("alice", "/live", "p", src.natoms, src)
+
+	if !h.Live() {
+		t.Fatal("live source not detected")
+	}
+	if h.Frames() != 0 {
+		t.Fatalf("empty live dataset has %d frames", h.Frames())
+	}
+
+	src.publish(4)
+	if h.Frames() != 4 {
+		t.Fatalf("frames = %d after first publish", h.Frames())
+	}
+	for i := 0; i < 4; i++ {
+		fr, err := h.ReadFrameAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(fr.Step) != i {
+			t.Fatalf("frame %d came back as step %d", i, fr.Step)
+		}
+	}
+	decodes := src.sourceReads()
+
+	// The head advances; cached pre-growth frames must be served without
+	// touching the source again.
+	src.publish(4)
+	if h.Frames() != 8 {
+		t.Fatalf("frames = %d after second publish", h.Frames())
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := h.ReadFrameAt(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := src.sourceReads(); got != decodes {
+		t.Fatalf("pre-growth frames re-decoded: %d source reads, want %d", got, decodes)
+	}
+	for i := 4; i < 8; i++ {
+		if _, err := h.ReadFrameAt(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	src.seal()
+	if h.Live() {
+		t.Fatal("handle still live after seal")
+	}
+	if reg.Snapshot().Counters["serve.cache.hits"] != 4 {
+		t.Errorf("cache hits = %d, want 4", reg.Snapshot().Counters["serve.cache.hits"])
+	}
+}
+
+// TestFabricHandleNotLive: a plain immutable source never reports live.
+func TestFabricHandleNotLive(t *testing.T) {
+	src := &stubSource{frames: 4, natoms: 10}
+	f, _ := newTestFabric(t, Config{Workers: 1})
+	h := f.Open("alice", "/ds", "p", src.natoms, src)
+	if h.Live() {
+		t.Fatal("immutable source reported live")
+	}
+}

@@ -256,8 +256,26 @@ type Handle struct {
 	tm      tenantMetrics
 }
 
-// Frames returns the underlying source's frame count.
+// Frames returns the underlying source's frame count. For a live source
+// this is the current head — it extends as the producer publishes, and
+// frames cached before a head advance stay valid because published
+// prefixes are immutable.
 func (h *Handle) Frames() int { return h.src.Frames() }
+
+// liveSource mirrors vmd's tail marker: sources over a still-growing
+// dataset (stream.Source, core.LiveReader).
+type liveSource interface {
+	Live() bool
+}
+
+// Live reports whether the handle serves a still-growing live dataset. It
+// flips to false once the producer seals.
+func (h *Handle) Live() bool {
+	if ls, ok := h.src.(liveSource); ok {
+		return ls.Live()
+	}
+	return false
+}
 
 // Tenant returns the handle's tenant name.
 func (h *Handle) Tenant() string { return h.tenant }

@@ -1,0 +1,182 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// DefaultQueueBatches is the default bound of the ingestor's append queue.
+const DefaultQueueBatches = 16
+
+// Ingestor pumps frame batches from a producer into a core.LiveIngest
+// through a bounded queue. A single drain goroutine preserves append order;
+// when the queue is full, Enqueue blocks the producer — that stall is the
+// backpressure signal, surfaced via stream.append.blocked_ns.
+type Ingestor struct {
+	li    *core.LiveIngest
+	queue chan []byte
+
+	mu     sync.Mutex
+	err    error // first drain error; fails all later Enqueues
+	closed bool
+
+	done chan struct{}
+
+	frames    *metrics.Counter
+	bytes     *metrics.Counter
+	appendNS  *metrics.Histogram
+	blockedNS *metrics.Counter
+	depth     *metrics.Gauge
+	hwm       *metrics.Gauge
+	publishes *metrics.Counter
+}
+
+// NewIngestor wraps an open live session. queueBatches bounds the append
+// queue (0 means DefaultQueueBatches); reg may be nil.
+func NewIngestor(li *core.LiveIngest, queueBatches int, reg *metrics.Registry) *Ingestor {
+	if queueBatches <= 0 {
+		queueBatches = DefaultQueueBatches
+	}
+	ing := &Ingestor{
+		li:    li,
+		queue: make(chan []byte, queueBatches),
+		done:  make(chan struct{}),
+	}
+	if reg != nil {
+		ing.frames = reg.Counter("stream.append.frames")
+		ing.bytes = reg.Counter("stream.append.bytes")
+		ing.appendNS = reg.Histogram("stream.append.ns")
+		ing.blockedNS = reg.Counter("stream.append.blocked_ns")
+		ing.depth = reg.Gauge("stream.queue.depth")
+		ing.hwm = reg.Gauge("stream.queue.hwm")
+		ing.publishes = reg.Counter("stream.publishes")
+	}
+	go ing.drain()
+	return ing
+}
+
+// Enqueue hands one encoded frame batch to the drain loop, blocking while
+// the queue is full. The batch is appended asynchronously; a failed append
+// surfaces on the next Enqueue, Err, or Close. The ingestor takes ownership
+// of the slice — the caller must not reuse it.
+func (ing *Ingestor) Enqueue(batch []byte) error {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return fmt.Errorf("stream: ingestor closed")
+	}
+	if err := ing.err; err != nil {
+		ing.mu.Unlock()
+		return err
+	}
+	ing.mu.Unlock()
+
+	select {
+	case ing.queue <- batch:
+	default:
+		// Queue full: block, and account the stall as backpressure.
+		start := time.Now()
+		ing.queue <- batch
+		if ing.blockedNS != nil {
+			ing.blockedNS.Add(time.Since(start).Nanoseconds())
+		}
+	}
+	if ing.depth != nil {
+		d := int64(len(ing.queue))
+		ing.depth.Set(d)
+		ing.hwm.SetMax(d)
+	}
+	return nil
+}
+
+// drain is the single writer: it preserves producer order and publishes a
+// head per batch via LiveIngest.Append.
+func (ing *Ingestor) drain() {
+	defer close(ing.done)
+	for batch := range ing.queue {
+		if ing.depth != nil {
+			ing.depth.Set(int64(len(ing.queue)))
+		}
+		ing.mu.Lock()
+		failed := ing.err != nil
+		ing.mu.Unlock()
+		if failed {
+			continue // already broken: discard the backlog
+		}
+		start := time.Now()
+		n, err := ing.li.Append(batch)
+		if ing.appendNS != nil {
+			ing.appendNS.Observe(time.Since(start).Nanoseconds())
+		}
+		if n > 0 {
+			if ing.frames != nil {
+				ing.frames.Add(int64(n))
+			}
+			if ing.publishes != nil {
+				ing.publishes.Inc()
+			}
+			if ing.bytes != nil {
+				ing.bytes.Add(int64(len(batch)))
+			}
+		}
+		if err != nil {
+			ing.mu.Lock()
+			ing.err = fmt.Errorf("stream: append: %w", err)
+			ing.mu.Unlock()
+		}
+	}
+}
+
+// Frames reports how many frames the underlying session has accepted.
+func (ing *Ingestor) Frames() int { return ing.li.Frames() }
+
+// Err returns the first append failure, if any.
+func (ing *Ingestor) Err() error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.err
+}
+
+// Close drains the queue, seals the dataset, and returns the sealed report.
+// If any append failed, the session is aborted instead and the first error
+// returned. The producer must stop calling Enqueue before Close — the queue
+// is closed here, and a concurrent send would panic.
+func (ing *Ingestor) Close() (*core.IngestReport, error) {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return nil, fmt.Errorf("stream: ingestor closed")
+	}
+	ing.closed = true
+	ing.mu.Unlock()
+
+	close(ing.queue)
+	<-ing.done
+	if ing.depth != nil {
+		ing.depth.Set(0)
+	}
+
+	if err := ing.Err(); err != nil {
+		ing.li.Abort()
+		return nil, err
+	}
+	return ing.li.Seal()
+}
+
+// Abort discards the queue and removes the dataset.
+func (ing *Ingestor) Abort() error {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return nil
+	}
+	ing.closed = true
+	ing.mu.Unlock()
+	close(ing.queue)
+	<-ing.done
+	return ing.li.Abort()
+}

@@ -44,6 +44,15 @@ type concurrentSource interface {
 	ConcurrentFrameReads() bool
 }
 
+// tailSource marks FrameSources over a still-growing dataset (stream.Source,
+// core.LiveReader). A live source's ReadFrameAt(head) blocks until the
+// producer publishes that frame, so prediction pins to head+1 instead of
+// bouncing off the end: one parked worker becomes the head watcher and the
+// next frame is decoded the moment it lands.
+type tailSource interface {
+	Live() bool
+}
+
 // prefetched is one background decode's outcome.
 type prefetched struct {
 	frame *xtc.Frame
@@ -74,6 +83,7 @@ type PrefetchSource struct {
 	pm      prefetchMetrics
 	srcMu   *sync.Mutex // non-nil when src must be serialized
 	maxHeld int
+	tail    bool // src is live: pin prediction to the growing head
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals workers that tasks or stopping changed
@@ -119,6 +129,12 @@ func (s *Session) NewPrefetchSource(src FrameSource, idx *xtc.Index, workers, de
 	if cs, ok := src.(concurrentSource); !ok || !cs.ConcurrentFrameReads() {
 		p.srcMu = &sync.Mutex{}
 	}
+	if ts, ok := src.(tailSource); ok && ts.Live() {
+		// Tail mode: a worker may park inside src.ReadFrameAt(head) waiting
+		// for the producer. Close the live source BEFORE Stop, or Stop will
+		// wait on a worker that only wakes when the head moves.
+		p.tail = true
+	}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go p.worker(w)
@@ -148,7 +164,9 @@ func (p *PrefetchSource) Stats() PrefetchStats {
 }
 
 // Stop terminates the background workers. Buffered frames stay readable;
-// further prediction ceases. Idempotent.
+// further prediction ceases. Idempotent. In tail mode a worker may be
+// parked inside the live source waiting for the head to advance — close the
+// live source first so that read returns, then Stop.
 func (p *PrefetchSource) Stop() {
 	p.mu.Lock()
 	p.stopping = true
@@ -223,15 +241,23 @@ func (p *PrefetchSource) chargeDecode(i int, overlapped bool) {
 // back-and-forth sweep would visit after i. Must be called with p.mu held.
 func (p *PrefetchSource) predict(i int) {
 	n := p.src.Frames()
-	if n < 2 {
+	if n < 2 && !p.tail {
 		return
 	}
 	pos, dir := i, p.dir
 	for k := 0; k < p.depth; k++ {
 		pos += dir
-		// Bounce off the ends: a sweep that hits frame n-1 turns around,
-		// which is the paper's back-and-forth replay.
 		if pos >= n {
+			if p.tail {
+				// Live head: don't bounce — pin one decode at the head
+				// frame. The worker that picks it up blocks in the source
+				// until the producer publishes it, becoming the watcher
+				// that has head+1 decoded the moment it exists.
+				p.issue(n)
+				return
+			}
+			// Bounce off the ends: a sweep that hits frame n-1 turns
+			// around, which is the paper's back-and-forth replay.
 			pos, dir = n-2, -1
 		} else if pos < 0 {
 			pos, dir = 1, 1

@@ -1,0 +1,162 @@
+package vmd
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/xtc"
+)
+
+var errTailClosed = errors.New("tail stub closed")
+
+// tailStub is a growing FrameSource: ReadFrameAt past the head blocks until
+// the frame is published, the stream seals, or the stub closes — the same
+// contract as stream.Source / core.LiveReader.
+type tailStub struct {
+	mu     chan struct{} // 1-token mutex so cond-free blocking stays simple
+	frames chan *xtc.Frame
+
+	headCh chan struct{} // closed and replaced on every state change
+	state  struct {
+		frames []*xtc.Frame
+		live   bool
+		closed bool
+	}
+}
+
+func newTailStub() *tailStub {
+	ts := &tailStub{mu: make(chan struct{}, 1), headCh: make(chan struct{})}
+	ts.state.live = true
+	return ts
+}
+
+func (ts *tailStub) lock()   { ts.mu <- struct{}{} }
+func (ts *tailStub) unlock() { <-ts.mu }
+
+func (ts *tailStub) Live() bool                 { return true }
+func (ts *tailStub) ConcurrentFrameReads() bool { return true }
+
+func (ts *tailStub) Frames() int {
+	ts.lock()
+	defer ts.unlock()
+	return len(ts.state.frames)
+}
+
+func (ts *tailStub) ReadFrameAt(i int) (*xtc.Frame, error) {
+	for {
+		ts.lock()
+		if ts.state.closed {
+			ts.unlock()
+			return nil, errTailClosed
+		}
+		if i < len(ts.state.frames) {
+			f := ts.state.frames[i]
+			ts.unlock()
+			return f, nil
+		}
+		if !ts.state.live {
+			ts.unlock()
+			return nil, errTailClosed
+		}
+		ch := ts.headCh
+		ts.unlock()
+		<-ch
+	}
+}
+
+func (ts *tailStub) wake() {
+	close(ts.headCh)
+	ts.headCh = make(chan struct{})
+}
+
+func (ts *tailStub) publish(f *xtc.Frame) {
+	ts.lock()
+	ts.state.frames = append(ts.state.frames, f)
+	ts.wake()
+	ts.unlock()
+}
+
+func (ts *tailStub) close() {
+	ts.lock()
+	ts.state.closed = true
+	ts.wake()
+	ts.unlock()
+}
+
+// TestPrefetchTailMode: over a live source, prediction pins to the head — a
+// worker parks on the next unpublished frame, so a reader following the
+// producer finds each new frame already decoded (a hit), instead of the
+// bounce-at-the-end pattern meant for immutable trajectories.
+func TestPrefetchTailMode(t *testing.T) {
+	fx, src, _ := playbackFixture(t, 8)
+	_ = fx
+	want := make([]*xtc.Frame, 8)
+	for i := range want {
+		f, err := src.ReadFrameAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = f
+	}
+
+	ts := newTailStub()
+	s := NewSession(nil, 0, ComputeCost{})
+	p := s.NewPrefetchSource(ts, nil, 2, 4)
+	if !p.tail {
+		t.Fatal("prefetch source did not detect the live tail")
+	}
+
+	// Publish, then read: after the first couple of reads establish the
+	// sweep, the parked watcher should have each next frame decoded before
+	// the demand read arrives.
+	for i := range want {
+		ts.publish(want[i])
+		f, err := p.ReadFrameAt(i)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f != want[i] {
+			t.Fatalf("frame %d: wrong frame returned", i)
+		}
+		// Give the parked worker a beat to decode the just-published frame
+		// before the next demand read (hit accounting is timing-dependent
+		// only in our favor — correctness is not).
+		time.Sleep(2 * time.Millisecond)
+	}
+	stats := p.Stats()
+	if stats.Hits == 0 {
+		t.Errorf("tail playback recorded no prefetch hits: %+v", stats)
+	}
+
+	// Shutdown discipline: close the live source first so the parked worker
+	// wakes, then Stop. This must not hang.
+	ts.close()
+	done := make(chan struct{})
+	go func() {
+		p.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung with a parked tail watcher")
+	}
+}
+
+// TestPrefetchTailModeImmutableUnaffected: a sealed (non-live) source keeps
+// the bounce prediction; the tail flag stays off.
+func TestPrefetchTailModeImmutableUnaffected(t *testing.T) {
+	_, src, _ := playbackFixture(t, 4)
+	s := NewSession(nil, 0, ComputeCost{})
+	p := s.NewPrefetchSource(src, nil, 1, 2)
+	defer p.Stop()
+	if p.tail {
+		t.Fatal("immutable source marked as tail")
+	}
+	for _, i := range BackAndForth(4, 2) {
+		if _, err := p.ReadFrameAt(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
